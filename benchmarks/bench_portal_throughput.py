@@ -1,0 +1,76 @@
+"""Experiment C5 — the shared-code-base / production-worthiness claims.
+
+§4/§5: one code base serves the website and the daemon; the
+rapid-development framework is "robust enough to function as a production
+system".  The bench measures portal request latency over a populated
+database while the daemon is mid-campaign, and proves both processes use
+literally the same model classes.
+"""
+
+from repro.core import Simulation, Star
+from repro.webstack.testclient import Client
+
+from .conftest import fresh_deployment, submit_reference_optimization
+
+
+def _populated_portal():
+    deployment = fresh_deployment()
+    deployment.create_astronomer("c5", password="pw12345")
+    user = deployment.create_astronomer("worker")
+    # A live campaign: several finished + one active simulation.
+    for index in range(3):
+        star, _ = deployment.catalog.search("18 Sco")
+        sim = Simulation(
+            star_id=star.pk, owner_id=user.pk, kind="direct",
+            machine_name="kraken",
+            parameters={"mass": 1.0 + index * 0.05, "z": 0.018,
+                        "y": 0.27, "alpha": 2.1, "age": 4.6})
+        sim.save(db=deployment.databases.portal)
+    deployment.run_daemon_until_idle(poll_interval_s=1800)
+    submit_reference_optimization(deployment, user, n_ga_runs=2,
+                                  iterations=30, population_size=32)
+    client = Client(deployment.build_portal())
+    assert client.login("c5", "pw12345")
+    return deployment, client
+
+
+def test_portal_request_throughput(benchmark):
+    deployment, client = _populated_portal()
+
+    def one_browse_cycle():
+        # Daemon makes progress...
+        deployment.clock.advance(600)
+        deployment.daemon.poll_once()
+        # ...while the portal serves a typical page mix.
+        assert client.get("/").status_code == 200
+        assert client.get("/stars/").status_code == 200
+        assert client.get("/simulations/").status_code == 200
+        assert client.get("/api/suggest/?q=18").status_code == 200
+
+    benchmark(one_browse_cycle)
+    print("\n(4 portal requests + 1 daemon poll per iteration; "
+          "shared SQLite store)")
+
+
+def test_single_code_base_serves_both(benchmark):
+    """The DRY claim: identical model classes, different role
+    connections."""
+    deployment, client = _populated_portal()
+
+    def check():
+        portal_view = Simulation.objects.using(
+            deployment.databases.portal).count()
+        daemon_view = Simulation.objects.using(
+            deployment.databases.daemon).count()
+        assert portal_view == daemon_view
+        return portal_view
+    count = benchmark(check)
+    workflow = deployment.daemon.workflows["direct"]
+    print(f"\nsimulations visible to both roles: {count}")
+    print("portal model class is daemon model class:",
+          Simulation is type(Simulation.objects.using(
+              deployment.databases.daemon).first()))
+    assert isinstance(workflow, object)
+    # One registry entry — not parallel definitions.
+    from repro.webstack.orm import get_registered_model
+    assert get_registered_model("Simulation") is Simulation

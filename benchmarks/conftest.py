@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper artifact (see DESIGN.md §4) and prints
+the same rows/series the paper reports, with the paper's published
+numbers alongside for comparison.  Shape assertions guard the
+qualitative claims; absolute values are expected to differ (our substrate
+is a simulator, not the 2009 TeraGrid).
+"""
+
+import pytest
+
+from repro.core import AMPDeployment, ObservationSet, Simulation
+from repro.core.models import KIND_OPTIMIZATION
+from repro.hpc import HOUR
+from repro.science import StellarParameters, synthetic_target
+
+
+def fresh_deployment():
+    return AMPDeployment()
+
+
+def submit_reference_optimization(deployment, user, *, n_ga_runs=4,
+                                  iterations=40, population_size=64,
+                                  walltime_s=6 * HOUR, seed=5,
+                                  machine="kraken"):
+    star, _ = deployment.catalog.search("16 Cyg B")
+    target, truth = synthetic_target(
+        "bench-target", StellarParameters(1.04, 0.021, 0.27, 2.1, 6.0),
+        seed=seed)
+    obs = ObservationSet(
+        star_id=star.pk, label="bench", teff=target.teff,
+        luminosity=target.luminosity,
+        frequencies={str(l): v for l, v in target.frequencies.items()})
+    obs.save(db=deployment.databases.portal)
+    sim = Simulation(
+        star_id=star.pk, observation_id=obs.pk, owner_id=user.pk,
+        kind=KIND_OPTIMIZATION, machine_name=machine,
+        config={"n_ga_runs": n_ga_runs, "iterations": iterations,
+                "population_size": population_size, "processors": 128,
+                "walltime_s": walltime_s,
+                "ga_seeds": list(range(21, 21 + n_ga_runs))})
+    sim.save(db=deployment.databases.portal)
+    return sim, truth
+
+
+@pytest.fixture()
+def deployment():
+    dep = fresh_deployment()
+    yield dep
+    from repro.webstack.orm import bind
+    from repro.core.models import ALL_MODELS
+    bind(ALL_MODELS, None)
+    dep.close()

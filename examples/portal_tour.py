@@ -1,0 +1,102 @@
+"""A tour of the portal's extension features.
+
+Shows the §6 future-work items this reproduction implements on top of
+the paper's core: RSS feeds, SVG plot rendering, pre-submitted chained
+continuation jobs, result reuse ("without repetition"), the statistics
+page, and user-initiated cancellation.
+
+Run:  python examples/portal_tour.py
+"""
+
+from repro.core import AMPDeployment, ObservationSet, Simulation
+from repro.core.models import KIND_OPTIMIZATION
+from repro.hpc import HOUR
+from repro.science import StellarParameters, synthetic_target
+from repro.webstack.testclient import Client
+
+
+def main():
+    deployment = AMPDeployment()
+    deployment.create_astronomer("tour", password="tourpass1")
+    portal = Client(deployment.build_portal())
+    portal.login("tour", "tourpass1")
+
+    star_pk = int(portal.get("/stars/search/?q=16 Cyg B")
+                  ["Location"].rstrip("/").split("/")[-1])
+
+    # ------------------------------------------------------------------
+    # Chained optimization run (§6 job chaining, implemented).
+    # ------------------------------------------------------------------
+    target, _ = synthetic_target(
+        "16 Cyg B", StellarParameters(1.04, 0.021, 0.27, 2.1, 6.0),
+        seed=42)
+    observation = ObservationSet(
+        star_id=star_pk, label="Kepler", teff=target.teff,
+        luminosity=target.luminosity,
+        frequencies={str(l): v for l, v in target.frequencies.items()})
+    observation.save(db=deployment.databases.portal)
+    from repro.webstack.auth import User
+    owner = User.objects.using(deployment.databases.admin).get(
+        username="tour")
+    simulation = Simulation(
+        star_id=star_pk, observation_id=observation.pk,
+        owner_id=owner.pk, kind=KIND_OPTIMIZATION,
+        machine_name="kraken",
+        config={"n_ga_runs": 2, "iterations": 30,
+                "population_size": 64, "processors": 128,
+                "walltime_s": 6 * HOUR, "ga_seeds": [42, 43],
+                "use_chaining": True})
+    simulation.save(db=deployment.databases.portal)
+    print("Submitted a chained optimization run: the whole continuation"
+          "\nchain queues up front with scheduler dependencies.")
+    deployment.run_daemon_until_idle(poll_interval_s=1800)
+    simulation.refresh_from_db()
+    print(f"state: {simulation.state} after "
+          f"{deployment.clock.now / 3600.0:.1f} virtual hours\n")
+
+    # ------------------------------------------------------------------
+    # RSS feeds (§6).
+    # ------------------------------------------------------------------
+    feed = portal.get(f"/feeds/star/{star_pk}/results.rss")
+    print("results.rss (first item):")
+    print("  " + feed.text.split("<item>")[1].split("</item>")[0]
+          .replace("><", ">\n  <")[:300])
+
+    # ------------------------------------------------------------------
+    # SVG plots.
+    # ------------------------------------------------------------------
+    hr = portal.get(f"/simulations/{simulation.pk}/hr.svg")
+    echelle = portal.get(f"/simulations/{simulation.pk}/echelle.svg")
+    print(f"\nhr.svg: {len(hr.content)} bytes of SVG; "
+          f"echelle.svg: {len(echelle.content)} bytes")
+
+    # ------------------------------------------------------------------
+    # Result reuse: identical direct runs are not recomputed.
+    # ------------------------------------------------------------------
+    params = {"mass": "1.0", "z": "0.018", "y": "0.27", "alpha": "2.1",
+              "age": "4.6"}
+    first = portal.post(f"/submit/direct/{star_pk}/", params)
+    deployment.run_daemon_until_idle(poll_interval_s=300)
+    again = portal.post(f"/submit/direct/{star_pk}/", params)
+    print(f"\nfirst submission:  {first['Location']}")
+    print(f"second submission: {again['Location']} (reused, no new "
+          "simulation)")
+
+    # ------------------------------------------------------------------
+    # Cancellation + statistics.
+    # ------------------------------------------------------------------
+    queued = portal.post(f"/submit/direct/{star_pk}/",
+                         {**params, "age": "9.9"})
+    queued_pk = queued["Location"].rstrip("/").split("/")[-1]
+    portal.post(f"/simulations/{queued_pk}/cancel/")
+    print(f"\ncancelled queued simulation #{queued_pk}")
+
+    stats = portal.get("/statistics/").text
+    section = stats.split("<h3>Simulations by status</h3>")[1]
+    print("statistics page, simulations by status:")
+    print("  " + section.split("</ul>")[0].replace("<li>", " ")
+          .replace("</li>", "").replace("<ul>", "").strip())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""The §6 queue-wait study: sequential resubmission vs job chaining.
+
+Reproduces the paper's future-work investigation: on a loaded machine,
+an AMP optimization's continuation jobs either (a) enter the queue only
+after the prior job finishes, or (b) are all submitted up front with
+scheduler dependencies.  Prints the comparison table and the sensitivity
+to background load.
+
+Run:  python examples/queue_wait_study.py
+"""
+
+from repro.analysis import queuewait
+from repro.analysis.reporting import format_table
+from repro.hpc.machines import KRAKEN
+
+
+def main():
+    print("Sequential vs chained submission of a 4-segment AMP GA run")
+    print(f"machine: {KRAKEN.name} ({KRAKEN.total_cores} cores), "
+          "background load 0.85\n")
+    pairs = queuewait.compare(machine=KRAKEN, seeds=(11, 23, 37),
+                              load=0.85)
+    print(queuewait.render(pairs))
+
+    print("\nSensitivity to background load:")
+    rows = []
+    for load in (0.55, 0.75, 0.85, 0.95):
+        summary = queuewait.summarise(
+            queuewait.compare(machine=KRAKEN, seeds=(11, 23),
+                              load=load))
+        rows.append([
+            f"{load:.2f}",
+            f"{summary['sequential_mean_wait_h']:.1f}",
+            f"{summary['chained_mean_wait_h']:.1f}",
+            f"{summary['wait_reduction_fraction'] * 100:.0f}%",
+            f"{summary['makespan_reduction_fraction'] * 100:.0f}%",
+        ])
+    print(format_table(
+        ["load", "seq wait (h)", "chained wait (h)", "wait saved",
+         "makespan saved"], rows))
+    print("\nConclusion: chaining strictly reduces cumulative queue "
+          "wait,\nand the benefit grows with contention — the paper's "
+          "§6 hypothesis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Using the science substrate directly — no gateway, no grid.
+
+The MPIKAIA pipeline "has been available to astronomers to download and
+run on their own resources for several years"; this example is that mode:
+forward-model a star, inspect its HR track and echelle diagram, then run
+a genetic-algorithm fit against synthetic observations and check the
+recovery, all through the public science API.
+
+Run:  python examples/science_standalone.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.hpc.machines import KRAKEN
+from repro.science import (StellarParameters, direct_model_run,
+                           optimization_run, synthetic_target)
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. A direct forward-model run (the "direct model run" mode).
+    # ------------------------------------------------------------------
+    params = StellarParameters(mass=1.07, z=0.021, y=0.26, alpha=2.0,
+                               age=6.8)
+    model = direct_model_run(params)
+    print("Forward model for "
+          f"M={params.mass} Msun, Z={params.z}, age={params.age} Gyr:")
+    print(f"  Teff = {model.teff:.0f} K, L = {model.luminosity:.2f} "
+          f"Lsun, R = {model.radius:.2f} Rsun, log g = {model.logg:.2f}")
+    print(f"  Dnu = {model.delta_nu:.1f} uHz, nu_max = "
+          f"{model.nu_max:.0f} uHz, d02 = "
+          f"{model.small_separation_02:.1f} uHz")
+
+    print("\n  HR-diagram track (first/last points):")
+    for point in (model.track[0], model.track[-1]):
+        print(f"    age {point.age:5.2f} Gyr: Teff {point.teff:6.0f} K, "
+              f"L {point.luminosity:5.2f} Lsun")
+
+    print("\n  Echelle diagram (l=0 ridge):")
+    for point in model.echelle()[:4]:
+        if point.degree == 0:
+            print(f"    nu = {point.frequency:7.1f} uHz, "
+                  f"nu mod Dnu = {point.modulo:5.1f} uHz")
+
+    # ------------------------------------------------------------------
+    # 2. The inverse problem: recover parameters from observations.
+    # ------------------------------------------------------------------
+    truth = StellarParameters(mass=1.02, z=0.018, y=0.27, alpha=2.1,
+                              age=5.2)
+    target, _ = synthetic_target("demo star", truth, seed=12)
+    print(f"\nFitting synthetic observations of {target.name} "
+          "(4 GA runs x 60 iterations, population 64)...")
+    result = optimization_run(target, KRAKEN, n_ga_runs=4,
+                              iterations=60, population_size=64)
+
+    rows = []
+    names = ("mass", "z", "y", "alpha", "age")
+    for index, name in enumerate(names):
+        rows.append([
+            name,
+            f"{getattr(truth, name):.4f}",
+            f"{getattr(result.best_parameters, name):.4f}",
+        ])
+    print(format_table(["parameter", "true", "recovered"], rows))
+    print(f"best fitness: {result.best_fitness:.3f} "
+          f"(ensemble of {len(result.ga_runs)} GA runs)")
+    hours = result.total_compute_s / 3600.0
+    print(f"simulated compute: {hours:.0f} h of 128-processor GA time "
+          f"on {KRAKEN.name}")
+
+    per_run = [(run.seed, f"{run.best_fitness:.3f}",
+                run.segments) for run in result.ga_runs]
+    print(format_table(["GA seed", "fitness", "batch jobs"],
+                       per_run,
+                       title="Per-GA-run summary (independent seeds)"))
+
+
+if __name__ == "__main__":
+    main()

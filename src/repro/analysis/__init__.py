@@ -1,0 +1,8 @@
+"""Experiment harness support (DESIGN.md §3.6): one module per
+paper artifact plus shared table rendering."""
+
+from . import convergence, queuewait, reporting, table1
+from .reporting import format_table
+
+__all__ = ["convergence", "format_table", "queuewait", "reporting",
+           "table1"]

@@ -1,0 +1,78 @@
+"""Experiment C1: the §2 iteration-time convergence claim.
+
+"During the first few iterations, some stars in the randomly chosen
+population may take more time to model than others. [...] as the model
+continues and the population begins to converge, the model run time for
+each star also converges and the time to run each iteration decreases.
+Thus, the 200 iterations can be performed in about 160x to 180x of the
+first iteration's measured time."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hpc.machines import KRAKEN
+from ..science.mpikaia.parallel import (MasterWorkerModel,
+                                        full_run_iteration_times)
+from ..science.observations import synthetic_target
+from ..science.astec.model import StellarParameters
+from ..science.pipeline import make_ga
+from .reporting import format_table
+
+PAPER_BAND = (160.0, 180.0)
+
+
+def measure_convergence(*, machine=KRAKEN, iterations=200, seed=7,
+                        population_size=126, processors=128):
+    """Run one GA and record per-iteration wall times.
+
+    Returns a dict with the iteration-time series, the total/first
+    ratio, and convergence diagnostics.
+    """
+    target, _truth = synthetic_target(
+        "convergence-reference",
+        StellarParameters(mass=1.05, z=0.019, y=0.27, alpha=2.0, age=4.0),
+        seed=seed)
+    ga = make_ga(target, seed=seed, population_size=population_size)
+    timing = MasterWorkerModel(machine, processors)
+    times = full_run_iteration_times(ga, timing, iterations)
+    times = np.asarray(times)
+    return {
+        "machine": machine.name,
+        "iteration_times_s": times.tolist(),
+        "first_iteration_s": float(times[0]),
+        "total_s": float(times.sum()),
+        "ratio_total_to_first": float(times.sum() / times[0]),
+        "late_to_early": float(times[-20:].mean() / times[:5].mean()),
+        "best_fitness": float(ga.best()[1]),
+    }
+
+
+def in_paper_band(result, *, slack=0.08):
+    """Whether the measured ratio lands in 160x–180x (± slack)."""
+    low = PAPER_BAND[0] * (1.0 - slack)
+    high = PAPER_BAND[1] * (1.0 + slack)
+    return low <= result["ratio_total_to_first"] <= high
+
+
+def render(result):
+    times = np.asarray(result["iteration_times_s"])
+    rows = []
+    for start in range(0, len(times), 25):
+        chunk = times[start:start + 25]
+        rows.append([f"{start + 1}-{start + len(chunk)}",
+                     f"{chunk.mean() / 60.0:.1f}",
+                     f"{chunk.max() / 60.0:.1f}"])
+    header = format_table(
+        ["iterations", "mean (min)", "max (min)"], rows,
+        title=f"Per-iteration GA wall time on {result['machine']}")
+    summary = (
+        f"\nfirst iteration: {result['first_iteration_s'] / 60.0:.1f} min"
+        f"\ntotal ({len(times)} iterations): "
+        f"{result['total_s'] / 3600.0:.1f} h"
+        f"\ntotal / first = {result['ratio_total_to_first']:.1f}x "
+        f"(paper: about 160x to 180x)"
+        f"\nlate/early iteration-time ratio: "
+        f"{result['late_to_early']:.2f}")
+    return header + summary

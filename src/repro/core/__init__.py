@@ -1,0 +1,39 @@
+"""AMP — the paper's primary contribution (DESIGN.md §3.5).
+
+Shared core models, the GridAMP workflow daemon with its Listing 1 state
+machines, input marshaling, the catalog with SIMBAD fallback, the
+security role scheme, notifications, the §6 Gantt tool, the portal, and
+a one-call full deployment (:class:`~repro.core.bootstrap.AMPDeployment`).
+"""
+
+from .bootstrap import AMPDeployment, DEFAULT_PROJECT
+from .catalog import SimbadService, StarCatalog
+from .daemon import ExternalMonitor, GridAMPDaemon
+from .models import (ALL_MODELS, CORE_MODELS, AllocationRecord,
+                     GridJobRecord, KIND_DIRECT, KIND_OPTIMIZATION,
+                     MachineRecord, ObservationSet, SIM_ACTIVE_STATES,
+                     SIM_CANCELLED, SIM_CLEANUP, SIM_DONE, SIM_HOLD,
+                     SIM_POSTJOB, SIM_PREJOB, SIM_QUEUED, SIM_RUNNING,
+                     SIM_STATES, Simulation, Star, SubmitAuthorization,
+                     UserProfile)
+from .notifications import (AUDIENCE_ADMIN, AUDIENCE_USER, JargonLeak,
+                            Mailer, NotificationPolicy)
+from .security import audit_role_separation, build_role_registry
+from .staging import StagingError, generate_input_files
+from .workflow import (DirectRunWorkflow, ModelFailure,
+                       OptimizationWorkflow, WorkflowManager)
+
+__all__ = [
+    "ALL_MODELS", "AMPDeployment", "AUDIENCE_ADMIN", "AUDIENCE_USER",
+    "AllocationRecord", "CORE_MODELS", "DEFAULT_PROJECT",
+    "DirectRunWorkflow", "ExternalMonitor", "GridAMPDaemon",
+    "GridJobRecord", "JargonLeak", "KIND_DIRECT", "KIND_OPTIMIZATION",
+    "MachineRecord", "Mailer", "ModelFailure", "NotificationPolicy",
+    "ObservationSet", "OptimizationWorkflow", "SIM_ACTIVE_STATES",
+    "SIM_CANCELLED", "SIM_CLEANUP", "SIM_DONE", "SIM_HOLD", "SIM_POSTJOB",
+    "SIM_PREJOB", "SIM_QUEUED", "SIM_RUNNING", "SIM_STATES",
+    "SimbadService", "Simulation", "StagingError", "Star", "StarCatalog",
+    "SubmitAuthorization", "UserProfile", "WorkflowManager",
+    "audit_role_separation", "build_role_registry",
+    "generate_input_files",
+]

@@ -1,0 +1,137 @@
+"""Wire a complete in-process AMP deployment (Figure 2).
+
+One :class:`AMPDeployment` assembles every component of the paper's
+architecture with the separations intact:
+
+- a shared database with three role-scoped connections,
+- the public **portal** web application (webstack) using the portal role
+  — no grid objects are ever handed to it,
+- the **GridAMP daemon** using the daemon role, holding the community
+  credential and the command-line grid clients,
+- the **grid fabric**: GRAM/GridFTP services fronting simulated TeraGrid
+  resources with the AMP runtime deployed,
+- notifications, catalog seeds, allocations, and the external monitor.
+
+Everything shares one virtual clock, so examples/tests/benches drive
+weeks of gateway operation in milliseconds.
+"""
+
+from __future__ import annotations
+
+from ..grid.clients import GridClients
+from ..grid.fabric import build_fabric
+from ..hpc.machines import TABLE1_MACHINES, DISPLAY_NAMES
+from ..hpc.simclock import SimClock
+from ..webstack.auth import create_superuser, create_user
+from ..webstack.orm import DeploymentDatabases, bind, create_all
+from .catalog import SimbadService, StarCatalog
+from .daemon import ExternalMonitor, GridAMPDaemon
+from .models import (ALL_MODELS, AllocationRecord, MachineRecord,
+                     SubmitAuthorization, UserProfile)
+from .notifications import Mailer
+from .remote import deploy_amp
+from .security import build_role_registry
+
+DEFAULT_PROJECT = "TG-AST090056"
+
+
+class AMPDeployment:
+    def __init__(self, *, machines=None, su_grant=5_000_000.0,
+                 seed_catalog=True):
+        self.machines = list(machines or TABLE1_MACHINES)
+        self.machine_specs = {m.name: m for m in self.machines}
+        self.clock = SimClock()
+
+        # Shared database, role-scoped connections.
+        self.databases = DeploymentDatabases(build_role_registry())
+        create_all(ALL_MODELS, self.databases.admin)
+        bind(ALL_MODELS, self.databases.admin)
+
+        # Grid fabric + AMP runtime on every resource.
+        self.fabric = build_fabric(self.machines, self.clock)
+        for name in self.fabric.resource_names():
+            deploy_amp(self.fabric.resource(name))
+
+        # The daemon host: clients + credential live here only.
+        self.clients = GridClients(self.fabric, gateway_name="AMP")
+        self.mailer = Mailer(self.clock)
+        self.daemon = GridAMPDaemon(self.databases.daemon, self.clients,
+                                    self.clock, self.mailer,
+                                    self.machine_specs)
+        self.monitor = ExternalMonitor(self.daemon, self.mailer)
+
+        # Catalog (portal-side service, portal role).
+        self.simbad = SimbadService()
+        self.catalog = StarCatalog(self.databases.portal, self.simbad)
+        if seed_catalog:
+            self.catalog.seed()
+
+        # Back-end registry rows (admin-managed).
+        self._register_machines(su_grant)
+
+        self.portal_app = None   # built lazily by build_portal()
+
+    # ------------------------------------------------------------------
+    def _register_machines(self, su_grant):
+        admin = self.databases.admin
+        self.machine_records = {}
+        self.allocations = {}
+        for machine in self.machines:
+            record = MachineRecord(
+                name=machine.name,
+                display_name=DISPLAY_NAMES.get(machine.name,
+                                               machine.name.title()),
+                site=machine.site, enabled=True,
+                default_walltime_s=min(6 * 3600.0,
+                                       machine.max_walltime_s))
+            record.save(db=admin)
+            self.machine_records[machine.name] = record
+            allocation = AllocationRecord(
+                project=DEFAULT_PROJECT, machine_id=record.pk,
+                su_granted=su_grant)
+            allocation.save(db=admin)
+            self.allocations[machine.name] = allocation
+
+    # ------------------------------------------------------------------
+    def create_astronomer(self, username, email=None, password="pw",
+                          machines=None, *, approve=True,
+                          notify_on_completion=True,
+                          notify_each_transition=False):
+        """Create an approved gateway user authorized on *machines*."""
+        admin = self.databases.admin
+        user = create_user(admin, username, email or f"{username}@ucar.edu",
+                           password, is_active=approve)
+        profile = UserProfile(
+            user_id=user.pk, institution="NCAR",
+            provenance={"requested_via": "portal",
+                        "approved_by": "gateway-admin"},
+            notify_on_completion=notify_on_completion,
+            notify_each_transition=notify_each_transition)
+        profile.save(db=admin)
+        for name in (machines or self.machine_specs):
+            auth = SubmitAuthorization(
+                user_id=user.pk,
+                machine_id=self.machine_records[name].pk,
+                allocation_id=self.allocations[name].pk, active=True)
+            auth.save(db=admin)
+        return user
+
+    def create_admin(self, username="gateway-admin", password="adminpw"):
+        return create_superuser(self.databases.admin, username,
+                                f"{username}@ucar.edu", password)
+
+    # ------------------------------------------------------------------
+    def build_portal(self, *, debug=False):
+        """Construct (once) the public portal web application."""
+        if self.portal_app is None:
+            from .portal.site import build_portal_app
+            self.portal_app = build_portal_app(self, debug=debug)
+        return self.portal_app
+
+    def run_daemon_until_idle(self, *, poll_interval_s=300.0,
+                              max_polls=100_000):
+        return self.daemon.run(poll_interval_s=poll_interval_s,
+                               max_polls=max_polls)
+
+    def close(self):
+        self.databases.close()

@@ -1,0 +1,179 @@
+"""The GridAMP workflow daemon.
+
+"The GridAMP daemon manages the workflow of AMP simulations on remote
+grid resources.  It reads simulation information from the centralized
+database, performs the necessary grid client actions, and updates the
+database accordingly."  (§4.4)
+
+The poll cycle implements the paper's two-level status management:
+
+1. **Generic grid-job update** — every non-terminal
+   :class:`~repro.core.models.GridJobRecord` is polled through the
+   command-line clients and its GRAM state stored, "identical for all
+   grid jobs regardless of purpose [...] or execution method"; no
+   callbacks fire here.
+2. **Workflow advancement** — each active simulation's workflow manager
+   "simply retrieves the last-known status of the appropriate job and
+   waits or proceeds accordingly."
+
+Daemon failures are detected *externally*: :class:`ExternalMonitor`
+watches the heartbeat the poll loop stamps.
+"""
+
+from __future__ import annotations
+
+from ..webstack.orm import Q
+from .models import (GridJobRecord, KIND_DIRECT, KIND_OPTIMIZATION,
+                     SIM_ACTIVE_STATES, Simulation)
+from .notifications import NotificationPolicy
+from .workflow import DirectRunWorkflow, OptimizationWorkflow
+
+DEFAULT_POLL_INTERVAL_S = 300.0
+
+
+class GridAMPDaemon:
+    def __init__(self, db, clients, clock, mailer, machine_specs):
+        self.db = db
+        self.clients = clients
+        self.clock = clock
+        self.mailer = mailer
+        self.policy = NotificationPolicy(mailer, db)
+        self.workflows = {
+            KIND_DIRECT: DirectRunWorkflow(db, clients, self.policy,
+                                           machine_specs),
+            KIND_OPTIMIZATION: OptimizationWorkflow(db, clients,
+                                                    self.policy,
+                                                    machine_specs),
+        }
+        self.heartbeat = clock.now
+        self.poll_count = 0
+
+    # ------------------------------------------------------------------
+    def update_grid_jobs(self):
+        """Level 1: refresh every in-flight grid job's GRAM state."""
+        active = GridJobRecord.objects.using(self.db).filter(
+            Q(state="UNSUBMITTED") | Q(state="PENDING") | Q(state="ACTIVE"))
+        for record in active:
+            if record.gram_job_id is None:
+                continue
+            owner = record.simulation.owner
+            self.clients.ensure_proxy(owner.username, owner.email)
+            result = self.clients.globus_job_status(record.resource,
+                                                    record.gram_job_id)
+            if not result.ok:
+                # Transient poll failures are silent (retried next cycle);
+                # administrators can read the command log.
+                continue
+            state, _, reason = result.stdout.partition(" ")
+            if state != record.state or reason:
+                record.state = state
+                if reason:
+                    record.failure_reason = reason
+                record.save(db=self.db)
+
+    def advance_simulations(self):
+        """Level 2: run each active simulation's workflow.
+
+        A defect in one simulation's processing must not take the whole
+        daemon down with it: unexpected exceptions hold that simulation
+        (administrators are notified with the traceback) and the loop
+        continues — the per-simulation analogue of the paper's "daemon
+        failures are monitored externally" posture.
+        """
+        import traceback
+        transitions = 0
+        active = Simulation.objects.using(self.db).filter(
+            state__in=list(SIM_ACTIVE_STATES)).order_by("id")
+        for simulation in active:
+            workflow = self.workflows[simulation.kind]
+            try:
+                if workflow.advance(simulation):
+                    transitions += 1
+            except Exception:  # noqa: BLE001 - daemon survival boundary
+                detail = traceback.format_exc()
+                try:
+                    workflow.hold(simulation,
+                                  f"internal daemon error:\n{detail}")
+                except Exception:  # noqa: BLE001 - last resort
+                    self.mailer.notify_admin(
+                        f"Daemon error on simulation #{simulation.pk}",
+                        detail)
+        return transitions
+
+    def update_machine_telemetry(self):
+        """Publish per-machine queue depth/utilisation into the DB.
+
+        This is the only channel through which the grid-blind portal
+        learns about congestion — the daemon measures (qstat over the
+        fork service) and writes; the portal reads.
+        """
+        import datetime as _dt
+        from .models import MachineRecord
+        self.clients.ensure_proxy("amp-operations")
+        for record in MachineRecord.objects.using(self.db).all():
+            result = self.clients.queue_status(record.name)
+            if not result.ok:
+                continue              # transient: keep stale telemetry
+            depth_text, _, utilisation_text = \
+                result.stdout.partition(" ")
+            record.queue_depth = int(depth_text)
+            record.utilisation = min(float(utilisation_text), 1.0)
+            record.telemetry_updated = _dt.datetime.utcnow()
+            record.save(db=self.db)
+
+    def poll_once(self):
+        self.update_grid_jobs()
+        self.update_machine_telemetry()
+        transitions = self.advance_simulations()
+        self.heartbeat = self.clock.now
+        self.poll_count += 1
+        return transitions
+
+    # ------------------------------------------------------------------
+    def active_count(self):
+        return Simulation.objects.using(self.db).filter(
+            state__in=list(SIM_ACTIVE_STATES)).count()
+
+    def run(self, *, poll_interval_s=DEFAULT_POLL_INTERVAL_S,
+            max_polls=100_000, until_idle=True):
+        """Drive the daemon in virtual time.
+
+        Repeatedly: advance the clock one poll interval (processing all
+        due grid/scheduler events), then poll.  Stops when no active
+        simulations remain (``until_idle``) or after *max_polls*.
+        Returns the number of polls performed.
+        """
+        polls = 0
+        while polls < max_polls:
+            if until_idle and self.active_count() == 0:
+                break
+            self.clock.advance(poll_interval_s)
+            self.poll_once()
+            polls += 1
+        return polls
+
+
+class ExternalMonitor:
+    """The out-of-band watchdog for the daemon itself (§4.4).
+
+    "failures of the GridAMP daemon itself are monitored externally and
+    immediately brought to the attention of the gateway administrators."
+    """
+
+    def __init__(self, daemon, mailer, *, stale_after_s=1800.0):
+        self.daemon = daemon
+        self.mailer = mailer
+        self.stale_after_s = stale_after_s
+        self.alerts = []
+
+    def check(self):
+        """Alert when the daemon heartbeat is stale; returns health."""
+        age = self.daemon.clock.now - self.daemon.heartbeat
+        healthy = age <= self.stale_after_s
+        if not healthy:
+            message = self.mailer.notify_admin(
+                "GridAMP daemon heartbeat stale",
+                f"Last heartbeat {age:.0f}s ago "
+                f"(threshold {self.stale_after_s:.0f}s)")
+            self.alerts.append(message)
+        return healthy

@@ -1,0 +1,283 @@
+"""The AMP "core application" — shared ORM models.
+
+The paper (§4.1): "we implemented most of the science gateway
+functionality in a single core application consisting of ORM models and
+support routines.  For example, the catalog of stars, their identifiers,
+the simulations, and the constituent supercomputer jobs are all stored in
+this core application. [...] Only this core application's models are
+shared between the website and the GridAMP daemon."
+
+Workflow status is two-level (§4.4): the *simulation* carries its
+application-level state (the Listing 1 state machine), while each
+constituent *grid job* carries a generic GRAM-level status updated by a
+purpose-blind poll loop.
+"""
+
+from __future__ import annotations
+
+from ..webstack import orm
+from ..webstack.auth import AUTH_MODELS, User
+
+# ----------------------------------------------------------------------
+# Simulation state machine (Listing 1 + failure states)
+# ----------------------------------------------------------------------
+SIM_QUEUED = "QUEUED"
+SIM_PREJOB = "PREJOB"
+SIM_RUNNING = "RUNNING"
+SIM_POSTJOB = "POSTJOB"
+SIM_CLEANUP = "CLEANUP"
+SIM_DONE = "DONE"
+SIM_HOLD = "HOLD"          # model failure: needs administrator attention
+SIM_CANCELLED = "CANCELLED"
+
+SIM_STATES = (SIM_QUEUED, SIM_PREJOB, SIM_RUNNING, SIM_POSTJOB,
+              SIM_CLEANUP, SIM_DONE, SIM_HOLD, SIM_CANCELLED)
+SIM_ACTIVE_STATES = (SIM_QUEUED, SIM_PREJOB, SIM_RUNNING, SIM_POSTJOB,
+                     SIM_CLEANUP)
+
+KIND_DIRECT = "direct"
+KIND_OPTIMIZATION = "optimization"
+
+# Grid-job purposes within a simulation.
+JOB_PREJOB = "prejob"
+JOB_GA = "ga"
+JOB_SOLUTION = "solution"
+JOB_MODEL = "model"
+JOB_POSTJOB = "postjob"
+JOB_CLEANUP = "cleanup"
+
+# GRAM-level job states (mirrors repro.grid.gram).
+GRAM_STATES = ("UNSUBMITTED", "PENDING", "ACTIVE", "DONE", "FAILED")
+
+
+class Star(orm.Model):
+    """A catalog star.  ``source`` records provenance (local | simbad)."""
+
+    name = orm.CharField(max_length=80, unique=True)
+    hd_number = orm.IntegerField(null=True, db_index=True)
+    kic_number = orm.IntegerField(null=True, db_index=True)
+    ra_deg = orm.FloatField(null=True, min_value=0.0, max_value=360.0)
+    dec_deg = orm.FloatField(null=True, min_value=-90.0, max_value=90.0)
+    in_kepler_catalog = orm.BooleanField(default=False)
+    source = orm.CharField(max_length=16, default="local",
+                           choices=[("local", "Local"),
+                                    ("simbad", "SIMBAD")])
+    created = orm.DateTimeField(auto_now_add=True)
+
+    class Meta:
+        table_name = "amp_star"
+        ordering = ["name"]
+
+    def identifier_strings(self):
+        out = [self.name]
+        if self.hd_number:
+            out.append(f"HD {self.hd_number}")
+        if self.kic_number:
+            out.append(f"KIC {self.kic_number}")
+        return out
+
+
+class ObservationSet(orm.Model):
+    """Observed asteroseismic data for a star (the GA's target).
+
+    All user-supplied numbers pass through the bounded Float fields —
+    the strict-typing half of the input-marshaling security argument.
+    """
+
+    star = orm.ForeignKey(Star, related_name="observations")
+    label = orm.CharField(max_length=80, default="default")
+    teff = orm.FloatField(min_value=3000.0, max_value=10000.0)
+    teff_err = orm.FloatField(default=80.0, min_value=1.0, max_value=1000.0)
+    luminosity = orm.FloatField(null=True, min_value=0.01, max_value=100.0)
+    luminosity_err = orm.FloatField(default=0.1, min_value=0.001,
+                                    max_value=10.0)
+    delta_nu = orm.FloatField(null=True, min_value=5.0, max_value=400.0)
+    delta_nu_err = orm.FloatField(default=1.0, min_value=0.01,
+                                  max_value=50.0)
+    d02 = orm.FloatField(null=True, min_value=0.0, max_value=50.0)
+    d02_err = orm.FloatField(default=0.6, min_value=0.01, max_value=10.0)
+    nu_max = orm.FloatField(null=True, min_value=100.0, max_value=10000.0)
+    nu_max_err = orm.FloatField(default=60.0, min_value=1.0,
+                                max_value=1000.0)
+    frequencies = orm.JSONField(null=True)   # {"0": [...], "1": [...]}
+    created = orm.DateTimeField(auto_now_add=True)
+
+    class Meta:
+        table_name = "amp_observation"
+
+    def to_observed_star(self):
+        from ..science.mpikaia.fitness import ObservedStar
+        freqs = {}
+        for key, values in (self.frequencies or {}).items():
+            freqs[int(key)] = [float(v) for v in values]
+        return ObservedStar(
+            name=self.star.name if self.star_id else self.label,
+            teff=self.teff, teff_err=self.teff_err,
+            luminosity=self.luminosity, luminosity_err=self.luminosity_err,
+            delta_nu=self.delta_nu, delta_nu_err=self.delta_nu_err,
+            d02=self.d02, d02_err=self.d02_err,
+            nu_max=self.nu_max, nu_max_err=self.nu_max_err,
+            frequencies=freqs)
+
+
+class MachineRecord(orm.Model):
+    """Back-end registry of target machines (admin-managed).
+
+    ``queue_depth``/``utilisation`` are *telemetry* columns the daemon
+    refreshes each poll: the DB-mediated channel through which the
+    grid-blind portal can hint users toward less congested systems
+    (the paper's "additional computational volume" practice).
+    """
+
+    name = orm.CharField(max_length=40, unique=True)
+    display_name = orm.CharField(max_length=80, default="")
+    site = orm.CharField(max_length=40, default="")
+    enabled = orm.BooleanField(default=True)
+    default_walltime_s = orm.FloatField(default=6 * 3600.0,
+                                        min_value=600.0,
+                                        max_value=48 * 3600.0)
+    queue_depth = orm.IntegerField(default=0, min_value=0)
+    utilisation = orm.FloatField(default=0.0, min_value=0.0,
+                                 max_value=1.0)
+    telemetry_updated = orm.DateTimeField(null=True)
+
+    class Meta:
+        table_name = "amp_machine"
+        ordering = ["name"]
+
+    @property
+    def is_busy(self):
+        return self.queue_depth > 0 or self.utilisation > 0.95
+
+
+class AllocationRecord(orm.Model):
+    """A TeraGrid allocation usable by the gateway (admin-managed)."""
+
+    project = orm.CharField(max_length=40)
+    machine = orm.ForeignKey(MachineRecord, related_name="allocations")
+    su_granted = orm.FloatField(min_value=0.0, max_value=1e9)
+    su_used = orm.FloatField(default=0.0, min_value=0.0, max_value=1e9)
+
+    class Meta:
+        table_name = "amp_allocation"
+        unique_together = [("project", "machine_id")]
+
+    @property
+    def su_remaining(self):
+        return self.su_granted - self.su_used
+
+
+class UserProfile(orm.Model):
+    """AMP's extension of the auth framework (§4.1): provenance and
+    TeraGrid authentication metadata."""
+
+    user = orm.ForeignKey(User, related_name="amp_profile")
+    institution = orm.CharField(max_length=120, default="")
+    teragrid_username = orm.CharField(max_length=60, default="")
+    provenance = orm.JSONField(null=True)
+    notify_on_completion = orm.BooleanField(default=True)
+    notify_each_transition = orm.BooleanField(default=False)
+
+    class Meta:
+        table_name = "amp_profile"
+
+
+class SubmitAuthorization(orm.Model):
+    """Authorization for a user to submit to a machine under an
+    allocation — the admin-adjustable "back-end parameter" the paper
+    names explicitly."""
+
+    user = orm.ForeignKey(User, related_name="authorizations")
+    machine = orm.ForeignKey(MachineRecord, related_name="authorizations")
+    allocation = orm.ForeignKey(AllocationRecord,
+                                related_name="authorizations")
+    active = orm.BooleanField(default=True)
+
+    class Meta:
+        table_name = "amp_submit_auth"
+        unique_together = [("user_id", "machine_id")]
+
+
+class Simulation(orm.Model):
+    """One AMP simulation (direct model run or optimization run).
+
+    ``state`` is the application-level workflow state the user interface
+    reads directly — "the user interface does not need to analyze the
+    state of many individual grid jobs to determine the current state of
+    a simulation" (§4.4).  ``status_message`` is the plain-text
+    supplement describing transients.
+    """
+
+    star = orm.ForeignKey(Star, related_name="simulations")
+    observation = orm.ForeignKey(ObservationSet, null=True,
+                                 related_name="simulations")
+    owner = orm.ForeignKey(User, related_name="simulations")
+    kind = orm.CharField(max_length=16,
+                         choices=[(KIND_DIRECT, "Direct model run"),
+                                  (KIND_OPTIMIZATION, "Optimization run")])
+    state = orm.CharField(max_length=12, default=SIM_QUEUED,
+                          choices=[(s, s) for s in SIM_STATES],
+                          db_index=True)
+    machine_name = orm.CharField(max_length=40)
+    parameters = orm.JSONField(null=True)     # direct runs: the 5 inputs
+    config = orm.JSONField(null=True)         # optimization runs: GA cfg
+    results = orm.JSONField(null=True)
+    status_message = orm.TextField(default="")
+    hold_reason = orm.TextField(default="")
+    state_before_hold = orm.CharField(max_length=12, default="")
+    created = orm.DateTimeField(auto_now_add=True)
+    updated = orm.DateTimeField(auto_now=True)
+
+    class Meta:
+        table_name = "amp_simulation"
+        ordering = ["-id"]
+
+    @property
+    def is_active(self):
+        return self.state in SIM_ACTIVE_STATES
+
+    @property
+    def remote_directory(self):
+        return f"/scratch/amp/sim{self.pk}"
+
+    def describe(self):
+        kind = "Direct model run" if self.kind == KIND_DIRECT \
+            else "Optimization run"
+        return f"{kind} #{self.pk} [{self.state}]"
+
+
+class GridJobRecord(orm.Model):
+    """Generic grid-job status row (the lower level of the two-level
+    workflow status).  One row per GRAM request the daemon makes."""
+
+    simulation = orm.ForeignKey(Simulation, related_name="grid_jobs")
+    purpose = orm.CharField(
+        max_length=12,
+        choices=[(p, p) for p in (JOB_PREJOB, JOB_GA, JOB_SOLUTION,
+                                  JOB_MODEL, JOB_POSTJOB, JOB_CLEANUP)])
+    ga_index = orm.IntegerField(default=0)     # which GA run (0-based)
+    sequence = orm.IntegerField(default=0)     # continuation segment no.
+    resource = orm.CharField(max_length=40)
+    service = orm.CharField(max_length=8, default="batch",
+                            choices=[("fork", "fork"), ("batch", "batch")])
+    gram_job_id = orm.IntegerField(null=True)
+    rsl = orm.TextField(default="")
+    state = orm.CharField(max_length=12, default="UNSUBMITTED",
+                          choices=[(s, s) for s in GRAM_STATES],
+                          db_index=True)
+    failure_reason = orm.TextField(default="")
+    created = orm.DateTimeField(auto_now_add=True)
+    updated = orm.DateTimeField(auto_now=True)
+
+    class Meta:
+        table_name = "amp_gridjob"
+        ordering = ["id"]
+
+    @property
+    def is_terminal(self):
+        return self.state in ("DONE", "FAILED")
+
+
+CORE_MODELS = [Star, ObservationSet, MachineRecord, AllocationRecord,
+               UserProfile, SubmitAuthorization, Simulation, GridJobRecord]
+ALL_MODELS = AUTH_MODELS + CORE_MODELS

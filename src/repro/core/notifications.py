@@ -1,0 +1,124 @@
+"""User and administrator notifications.
+
+The paper's policy (§4.4): users are never exposed to grid jargon or
+transient failures; they may opt into completion e-mails or
+per-transition e-mails.  Transients notify administrators only.  Model
+failures (HOLD) notify both.  Daemon failures are watched externally
+(here, a heartbeat the external monitor can assert on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+AUDIENCE_USER = "user"
+AUDIENCE_ADMIN = "admin"
+
+#: Terms users must never see in a notification (§5: "the word
+#: 'certificate' is not even mentioned anywhere on the site").
+GRID_JARGON = ("certificate", "proxy", "gram", "gridftp", "globus",
+               "rsl", "gatekeeper", "saml")
+
+
+@dataclass(frozen=True)
+class Message:
+    audience: str
+    recipient: str
+    subject: str
+    body: str
+    timestamp: float
+
+
+class JargonLeak(AssertionError):
+    """A user-facing message contained grid jargon — a policy bug."""
+
+
+class Mailer:
+    """Outbox-recording mailer with the jargon firewall built in."""
+
+    def __init__(self, clock, admin_address="amp-admin@ucar.edu"):
+        self.clock = clock
+        self.admin_address = admin_address
+        self.outbox = []
+
+    def send(self, audience, recipient, subject, body):
+        if audience == AUDIENCE_USER:
+            import re
+            lowered = (subject + " " + body).lower()
+            for word in GRID_JARGON:
+                # Word-boundary match: "GRAM" is jargon, "diagram" is
+                # legitimate astronomy vocabulary.
+                if re.search(rf"\b{word}\b", lowered):
+                    raise JargonLeak(
+                        f"User-facing message contains {word!r}: "
+                        f"{subject!r}")
+        message = Message(audience=audience, recipient=recipient,
+                          subject=subject, body=body,
+                          timestamp=self.clock.now)
+        self.outbox.append(message)
+        return message
+
+    # -- convenience -------------------------------------------------------
+    def notify_admin(self, subject, body=""):
+        return self.send(AUDIENCE_ADMIN, self.admin_address, subject, body)
+
+    def notify_user(self, email, subject, body=""):
+        return self.send(AUDIENCE_USER, email, subject, body)
+
+    def to_user(self, email=None):
+        return [m for m in self.outbox if m.audience == AUDIENCE_USER
+                and (email is None or m.recipient == email)]
+
+    def to_admin(self):
+        return [m for m in self.outbox if m.audience == AUDIENCE_ADMIN]
+
+
+class NotificationPolicy:
+    """Implements the per-event audience rules."""
+
+    def __init__(self, mailer: Mailer, db):
+        self.mailer = mailer
+        self.db = db
+
+    def _profile(self, simulation):
+        from .models import UserProfile
+        try:
+            return UserProfile.objects.using(self.db).get(
+                user_id=simulation.owner_id)
+        except UserProfile.DoesNotExist:
+            return None
+
+    def on_transition(self, simulation, old_state, new_state):
+        profile = self._profile(simulation)
+        owner = simulation.owner
+        if new_state == "DONE":
+            if profile is None or profile.notify_on_completion \
+                    or profile.notify_each_transition:
+                self.mailer.notify_user(
+                    owner.email,
+                    f"AMP simulation #{simulation.pk} complete",
+                    f"Your {simulation.kind} run for "
+                    f"{simulation.star.name} has completed and its "
+                    f"results are available on the website.")
+        elif profile is not None and profile.notify_each_transition:
+            self.mailer.notify_user(
+                owner.email,
+                f"AMP simulation #{simulation.pk}: {new_state}",
+                f"Your simulation moved from {old_state} to {new_state}.")
+
+    def on_transient(self, simulation, detail):
+        # Administrators only; the user-visible surface is the plain-text
+        # status message on the simulation row, set by the workflow.
+        self.mailer.notify_admin(
+            f"Transient on simulation #{simulation.pk}",
+            detail)
+
+    def on_hold(self, simulation, reason):
+        self.mailer.notify_admin(
+            f"Simulation #{simulation.pk} HELD: model failure", reason)
+        self.mailer.notify_user(
+            simulation.owner.email,
+            f"AMP simulation #{simulation.pk} needs attention",
+            "Your simulation encountered a problem during model "
+            "processing.  The gateway administrators have been notified "
+            "and will resume it shortly; no action is needed from you.")

@@ -1,0 +1,204 @@
+"""SVG plot rendering for the portal's result pages.
+
+§2: ASTEC "produces data that can be used to produce basic graphical
+plots describing the star's characteristics, including a
+Hertzsprung-Russell diagram showing the star's temperature and luminosity
+and an Echelle plot summarizing the star's oscillation frequencies."
+
+The portal serves these as standalone SVG documents built from the
+simulation's stored results — dependency-free, deterministic, and easily
+asserted on in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+_SVG_HEAD = ('<svg xmlns="http://www.w3.org/2000/svg" '
+             'width="{w}" height="{h}" viewBox="0 0 {w} {h}">'
+             '<rect width="{w}" height="{h}" fill="white"/>')
+
+_MARGIN = 50
+
+
+class _Axes:
+    """Linear data → pixel mapping with simple tick generation."""
+
+    def __init__(self, x_range, y_range, *, width, height,
+                 flip_x=False, flip_y=False):
+        self.x0, self.x1 = x_range
+        self.y0, self.y1 = y_range
+        self.width = width
+        self.height = height
+        self.flip_x = flip_x
+        self.flip_y = flip_y
+
+    def px(self, x):
+        frac = (x - self.x0) / max(self.x1 - self.x0, 1e-12)
+        if self.flip_x:
+            frac = 1.0 - frac
+        return _MARGIN + frac * (self.width - 2 * _MARGIN)
+
+    def py(self, y):
+        frac = (y - self.y0) / max(self.y1 - self.y0, 1e-12)
+        if not self.flip_y:
+            frac = 1.0 - frac
+        return _MARGIN + frac * (self.height - 2 * _MARGIN)
+
+    def ticks(self, lo, hi, n=5):
+        if hi <= lo:
+            return [lo]
+        step = (hi - lo) / (n - 1)
+        magnitude = 10 ** math.floor(math.log10(step))
+        step = math.ceil(step / magnitude) * magnitude
+        start = math.ceil(lo / step) * step
+        values = []
+        value = start
+        while value <= hi + 1e-9:
+            values.append(round(value, 10))
+            value += step
+        return values or [lo]
+
+
+def _frame(axes, *, x_label, y_label, title):
+    parts = []
+    left, right = _MARGIN, axes.width - _MARGIN
+    top, bottom = _MARGIN, axes.height - _MARGIN
+    parts.append(f'<rect x="{left}" y="{top}" width="{right - left}" '
+                 f'height="{bottom - top}" fill="none" stroke="black"/>')
+    parts.append(f'<text x="{axes.width / 2}" y="24" '
+                 f'text-anchor="middle" font-size="15">{title}</text>')
+    parts.append(f'<text x="{axes.width / 2}" y="{axes.height - 10}" '
+                 f'text-anchor="middle" font-size="12">{x_label}</text>')
+    parts.append(f'<text x="14" y="{axes.height / 2}" '
+                 f'text-anchor="middle" font-size="12" '
+                 f'transform="rotate(-90 14 {axes.height / 2})">'
+                 f"{y_label}</text>")
+    for tick in axes.ticks(axes.x0, axes.x1):
+        x = axes.px(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{bottom}" x2="{x:.1f}" '
+                     f'y2="{bottom + 5}" stroke="black"/>')
+        parts.append(f'<text x="{x:.1f}" y="{bottom + 18}" '
+                     f'text-anchor="middle" font-size="10">'
+                     f"{tick:g}</text>")
+    for tick in axes.ticks(axes.y0, axes.y1):
+        y = axes.py(tick)
+        parts.append(f'<line x1="{left - 5}" y1="{y:.1f}" x2="{left}" '
+                     f'y2="{y:.1f}" stroke="black"/>')
+        parts.append(f'<text x="{left - 8}" y="{y + 3:.1f}" '
+                     f'text-anchor="end" font-size="10">{tick:g}</text>')
+    return parts
+
+
+def hr_diagram_svg(track, *, star_name="", current=None, width=480,
+                   height=360, show_zams=True):
+    """Hertzsprung–Russell diagram: log Teff (reversed) vs log L.
+
+    Parameters
+    ----------
+    track:
+        Sequence of ``(age, teff, luminosity, radius)`` rows (the stored
+        results format).
+    current:
+        Optional ``(teff, luminosity)`` of the model itself, marked.
+    show_zams:
+        Overlay the zero-age main sequence locus (dashed grey).
+    """
+    if not track:
+        raise ValueError("HR diagram needs a non-empty track")
+    zams = None
+    if show_zams:
+        from ..science.astec.tracks import zams_locus
+        zams_teff, zams_lum = zams_locus()
+        zams = ([math.log10(t) for t in zams_teff],
+                [math.log10(max(l, 1e-6)) for l in zams_lum])
+    teffs = [math.log10(point[1]) for point in track]
+    lums = [math.log10(max(point[2], 1e-6)) for point in track]
+    if zams is not None:
+        # Axis ranges cover both the track and the visible ZAMS span.
+        teffs_all = teffs + zams[0]
+        lums_all = lums + zams[1]
+    else:
+        teffs_all, lums_all = teffs, lums
+    pad_x = (max(teffs_all) - min(teffs_all)) * 0.08 + 1e-4
+    pad_y = (max(lums_all) - min(lums_all)) * 0.08 + 1e-4
+    axes = _Axes((min(teffs_all) - pad_x, max(teffs_all) + pad_x),
+                 (min(lums_all) - pad_y, max(lums_all) + pad_y),
+                 width=width, height=height, flip_x=True)
+    parts = [_SVG_HEAD.format(w=width, h=height)]
+    parts += _frame(axes, x_label="log Teff (K) — cooler to the right",
+                    y_label="log L / Lsun",
+                    title=f"Hertzsprung-Russell diagram {star_name}")
+    if zams is not None:
+        zams_points = " ".join(f"{axes.px(x):.1f},{axes.py(y):.1f}"
+                               for x, y in zip(*zams))
+        parts.append(f'<polyline points="{zams_points}" fill="none" '
+                     'stroke="#999999" stroke-width="1" '
+                     'stroke-dasharray="5,4"/>')
+        parts.append(f'<text x="{width - 110}" y="42" font-size="11" '
+                     'fill="#777777">ZAMS</text>')
+    points = " ".join(f"{axes.px(x):.1f},{axes.py(y):.1f}"
+                      for x, y in zip(teffs, lums))
+    parts.append(f'<polyline points="{points}" fill="none" '
+                 'stroke="#1b6ca8" stroke-width="2"/>')
+    if current is not None:
+        cx = axes.px(math.log10(current[0]))
+        cy = axes.py(math.log10(max(current[1], 1e-6)))
+        parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="5" '
+                     'fill="#c23b22"/>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+_DEGREE_STYLE = {0: ("#1b6ca8", "circle"), 1: ("#c23b22", "square"),
+                 2: ("#3a7d44", "triangle")}
+
+
+def echelle_svg(frequencies, delta_nu, *, star_name="", width=480,
+                height=360):
+    """Echelle diagram: ν mod Δν (x) vs ν (y), one marker per mode.
+
+    *frequencies* is ``{l (int or str): [ν, ...]}`` as stored in
+    ``Simulation.results``.
+    """
+    modes = []
+    for degree, nus in frequencies.items():
+        for nu in nus:
+            modes.append((int(degree), float(nu)))
+    if not modes:
+        raise ValueError("Echelle diagram needs at least one mode")
+    nu_lo = min(nu for _, nu in modes)
+    nu_hi = max(nu for _, nu in modes)
+    pad = (nu_hi - nu_lo) * 0.08 + 1.0
+    axes = _Axes((0.0, delta_nu), (nu_lo - pad, nu_hi + pad),
+                 width=width, height=height)
+    parts = [_SVG_HEAD.format(w=width, h=height)]
+    parts += _frame(
+        axes,
+        x_label=f"frequency mod {delta_nu:.1f} uHz",
+        y_label="frequency (uHz)",
+        title=f"Echelle diagram {star_name}")
+    for degree, nu in modes:
+        colour, shape = _DEGREE_STYLE.get(degree, ("#777777", "circle"))
+        x = axes.px(nu % delta_nu)
+        y = axes.py(nu)
+        if shape == "circle":
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                         f'fill="{colour}"/>')
+        elif shape == "square":
+            parts.append(f'<rect x="{x - 3.5:.1f}" y="{y - 3.5:.1f}" '
+                         f'width="7" height="7" fill="{colour}"/>')
+        else:
+            parts.append(
+                f'<polygon points="{x:.1f},{y - 4.5:.1f} '
+                f'{x - 4:.1f},{y + 3.5:.1f} {x + 4:.1f},{y + 3.5:.1f}" '
+                f'fill="{colour}"/>')
+    # Legend.
+    for index, (degree, (colour, _)) in enumerate(
+            sorted(_DEGREE_STYLE.items())):
+        parts.append(f'<circle cx="{width - 120}" '
+                     f'cy="{58 + 16 * index}" r="4" fill="{colour}"/>')
+        parts.append(f'<text x="{width - 110}" y="{62 + 16 * index}" '
+                     f'font-size="11">l = {degree}</text>')
+    parts.append("</svg>")
+    return "".join(parts)

@@ -1,0 +1,9 @@
+"""The AMP web portal (public site) and the non-public admin project."""
+
+from .captcha import Challenge, QuestionBank, amp_question_bank
+from .site import (PortalContext, build_admin_app, build_portal_app,
+                   home_view)
+
+__all__ = ["Challenge", "PortalContext", "QuestionBank",
+           "amp_question_bank", "build_admin_app", "build_portal_app",
+           "home_view"]

@@ -1,0 +1,9 @@
+"""The portal's Django-style applications (§4.2).
+
+"we wrote separate Django applications to implement independent portions
+of the website functionality.  One application allows users to browse and
+search star catalogs, one allows users to view completed simulation
+results, and another facilitates simulation submission."  Each module
+exports ``build_routes(ctx)``; none defines models — they depend on the
+shared core application, exactly as in the paper.
+"""

@@ -1,0 +1,113 @@
+"""RSS feeds — the paper's §6 front-end future-work item, implemented.
+
+"we are currently investigating the best way to provide simulation
+progress and star result updates via RSS" — this application provides
+both: a per-star feed of completed results and a per-user feed of
+simulation progress, as RSS 2.0 XML.  Feeds are public-read like the
+rest of the results site, and carry no grid jargon by construction
+(they render from the same simulation rows the UI shows).
+"""
+
+from __future__ import annotations
+
+from ....webstack import Http404, HttpResponse, path
+from ....webstack.templates.context import escape
+from ...models import SIM_DONE, Simulation, Star
+
+
+def _rfc822(dt):
+    if dt is None:
+        return ""
+    return dt.strftime("%a, %d %b %Y %H:%M:%S +0000")
+
+
+def _render_feed(*, title, link, description, items):
+    chunks = [
+        '<?xml version="1.0" encoding="utf-8"?>',
+        '<rss version="2.0"><channel>',
+        f"<title>{escape(title)}</title>",
+        f"<link>{escape(link)}</link>",
+        f"<description>{escape(description)}</description>",
+    ]
+    for item in items:
+        chunks.append("<item>")
+        chunks.append(f"<title>{escape(item['title'])}</title>")
+        chunks.append(f"<link>{escape(item['link'])}</link>")
+        chunks.append(f"<guid isPermaLink=\"false\">"
+                      f"{escape(item['guid'])}</guid>")
+        chunks.append(f"<description>{escape(item['description'])}"
+                      "</description>")
+        if item.get("pub_date"):
+            chunks.append(f"<pubDate>{item['pub_date']}</pubDate>")
+        chunks.append("</item>")
+    chunks.append("</channel></rss>")
+    return HttpResponse("".join(chunks),
+                        content_type="application/rss+xml; charset=utf-8")
+
+
+def _describe_result(simulation):
+    results = simulation.results or {}
+    scalars = results.get("scalars") or {}
+    if not scalars:
+        return "Results are available on the website."
+    return (f"Teff {scalars.get('teff', 0):.0f} K, "
+            f"L {scalars.get('luminosity', 0):.2f} Lsun, "
+            f"R {scalars.get('radius', 0):.2f} Rsun, "
+            f"large separation {scalars.get('delta_nu', 0):.1f} uHz")
+
+
+def build_routes(ctx):
+    def star_feed(request, pk):
+        """Completed-result updates for one star of interest."""
+        try:
+            star = Star.objects.using(request.db).get(pk=pk)
+        except Star.DoesNotExist:
+            raise Http404(f"No star #{pk}")
+        base = request.build_absolute_uri("/")[:-1]
+        simulations = Simulation.objects.using(request.db).filter(
+            star_id=star.pk, state=SIM_DONE).order_by("-id")[:20]
+        items = [{
+            "title": f"{sim.kind.capitalize()} run #{sim.pk} complete",
+            "link": f"{base}/simulations/{sim.pk}/",
+            "guid": f"amp-sim-{sim.pk}-done",
+            "description": _describe_result(sim),
+            "pub_date": _rfc822(sim.updated),
+        } for sim in simulations]
+        return _render_feed(
+            title=f"AMP results for {star.name}",
+            link=f"{base}/stars/{star.pk}/",
+            description=f"New asteroseismic results for {star.name} "
+                        "from the Asteroseismic Modeling Portal.",
+            items=items)
+
+    def progress_feed(request, pk):
+        """Progress updates for every simulation of one star
+        (any state, newest first) — the 'simulation progress' feed."""
+        try:
+            star = Star.objects.using(request.db).get(pk=pk)
+        except Star.DoesNotExist:
+            raise Http404(f"No star #{pk}")
+        base = request.build_absolute_uri("/")[:-1]
+        simulations = Simulation.objects.using(request.db).filter(
+            star_id=star.pk).order_by("-id")[:20]
+        items = [{
+            "title": f"Simulation #{sim.pk}: {sim.state}",
+            "link": f"{base}/simulations/{sim.pk}/",
+            "guid": f"amp-sim-{sim.pk}-{sim.state.lower()}",
+            "description": sim.status_message
+            or f"{sim.kind.capitalize()} run on its way.",
+            "pub_date": _rfc822(sim.updated),
+        } for sim in simulations]
+        return _render_feed(
+            title=f"AMP simulation progress for {star.name}",
+            link=f"{base}/stars/{star.pk}/",
+            description="Status changes for simulations of "
+                        f"{star.name}.",
+            items=items)
+
+    return [
+        path("feeds/star/<int:pk>/results.rss", star_feed,
+             name="feed-star-results"),
+        path("feeds/star/<int:pk>/progress.rss", progress_feed,
+             name="feed-star-progress"),
+    ]

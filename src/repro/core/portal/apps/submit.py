@@ -1,0 +1,168 @@
+"""Simulation submission (direct and optimization runs).
+
+Form data is the *only* thing that touches the database, after passing
+the bounded form fields and then the bounded model fields — the two-stage
+strict marshaling chain.  GA seeds are generated server-side; users never
+control them directly ("each GA is started with randomly generated seed
+parameters").
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from ....science.astec.physics import PARAMETER_BOUNDS
+from ....webstack import (Http404, HttpResponseRedirect, path, render)
+from ....webstack import forms
+from ....webstack.auth import login_required
+from ...models import (KIND_DIRECT, KIND_OPTIMIZATION, ObservationSet,
+                       Simulation, Star, SubmitAuthorization)
+
+
+class DirectRunForm(forms.Form):
+    """The five ASTEC physical parameters, bounds from the science box."""
+
+    mass = forms.FloatField(min_value=PARAMETER_BOUNDS["mass"][0],
+                            max_value=PARAMETER_BOUNDS["mass"][1],
+                            label="Mass (solar masses)")
+    z = forms.FloatField(min_value=PARAMETER_BOUNDS["z"][0],
+                         max_value=PARAMETER_BOUNDS["z"][1],
+                         label="Metallicity Z")
+    y = forms.FloatField(min_value=PARAMETER_BOUNDS["y"][0],
+                         max_value=PARAMETER_BOUNDS["y"][1],
+                         label="Helium mass fraction Y")
+    alpha = forms.FloatField(min_value=PARAMETER_BOUNDS["alpha"][0],
+                             max_value=PARAMETER_BOUNDS["alpha"][1],
+                             label="Convective efficiency α")
+    age = forms.FloatField(min_value=PARAMETER_BOUNDS["age"][0],
+                           max_value=PARAMETER_BOUNDS["age"][1],
+                           label="Age (Gyr)")
+
+
+def make_optimization_form(machine_choices, observation_choices):
+    class OptimizationForm(forms.Form):
+        observation = forms.ChoiceField(choices=observation_choices,
+                                        label="Observation set")
+        machine = forms.ChoiceField(choices=machine_choices,
+                                    label="Computing facility")
+        iterations = forms.IntegerField(min_value=10, max_value=500,
+                                        initial=200,
+                                        label="GA iterations")
+    return OptimizationForm
+
+
+def build_routes(ctx):
+    def _star(request, pk):
+        try:
+            return Star.objects.using(request.db).get(pk=pk)
+        except Star.DoesNotExist:
+            raise Http404(f"No star #{pk}")
+
+    def _machine_choices(request):
+        """Enabled machines, least congested first, flagged when busy.
+
+        The congestion data is the daemon's published telemetry — the
+        portal itself never touches the grid.
+        """
+        records = [r for r in ctx.machine_records(request.db)
+                   if r.enabled]
+        records.sort(key=lambda r: (r.queue_depth, r.utilisation,
+                                    r.name))
+        choices = []
+        for record in records:
+            label = record.display_name or record.name
+            if record.is_busy:
+                label += " (queue busy)"
+            choices.append((record.name, label))
+        return choices
+
+    def _user_authorized(request, machine_name):
+        for auth in SubmitAuthorization.objects.using(request.db).filter(
+                user_id=request.user.pk, active=True):
+            if auth.machine.name == machine_name:
+                return True
+        return False
+
+    def _existing_equivalent(request, star, parameters):
+        """§1: the gateway "disseminates model results to the community
+        without repetition" — an identical completed direct run is
+        reused instead of recomputed."""
+        for sim in Simulation.objects.using(request.db).filter(
+                star_id=star.pk, kind=KIND_DIRECT, state="DONE"):
+            if sim.parameters == parameters:
+                return sim
+        return None
+
+    @login_required
+    def submit_direct(request, pk):
+        star = _star(request, pk)
+        if request.method == "POST":
+            form = DirectRunForm(request.POST)
+            if form.is_valid():
+                existing = _existing_equivalent(request, star,
+                                                form.cleaned_data)
+                if existing is not None:
+                    return HttpResponseRedirect(
+                        f"/simulations/{existing.pk}/?reused=1")
+                machine = ctx.default_machine_name
+                sim = Simulation(
+                    star_id=star.pk, owner_id=request.user.pk,
+                    kind=KIND_DIRECT, machine_name=machine,
+                    parameters=form.cleaned_data)
+                sim.save(db=request.db)
+                return HttpResponseRedirect(f"/simulations/{sim.pk}/")
+        else:
+            form = DirectRunForm()
+        return render(request, "submit_direct.html",
+                      {"star": star, "form": form})
+
+    @login_required
+    def submit_optimization(request, pk):
+        star = _star(request, pk)
+        observations = list(ObservationSet.objects.using(
+            request.db).filter(star_id=star.pk))
+        if not observations:
+            raise Http404(
+                f"{star.name} has no observation sets to fit")
+        obs_choices = [(str(o.pk), o.label) for o in observations]
+        FormClass = make_optimization_form(_machine_choices(request),
+                                           obs_choices)
+        if request.method == "POST":
+            form = FormClass(request.POST)
+            if form.is_valid():
+                machine = form.cleaned_data["machine"]
+                if not _user_authorized(request, machine):
+                    form.add_error("machine",
+                                   "You are not authorized to submit to "
+                                   "this facility.")
+                else:
+                    sim = Simulation(
+                        star_id=star.pk,
+                        observation_id=int(
+                            form.cleaned_data["observation"]),
+                        owner_id=request.user.pk,
+                        kind=KIND_OPTIMIZATION, machine_name=machine,
+                        config={
+                            "n_ga_runs": 4,
+                            "iterations":
+                                form.cleaned_data["iterations"],
+                            "population_size": 126,
+                            "processors": 128,
+                            "ga_seeds": [
+                                secrets.randbelow(10 ** 6)
+                                for _ in range(4)],
+                        })
+                    sim.save(db=request.db)
+                    return HttpResponseRedirect(
+                        f"/simulations/{sim.pk}/")
+        else:
+            form = FormClass()
+        return render(request, "submit_optimization.html",
+                      {"star": star, "form": form})
+
+    return [
+        path("submit/direct/<int:pk>/", submit_direct,
+             name="submit-direct"),
+        path("submit/optimization/<int:pk>/", submit_optimization,
+             name="submit-optimization"),
+    ]

@@ -1,0 +1,80 @@
+"""The question/answer CAPTCHA (§4.2).
+
+"Due to our accessibility requirements, using a typical image-only
+CAPTCHA was problematic, so we decided to write our own.  Our general
+purpose question/answer CAPTCHA presents a series of questions with
+optional links to answers.  For AMP, users are asked to enter the HD
+catalog numbers of popular stars, such as 'What is the HD number for
+Alpha Centauri?'"
+
+The implementation is the reusable standalone application the paper
+describes: a :class:`QuestionBank` of (question, answer, hint-url)
+triples and session-backed challenge issue/verify.  The AMP bank is
+built from the SIMBAD reference catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SESSION_KEY = "_captcha_expected"
+QUESTION_KEY = "_captcha_question"
+
+
+@dataclass(frozen=True)
+class Challenge:
+    question: str
+    answer: str
+    hint_url: str
+
+
+class QuestionBank:
+    """A reusable pool of accessibility-friendly challenges."""
+
+    def __init__(self, challenges):
+        self.challenges = list(challenges)
+        if not self.challenges:
+            raise ValueError("QuestionBank needs at least one challenge")
+
+    def issue(self, session, *, index=None):
+        """Pick a challenge, remember the answer in the session."""
+        if index is None:
+            # Rotation keyed on how many challenges this session has
+            # seen keeps repeat visitors moving through the bank without
+            # needing randomness in tests.
+            index = session.get("_captcha_count", 0)
+            session["_captcha_count"] = index + 1
+        challenge = self.challenges[index % len(self.challenges)]
+        session[SESSION_KEY] = challenge.answer
+        session[QUESTION_KEY] = challenge.question
+        return challenge
+
+    @staticmethod
+    def verify(session, submitted):
+        """Check an answer against the session's outstanding challenge.
+
+        One attempt per issued challenge: the expected answer is cleared
+        whether or not the attempt succeeds.
+        """
+        expected = session.pop(SESSION_KEY, None)
+        session.pop(QUESTION_KEY, None)
+        if expected is None:
+            return False
+        return _normalise(submitted) == _normalise(expected)
+
+
+def _normalise(text):
+    return "".join(str(text or "").lower().split())
+
+
+def amp_question_bank():
+    """Star-HD-number challenges from the SIMBAD reference catalog."""
+    from ..catalog import SimbadService
+    challenges = []
+    for name, (hd, _ra, _dec) in sorted(SimbadService.REFERENCE.items()):
+        challenges.append(Challenge(
+            question=f"What is the HD number for {name}?",
+            answer=str(hd),
+            hint_url=f"https://simbad.u-strasbg.fr/simbad/sim-id?Ident="
+                     f"{name.replace(' ', '+')}"))
+    return QuestionBank(challenges)

@@ -1,0 +1,216 @@
+"""The AMP runtime installed on each compute resource.
+
+These are the remote-side pieces the paper describes in §4.3: shell-script
+stages run through the GRAM *fork* service (pre-job, post-job, cleanup)
+and the science executables run through the *batch* service.  In the real
+deployment the science PI installs and maintains these with sudo; here
+:func:`deploy_amp` plays that role.
+
+Remote code communicates with the daemon exclusively through files in the
+simulation's runtime directory — input text files staged in, restart /
+progress / output files staged out — never through shared Python state.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+
+from ..grid.gram import AppExecution
+from ..science.astec.model import (StellarParameters, execution_time_s,
+                                   format_output, parse_input_file,
+                                   run_astec)
+from ..science.mpikaia.fitness import ChiSquareFitness, ObservedStar
+from ..science.mpikaia.ga import GeneticAlgorithm
+from ..science.mpikaia.parallel import MasterWorkerModel, run_ga_segment
+from ..science.pipeline import BOUNDS_LIST
+
+# Executable paths as installed on every resource (CTSS-uniform layout).
+PREJOB_SH = "/usr/local/amp/prejob.sh"
+RUN_MODEL_SH = "/usr/local/amp/run_model.sh"
+RUN_GA_SH = "/usr/local/amp/run_ga.sh"
+SOLUTION_SH = "/usr/local/amp/solution.sh"
+POSTJOB_SH = "/usr/local/amp/postjob.sh"
+CLEANUP_SH = "/usr/local/amp/cleanup.sh"
+
+STATIC_FILES = {
+    "static/opacities.dat": "# opacity tables (static input)\n",
+    "static/eos.dat": "# equation of state tables (static input)\n",
+    "static/atmosphere.dat": "# atmosphere T(tau) relation\n",
+}
+
+
+def output_tarball_path(directory):
+    return directory.rstrip("/") + ".output.tar"
+
+
+# ----------------------------------------------------------------------
+# Fork-service scripts
+# ----------------------------------------------------------------------
+
+def prejob_script(resource, *, directory, n_ga="0", **_):
+    """Create a fresh runtime directory tree with static inputs."""
+    fs = resource.filesystem
+    if fs.exists(directory):
+        fs.rmtree(directory)
+    fs.mkdir(directory)
+    for rel, content in STATIC_FILES.items():
+        fs.mkdir(posixpath.join(directory, posixpath.dirname(rel)))
+        fs.write(posixpath.join(directory, rel), content)
+    for index in range(int(n_ga)):
+        fs.mkdir(posixpath.join(directory, f"ga_{index}"))
+    fs.write(posixpath.join(directory, "README"),
+             "AMP runtime directory — created by prejob stage\n")
+    return True
+
+
+def postjob_script(resource, *, directory, **_):
+    """Consolidate outputs and logs into a single tar file (§4.3)."""
+    fs = resource.filesystem
+    blob = fs.tar_tree(directory)
+    fs.write(output_tarball_path(directory), blob)
+    return True
+
+
+def cleanup_script(resource, *, directory, **_):
+    """Remove the execution environment entirely."""
+    fs = resource.filesystem
+    if fs.exists(directory):
+        fs.rmtree(directory)
+    tarball = output_tarball_path(directory)
+    if fs.exists(tarball):
+        fs.delete(tarball)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Batch-service applications
+# ----------------------------------------------------------------------
+
+def run_model_app(resource, *, directory, orders="10", **_):
+    """Direct forward model: read input.txt, write output.txt."""
+    fs = resource.filesystem
+    params = parse_input_file(
+        fs.read_text(posixpath.join(directory, "input.txt")))
+    runtime = execution_time_s(params, resource.machine)
+
+    def finish():
+        model = run_astec(params, n_orders=int(orders))
+        fs.write(posixpath.join(directory, "output.txt"),
+                 format_output(model))
+        fs.write(posixpath.join(directory, "model.log"),
+                 f"model completed in {runtime:.1f} s\n")
+    return AppExecution(runtime_s=runtime, on_finish=finish)
+
+
+def _load_observed_star(fs, directory):
+    payload = fs.read_json(posixpath.join(directory, "observations.json"))
+    freqs = {int(k): [float(v) for v in vals]
+             for k, vals in (payload.get("frequencies") or {}).items()}
+    return ObservedStar(
+        name=payload.get("name", "target"),
+        teff=payload["teff"], teff_err=payload.get("teff_err", 80.0),
+        luminosity=payload.get("luminosity"),
+        luminosity_err=payload.get("luminosity_err", 0.1),
+        delta_nu=payload.get("delta_nu"),
+        delta_nu_err=payload.get("delta_nu_err", 1.0),
+        d02=payload.get("d02"), d02_err=payload.get("d02_err", 0.6),
+        nu_max=payload.get("nu_max"),
+        nu_max_err=payload.get("nu_max_err", 60.0),
+        frequencies=freqs)
+
+
+def run_ga_app(resource, *, directory, ga="0", walltime="21600",
+               **_):
+    """One MPIKAIA batch-job segment of one GA run.
+
+    Reads the GA's restart file if present (a continuation job) or seeds
+    a fresh GA; advances until the walltime budget or the iteration
+    target; writes the restart file and a progress summary.
+    """
+    fs = resource.filesystem
+    ga_index = int(ga)
+    config = fs.read_json(posixpath.join(directory, "config.json"))
+    star = _load_observed_star(fs, directory)
+    fitness = ChiSquareFitness(star)
+    seed = int(config["ga_seeds"][ga_index])
+    population = int(config.get("population_size", 126))
+    iterations = int(config.get("iterations", 200))
+    processors = int(config.get("processors", 128))
+
+    ga_dir = posixpath.join(directory, f"ga_{ga_index}")
+    restart_path = posixpath.join(ga_dir, "restart.json")
+    if fs.exists(restart_path):
+        optimiser = GeneticAlgorithm.from_restart(
+            fs.read_text(restart_path), fitness, BOUNDS_LIST,
+            population_size=population)
+    else:
+        optimiser = GeneticAlgorithm(fitness, BOUNDS_LIST,
+                                     population_size=population,
+                                     seed=seed)
+    timing = MasterWorkerModel(resource.machine, processors)
+    # The job script reserves ~4% of the walltime for staging/teardown.
+    budget = float(walltime) * 0.96
+    segment = run_ga_segment(optimiser, timing, walltime_budget_s=budget,
+                             target_iterations=iterations)
+
+    def finish():
+        progress_path = posixpath.join(ga_dir, "progress.json")
+        previous_total = 0.0
+        if fs.exists(progress_path):
+            previous_total = float(
+                fs.read_json(progress_path).get("total_elapsed_s", 0.0))
+        fs.write(restart_path, json.dumps(segment.restart_state))
+        fs.write_json(progress_path, {
+            "total_elapsed_s": previous_total + segment.elapsed_s,
+            "ga_index": ga_index,
+            "iterations_completed": segment.iterations_completed,
+            "target_iterations": iterations,
+            "finished": segment.finished,
+            "converged": segment.converged,
+            "best_parameters": segment.best_parameters,
+            "best_fitness": segment.best_fitness,
+            "iteration_times": segment.iteration_times,
+            "elapsed_s": segment.elapsed_s,
+        })
+    return AppExecution(runtime_s=segment.elapsed_s, on_finish=finish)
+
+
+def solution_app(resource, *, directory, orders="14", **_):
+    """Solution-detail run: forward-model the ensemble best (Figure 1)."""
+    fs = resource.filesystem
+    best, best_fitness = None, -1.0
+    index = 0
+    while fs.exists(posixpath.join(directory, f"ga_{index}")):
+        progress_path = posixpath.join(directory, f"ga_{index}",
+                                       "progress.json")
+        if fs.exists(progress_path):
+            progress = fs.read_json(progress_path)
+            if progress.get("best_fitness", -1) > best_fitness:
+                best_fitness = progress["best_fitness"]
+                best = progress["best_parameters"]
+        index += 1
+    if best is None:
+        raise RuntimeError("solution run found no GA progress files")
+    params = StellarParameters(*[float(v) for v in best])
+    runtime = execution_time_s(params, resource.machine)
+
+    def finish():
+        model = run_astec(params, n_orders=int(orders))
+        fs.write(posixpath.join(directory, "solution.txt"),
+                 format_output(model))
+        fs.write_json(posixpath.join(directory, "solution_meta.json"),
+                      {"best_fitness": best_fitness,
+                       "parameters": best})
+    return AppExecution(runtime_s=runtime, on_finish=finish)
+
+
+def deploy_amp(resource):
+    """Install the full AMP runtime on a resource (the PI's sudo step)."""
+    resource.fork.install(PREJOB_SH, prejob_script)
+    resource.fork.install(POSTJOB_SH, postjob_script)
+    resource.fork.install(CLEANUP_SH, cleanup_script)
+    resource.install_application(RUN_MODEL_SH, run_model_app)
+    resource.install_application(RUN_GA_SH, run_ga_app)
+    resource.install_application(SOLUTION_SH, solution_app)
+    return resource

@@ -1,0 +1,157 @@
+"""Input regeneration and result interpretation (daemon side).
+
+The security-critical marshaling step (§3): "the input files are
+regenerated from the database by the GridAMP daemon and then staged to
+TeraGrid systems.  It is thus exceptionally difficult to send any data
+other than a properly formatted asteroseismology input file to a TeraGrid
+resource."  Nothing user-supplied flows to a resource except what these
+functions *re-serialise from validated database columns*.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..hpc.filesystem import extract_tar_to_dict
+from ..science.astec.model import (StellarParameters, parse_output,
+                                   write_input_file)
+from .models import KIND_DIRECT, KIND_OPTIMIZATION
+
+
+class StagingError(Exception):
+    pass
+
+
+def generate_input_files(simulation, observation=None):
+    """Regenerate the staged input files for a simulation from DB rows.
+
+    Returns ``{relative_path: text}``.  Raises :class:`StagingError` if
+    the database rows cannot produce a valid input set — which, given
+    the field constraints, indicates an internal bug rather than bad
+    user input.
+    """
+    if simulation.kind == KIND_DIRECT:
+        params = simulation.parameters or {}
+        try:
+            stellar = StellarParameters.from_dict(params)
+            stellar.validate()
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StagingError(
+                f"Simulation #{simulation.pk} parameters invalid: {exc}")
+        return {"input.txt": write_input_file(stellar)}
+
+    if simulation.kind == KIND_OPTIMIZATION:
+        if observation is None:
+            raise StagingError(
+                f"Optimization #{simulation.pk} has no observation set")
+        config = dict(simulation.config or {})
+        required = ("ga_seeds", "iterations", "population_size",
+                    "processors")
+        missing = [key for key in required if key not in config]
+        if missing:
+            raise StagingError(
+                f"Optimization config missing {missing}")
+        obs_payload = {
+            "name": observation.label,
+            "teff": observation.teff,
+            "teff_err": observation.teff_err,
+            "luminosity": observation.luminosity,
+            "luminosity_err": observation.luminosity_err,
+            "delta_nu": observation.delta_nu,
+            "delta_nu_err": observation.delta_nu_err,
+            "d02": observation.d02,
+            "d02_err": observation.d02_err,
+            "nu_max": observation.nu_max,
+            "nu_max_err": observation.nu_max_err,
+            "frequencies": observation.frequencies or {},
+        }
+        return {
+            "observations.json": json.dumps(obs_payload, sort_keys=True),
+            "config.json": json.dumps(config, sort_keys=True),
+        }
+
+    raise StagingError(f"Unknown simulation kind {simulation.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Result interpretation
+# ----------------------------------------------------------------------
+
+def interpret_progress(progress_payload):
+    """Validate a staged-out GA progress file (partial results).
+
+    "the most complex portion of the workflow is downloading and
+    interpreting partial result files" (§5) — malformed progress files
+    are model failures.
+    """
+    try:
+        payload = progress_payload if isinstance(progress_payload, dict) \
+            else json.loads(progress_payload)
+        return {
+            "ga_index": int(payload["ga_index"]),
+            "iterations_completed": int(payload["iterations_completed"]),
+            "target_iterations": int(payload["target_iterations"]),
+            "finished": bool(payload["finished"]),
+            "best_parameters": [float(v)
+                                for v in payload["best_parameters"]],
+            "best_fitness": float(payload["best_fitness"]),
+            "elapsed_s": float(payload["elapsed_s"]),
+            "total_elapsed_s": float(
+                payload.get("total_elapsed_s", payload["elapsed_s"])),
+            "iteration_times": [float(t)
+                                for t in payload["iteration_times"]],
+        }
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise StagingError(f"Progress file failed to parse: {exc}")
+
+
+def interpret_output_tarball(blob, simulation_kind):
+    """Unpack and parse the post-job tarball into a results payload.
+
+    Returns the dict stored on ``Simulation.results``.  Raises
+    :class:`StagingError` (→ HOLD) when mandatory files are absent or a
+    result line fails to parse — the paper's canonical model-failure
+    examples.
+    """
+    import tarfile
+    try:
+        files = extract_tar_to_dict(blob)
+    except (tarfile.TarError, EOFError, ValueError) as exc:
+        raise StagingError(f"Output tarball unreadable: {exc}")
+
+    def read_output(name):
+        if name not in files:
+            raise StagingError(
+                f"Mandatory output file {name!r} absent from tarball")
+        from ..science.astec.model import ModelOutputError
+        try:
+            return parse_output(files[name].decode("utf-8"))
+        except ModelOutputError as exc:
+            raise StagingError(f"{name}: {exc}")
+
+    if simulation_kind == KIND_DIRECT:
+        scalars, freqs, track = read_output("output.txt")
+        return {
+            "scalars": scalars,
+            "frequencies": {str(l): v for l, v in freqs.items()},
+            "track": track,
+        }
+
+    scalars, freqs, track = read_output("solution.txt")
+    progress = {}
+    for name, data in files.items():
+        if name.endswith("progress.json"):
+            payload = interpret_progress(data.decode("utf-8"))
+            progress[str(payload["ga_index"])] = payload
+    if not progress:
+        raise StagingError("No GA progress files in output tarball")
+    meta = {}
+    if "solution_meta.json" in files:
+        meta = json.loads(files["solution_meta.json"].decode("utf-8"))
+    return {
+        "scalars": scalars,
+        "frequencies": {str(l): v for l, v in freqs.items()},
+        "track": track,
+        "ga_progress": progress,
+        "solution_meta": meta,
+    }

@@ -1,0 +1,8 @@
+"""Workflow state machines (Listing 1) for AMP's two run types."""
+
+from .base import (TRANSIENT_MESSAGE, ModelFailure, WorkflowManager)
+from .directrun import DirectRunWorkflow
+from .optimization import OptimizationWorkflow
+
+__all__ = ["DirectRunWorkflow", "ModelFailure", "OptimizationWorkflow",
+           "TRANSIENT_MESSAGE", "WorkflowManager"]

@@ -1,0 +1,372 @@
+"""The GridAMP workflow manager base class.
+
+This is the paper's Listing 1 made executable.  The workflow is "a list
+of stages with function pointers that must return [True] to proceed to
+the next state":
+
+    self.workflow = {
+        'QUEUED':  ([check_queued_sim, submit_pre_job],             'PREJOB'),
+        'PREJOB':  ([check_pre_job,   submit_work_job],             'RUNNING'),
+        'RUNNING': ([check_work_job,  submit_post_job],             'POSTJOB'),
+        'POSTJOB': ([check_post_job,  postprocess, submit_cleanup], 'CLEANUP'),
+        'CLEANUP': ([check_cleanup,   close_simulation],            'DONE'),
+    }
+
+"If the job is in a particular state, all of the functions in the
+subsequent list are called.  If all return True, then the job is set to
+the indicated next state."
+
+The base class owns everything generic — job queuing, stage-in,
+stage-out, transient handling, hold/resume, accounting — while derived
+classes implement only GRAM job generation and model postprocessing
+("the derived classes are very small and contain only model-specific
+execution and postprocessing code").
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from ...grid.rsl import fork_spec, format_rsl
+from ...hpc.accounting import cpu_hours
+from ..models import (GridJobRecord, JOB_CLEANUP, JOB_POSTJOB, JOB_PREJOB,
+                      SIM_DONE, SIM_HOLD, SubmitAuthorization)
+from ..remote import CLEANUP_SH, POSTJOB_SH, PREJOB_SH, output_tarball_path
+from ..staging import StagingError
+
+#: User-visible plain-text message for transient conditions.  Grid
+#: jargon is forbidden here (the mailer enforces the same rule).
+TRANSIENT_MESSAGE = ("The computing facility is temporarily unavailable; "
+                     "processing will resume automatically.")
+
+
+class ModelFailure(Exception):
+    """A model-processing failure: the simulation must HOLD (§4.4)."""
+
+
+class WorkflowManager:
+    """Base workflow manager: all routine functionality.
+
+    Parameters
+    ----------
+    db:
+        The daemon's role-scoped database connection.
+    clients:
+        The :class:`~repro.grid.clients.GridClients` toolkit.
+    policy:
+        A :class:`~repro.core.notifications.NotificationPolicy`.
+    machine_specs:
+        ``{name: MachineSpec}`` for walltime and SU arithmetic.
+    """
+
+    def __init__(self, db, clients, policy, machine_specs):
+        self.db = db
+        self.clients = clients
+        self.policy = policy
+        self.machine_specs = machine_specs
+        self.workflow = {
+            "QUEUED": ([self.check_queued_sim, self.submit_pre_job],
+                       "PREJOB"),
+            "PREJOB": ([self.check_pre_job, self.submit_work_job],
+                       "RUNNING"),
+            "RUNNING": ([self.check_work_job, self.submit_post_job],
+                        "POSTJOB"),
+            "POSTJOB": ([self.check_post_job, self.postprocess,
+                         self.submit_cleanup], "CLEANUP"),
+            "CLEANUP": ([self.check_cleanup, self.close_simulation],
+                        "DONE"),
+        }
+
+    # ------------------------------------------------------------------
+    # The engine
+    # ------------------------------------------------------------------
+    def advance(self, simulation):
+        """Run the current state's function list; transition if all pass.
+
+        Returns True when a state transition happened.
+        """
+        if simulation.state not in self.workflow:
+            return False
+        functions, next_state = self.workflow[simulation.state]
+        try:
+            # Every cycle acts under a fresh SAML-attributed proxy for
+            # the simulation's owner (proxies are short-lived by design).
+            owner = simulation.owner
+            refresh = self._grid_call(
+                simulation,
+                self.clients.ensure_proxy(owner.username, owner.email))
+            if refresh is None:
+                return False
+            for fn in functions:
+                if not fn(simulation):
+                    return False
+        except (ModelFailure, StagingError) as exc:
+            self.hold(simulation, str(exc))
+            return False
+        old_state = simulation.state
+        simulation.state = next_state
+        simulation.status_message = ""
+        simulation.save(db=self.db)
+        self.policy.on_transition(simulation, old_state, next_state)
+        return True
+
+    def run_to_completion(self, simulation):
+        """Keep advancing while progress is possible (tests/benches)."""
+        while simulation.state not in (SIM_DONE, SIM_HOLD):
+            if not self.advance(simulation):
+                break
+        return simulation.state
+
+    # ------------------------------------------------------------------
+    # Hold / resume (model failures)
+    # ------------------------------------------------------------------
+    def hold(self, simulation, reason):
+        simulation.state_before_hold = simulation.state
+        simulation.state = SIM_HOLD
+        simulation.hold_reason = reason
+        simulation.save(db=self.db)
+        self.policy.on_hold(simulation, reason)
+
+    def resume(self, simulation):
+        """Administrator action: release a held simulation.
+
+        "Once the problem has been resolved, the workflow resumes
+        automatically" — the state returns to where it held and the next
+        daemon poll retries the failed step.
+        """
+        if simulation.state != SIM_HOLD:
+            raise ValueError(
+                f"Simulation #{simulation.pk} is not held")
+        simulation.state = simulation.state_before_hold or "QUEUED"
+        simulation.state_before_hold = ""
+        simulation.hold_reason = ""
+        simulation.save(db=self.db)
+
+    # ------------------------------------------------------------------
+    # Grid-call plumbing: transient vs permanent classification
+    # ------------------------------------------------------------------
+    def _grid_call(self, simulation, result):
+        """Interpret a command-line result.
+
+        OK → the result.  Transient → record the plain-text status, tell
+        the administrators (with the copy-pasteable command line), and
+        return None so the caller retries on the next poll.  Permanent →
+        ModelFailure (→ HOLD; administrators debug interactively).
+        """
+        if result.ok:
+            return result
+        if result.transient:
+            simulation.status_message = TRANSIENT_MESSAGE
+            simulation.save(db=self.db)
+            self.policy.on_transient(
+                simulation,
+                f"retryable: {result.command_line}\n{result.stderr}")
+            return None
+        raise ModelFailure(
+            f"command failed: {result.command_line}: {result.stderr}")
+
+    # ------------------------------------------------------------------
+    # Job-record helpers
+    # ------------------------------------------------------------------
+    def _jobs(self, simulation, purpose, ga_index=None):
+        qs = GridJobRecord.objects.using(self.db).filter(
+            simulation_id=simulation.pk, purpose=purpose)
+        if ga_index is not None:
+            qs = qs.filter(ga_index=ga_index)
+        return qs.order_by("sequence", "id")
+
+    def _latest_job(self, simulation, purpose, ga_index=None):
+        jobs = list(self._jobs(simulation, purpose, ga_index))
+        return jobs[-1] if jobs else None
+
+    def _submit_fork(self, simulation, purpose, executable, arguments=()):
+        """Submit a fork-service script and record it."""
+        spec = fork_spec(executable,
+                         directory=simulation.remote_directory,
+                         arguments=list(arguments))
+        result = self._grid_call(
+            simulation,
+            self.clients.globusrun(simulation.machine_name, spec,
+                                   service="fork"))
+        if result is None:
+            return None
+        record = GridJobRecord(
+            simulation_id=simulation.pk, purpose=purpose,
+            resource=simulation.machine_name, service="fork",
+            gram_job_id=int(result.stdout), rsl=format_rsl(spec),
+            state="PENDING")
+        record.save(db=self.db)
+        return record
+
+    def _submit_batch(self, simulation, purpose, spec, *, ga_index=0,
+                      sequence=0):
+        result = self._grid_call(
+            simulation,
+            self.clients.globusrun(simulation.machine_name, spec,
+                                   service="batch"))
+        if result is None:
+            return None
+        record = GridJobRecord(
+            simulation_id=simulation.pk, purpose=purpose,
+            ga_index=ga_index, sequence=sequence,
+            resource=simulation.machine_name, service="batch",
+            gram_job_id=int(result.stdout), rsl=format_rsl(spec),
+            state="PENDING")
+        record.save(db=self.db)
+        return record
+
+    def _check_job(self, simulation, record, *, label):
+        """Generic completion check on a job record (last-known state)."""
+        if record is None:
+            return False
+        if record.state == "DONE":
+            return True
+        if record.state == "FAILED":
+            raise ModelFailure(
+                f"{label} job #{record.pk} failed: "
+                f"{record.failure_reason or 'unknown'}")
+        return False
+
+    def _stage_in(self, simulation, files):
+        """Upload regenerated input files; False on transient."""
+        directory = simulation.remote_directory
+        for rel_path, content in sorted(files.items()):
+            result = self._grid_call(
+                simulation,
+                self.clients.stage_in(simulation.machine_name,
+                                      posixpath.join(directory, rel_path),
+                                      content))
+            if result is None:
+                return False
+        return True
+
+    def _stage_out(self, simulation, remote_path):
+        """Download one file; None on transient."""
+        result = self._grid_call(
+            simulation,
+            self.clients.stage_out(simulation.machine_name, remote_path))
+        if result is None:
+            return None
+        return result.data
+
+    def machine_spec(self, simulation):
+        try:
+            return self.machine_specs[simulation.machine_name]
+        except KeyError:
+            raise ModelFailure(
+                f"Unknown machine {simulation.machine_name!r}")
+
+    # ------------------------------------------------------------------
+    # QUEUED
+    # ------------------------------------------------------------------
+    def check_queued_sim(self, simulation):
+        """Verify the owner may run on this machine with SUs remaining."""
+        self.machine_spec(simulation)
+        auths = SubmitAuthorization.objects.using(self.db).filter(
+            user_id=simulation.owner_id, active=True)
+        for auth in auths:
+            if auth.machine.name == simulation.machine_name:
+                if auth.allocation.su_remaining <= 0:
+                    raise ModelFailure(
+                        f"Allocation {auth.allocation.project} on "
+                        f"{simulation.machine_name} is exhausted")
+                return True
+        raise ModelFailure(
+            f"User {simulation.owner_id} is not authorized to submit to "
+            f"{simulation.machine_name}")
+
+    def submit_pre_job(self, simulation):
+        if self._latest_job(simulation, JOB_PREJOB) is not None:
+            return True
+        record = self._submit_fork(simulation, JOB_PREJOB, PREJOB_SH,
+                                   arguments=self.prejob_arguments(
+                                       simulation))
+        return record is not None
+
+    # ------------------------------------------------------------------
+    # PREJOB
+    # ------------------------------------------------------------------
+    def check_pre_job(self, simulation):
+        record = self._latest_job(simulation, JOB_PREJOB)
+        if not self._check_job(simulation, record, label="pre-job"):
+            return False
+        return self._stage_in(simulation, self.input_files(simulation))
+
+    # ------------------------------------------------------------------
+    # POSTJOB / CLEANUP
+    # ------------------------------------------------------------------
+    def submit_post_job(self, simulation):
+        if self._latest_job(simulation, JOB_POSTJOB) is not None:
+            return True
+        record = self._submit_fork(simulation, JOB_POSTJOB, POSTJOB_SH)
+        return record is not None
+
+    def check_post_job(self, simulation):
+        record = self._latest_job(simulation, JOB_POSTJOB)
+        return self._check_job(simulation, record, label="post-job")
+
+    def submit_cleanup(self, simulation):
+        # The tarball must be safely downloaded (postprocess) before the
+        # cleanup stage removes the execution environment.
+        if self._latest_job(simulation, JOB_CLEANUP) is not None:
+            return True
+        record = self._submit_fork(simulation, JOB_CLEANUP, CLEANUP_SH)
+        return record is not None
+
+    def check_cleanup(self, simulation):
+        record = self._latest_job(simulation, JOB_CLEANUP)
+        return self._check_job(simulation, record, label="cleanup")
+
+    def close_simulation(self, simulation):
+        """Final bookkeeping: charge SUs against the allocation."""
+        self._charge_allocation(simulation)
+        return True
+
+    def _charge_allocation(self, simulation):
+        spec = self.machine_spec(simulation)
+        core_seconds = self.consumed_core_seconds(simulation)
+        if core_seconds <= 0:
+            return
+        sus = cpu_hours(1, core_seconds) * spec.su_charge_factor
+        for auth in SubmitAuthorization.objects.using(self.db).filter(
+                user_id=simulation.owner_id, active=True):
+            if auth.machine.name == simulation.machine_name:
+                allocation = auth.allocation
+                allocation.su_used = allocation.su_used + sus
+                allocation.save(db=self.db)
+                break
+
+    # ------------------------------------------------------------------
+    # Postprocess (shared shell; derived classes interpret)
+    # ------------------------------------------------------------------
+    def postprocess(self, simulation):
+        tarball = self._stage_out(
+            simulation, output_tarball_path(simulation.remote_directory))
+        if tarball is None:
+            return False
+        results = self.interpret_results(simulation, tarball)
+        simulation.results = results
+        simulation.save(db=self.db)
+        return True
+
+    # ------------------------------------------------------------------
+    # Derived-class interface (model-specific)
+    # ------------------------------------------------------------------
+    def prejob_arguments(self, simulation):
+        return []
+
+    def input_files(self, simulation):
+        raise NotImplementedError
+
+    def submit_work_job(self, simulation):
+        raise NotImplementedError
+
+    def check_work_job(self, simulation):
+        raise NotImplementedError
+
+    def interpret_results(self, simulation, tarball):
+        raise NotImplementedError
+
+    def consumed_core_seconds(self, simulation):
+        """Core-seconds to charge; derived classes refine."""
+        return 0.0

@@ -1,0 +1,38 @@
+"""Simulated Globus/CTSS grid middleware (DESIGN.md §3.2).
+
+GRAM fork/batch job services, GridFTP staging, proxy certificates with
+GridShib SAML attributes, CTSS capability registry, auditing, fault
+injection, and — critically for fidelity to the paper — *command-line*
+client wrappers the daemon shells through.
+"""
+
+from .audit import AuditLog, AuditRecord
+from .certificates import (CertificateInvalid, CommunityCredential,
+                           ProxyCertificate, ProxyFactory, SAMLAssertion)
+from .clients import (EXIT_OK, EXIT_PERMANENT, EXIT_TRANSIENT,
+                      CommandResult, GridClients)
+from .ctss import (REQUIRED_CAPABILITIES, DeploymentError, SoftwareStack,
+                   advertised_stack, verify_deployment)
+from .errors import (CredentialError, GridError, PermanentGridError,
+                     ServiceUnreachable, TransferFault, TransientGridError,
+                     UnknownResourceError)
+from .fabric import GridFabric, build_fabric
+from .faults import FaultInjector
+from .gram import (ACTIVE, DONE, FAILED, PENDING, UNSUBMITTED, AppExecution,
+                   GramJob, GramService)
+from .gridftp import GridFTPService, checksum
+from .rsl import RSLError, batch_spec, fork_spec, format_rsl, parse_rsl
+
+__all__ = [
+    "ACTIVE", "AppExecution", "AuditLog", "AuditRecord",
+    "CertificateInvalid", "CommandResult", "CommunityCredential",
+    "CredentialError", "DONE", "DeploymentError", "EXIT_OK",
+    "EXIT_PERMANENT", "EXIT_TRANSIENT", "FAILED", "FaultInjector",
+    "GramJob", "GramService", "GridClients", "GridError", "GridFTPService",
+    "GridFabric", "PENDING", "PermanentGridError", "ProxyCertificate",
+    "ProxyFactory", "REQUIRED_CAPABILITIES", "RSLError", "SAMLAssertion",
+    "ServiceUnreachable", "SoftwareStack", "TransferFault",
+    "TransientGridError", "UNSUBMITTED", "UnknownResourceError",
+    "advertised_stack", "batch_spec", "build_fabric", "checksum",
+    "fork_spec", "format_rsl", "parse_rsl", "verify_deployment",
+]

@@ -1,0 +1,61 @@
+"""CTSS — the Coordinated TeraGrid Software and Services registry.
+
+AMP's deployment strategy (§4.3) was to use *only* components every CTSS
+resource provides (GRAM fork + scheduler services, GridFTP), so the model
+"can be deployed on a TeraGrid resource as soon as the community account
+has been authorized and no special resource provider dispensations are
+required".  :func:`verify_deployment` is that check, and
+``advertised_stack`` reproduces the per-resource differences (Ranger's
+missing WS-GRAM) that drove production-machine selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The CTSS capability kits AMP relies on.
+REQUIRED_CAPABILITIES = ("gram-fork", "gram-batch", "gridftp")
+
+
+@dataclass(frozen=True)
+class SoftwareStack:
+    resource_name: str
+    capabilities: tuple
+
+    def provides(self, capability):
+        return capability in self.capabilities
+
+
+def advertised_stack(machine):
+    """The CTSS stack a machine advertises, derived from its spec."""
+    caps = ["gram-fork", "gram-batch", "gridftp", "login"]
+    if machine.has_ws_gram:
+        caps.append("ws-gram")
+    if machine.scheduler_supports_chaining:
+        caps.append("job-chaining")
+    return SoftwareStack(machine.name, tuple(caps))
+
+
+class DeploymentError(Exception):
+    pass
+
+
+def verify_deployment(machine, *, require_ws_gram=False,
+                      require_chaining=False):
+    """Check a machine offers everything an AMP deployment needs.
+
+    Raises :class:`DeploymentError` naming the missing capability —
+    the error an operator would hit before authorising the community
+    account there.
+    """
+    stack = advertised_stack(machine)
+    required = list(REQUIRED_CAPABILITIES)
+    if require_ws_gram:
+        required.append("ws-gram")
+    if require_chaining:
+        required.append("job-chaining")
+    missing = [cap for cap in required if not stack.provides(cap)]
+    if missing:
+        raise DeploymentError(
+            f"{machine.name} lacks CTSS capabilities: {missing}")
+    return stack

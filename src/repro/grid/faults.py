@@ -1,0 +1,56 @@
+"""Fault injection for failure-handling experiments (bench C4).
+
+Reproduces the §4.4 failure classes on demand:
+
+- outages: a resource becomes unreachable for a window of virtual time
+  (GRAM and GridFTP both fail transiently),
+- transfer aborts: the next N GridFTP transfers on a resource abort,
+- model failures: a staged output file is corrupted so result parsing
+  fails (handled at the workflow layer, which holds the simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OutageRecord:
+    resource: str
+    start: float
+    end: float
+
+
+class FaultInjector:
+    def __init__(self, fabric, clock):
+        self.fabric = fabric
+        self.clock = clock
+        self.outages = []
+
+    def outage(self, resource_name, *, start_in_s, duration_s):
+        """Schedule an unreachability window for one resource."""
+        resource = self.fabric.resource(resource_name)
+
+        def go_down():
+            resource.reachable = False
+
+        def come_back():
+            resource.reachable = True
+
+        self.clock.schedule(start_in_s, go_down)
+        self.clock.schedule(start_in_s + duration_s, come_back)
+        record = OutageRecord(resource_name, self.clock.now + start_in_s,
+                              self.clock.now + start_in_s + duration_s)
+        self.outages.append(record)
+        return record
+
+    def abort_transfers(self, resource_name, n=1):
+        """Make the next *n* GridFTP transfers abort mid-stream."""
+        self.fabric.gridftp(resource_name).inject_transfer_faults(n)
+
+    def corrupt_file(self, resource_name, remote_path,
+                     garbage=b"NaN NaN garbage !!\n"):
+        """Overwrite a staged file so output parsing fails (model
+        failure)."""
+        fs = self.fabric.resource(resource_name).filesystem
+        fs.write(remote_path, garbage)

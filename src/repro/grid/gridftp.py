@@ -1,0 +1,90 @@
+"""GridFTP file staging.
+
+The daemon stages small text inputs in and tarballs out; transfers verify
+the proxy, respect resource reachability, compute checksums, and can be
+made to abort mid-stream by the fault injector (a *transient* failure the
+daemon must retry silently).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .certificates import CertificateInvalid
+from .errors import CredentialError, ServiceUnreachable, TransferFault
+
+
+class GridFTPService:
+    def __init__(self, resource, proxy_factory, clock, audit):
+        self.resource = resource
+        self.proxy_factory = proxy_factory
+        self.clock = clock
+        self.audit = audit
+        #: Fault injection: abort the next N transfers.
+        self._faults_pending = 0
+        self.transfer_count = 0
+
+    def inject_transfer_faults(self, n):
+        self._faults_pending += int(n)
+
+    # ------------------------------------------------------------------
+    def _check_access(self, proxy, operation, detail=""):
+        if not self.resource.reachable:
+            self.audit.record(self.clock, operation, self.resource.name,
+                              getattr(proxy.saml, "gateway_user", "?"),
+                              detail="unreachable", success=False)
+            raise ServiceUnreachable(
+                f"{self.resource.name}: GridFTP endpoint did not respond")
+        try:
+            self.proxy_factory.verify(proxy)
+        except CertificateInvalid as exc:
+            raise CredentialError(str(exc))
+        if self._faults_pending > 0:
+            self._faults_pending -= 1
+            self.audit.record(self.clock, operation, self.resource.name,
+                              proxy.saml.gateway_user,
+                              detail=f"{detail} (aborted)", success=False)
+            raise TransferFault(
+                f"{self.resource.name}: transfer aborted mid-stream")
+
+    # ------------------------------------------------------------------
+    def put(self, proxy, remote_path, data):
+        """Upload bytes/str to the resource filesystem."""
+        from ..hpc.filesystem import FilesystemError
+        from .errors import PermanentGridError
+        self._check_access(proxy, "gridftp-put", remote_path)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        try:
+            self.resource.filesystem.write(remote_path, data)
+        except FilesystemError as exc:
+            # Quota exhaustion / missing directory: not retryable.
+            raise PermanentGridError(str(exc))
+        self.transfer_count += 1
+        self.audit.record(self.clock, "gridftp-put", self.resource.name,
+                          proxy.saml.gateway_user,
+                          detail=f"{remote_path} ({len(data)} bytes)")
+        return checksum(data)
+
+    def get(self, proxy, remote_path):
+        """Download bytes from the resource filesystem."""
+        from ..hpc.filesystem import FilesystemError
+        from .errors import PermanentGridError
+        self._check_access(proxy, "gridftp-get", remote_path)
+        try:
+            data = self.resource.filesystem.read(remote_path)
+        except FilesystemError as exc:
+            raise PermanentGridError(str(exc))
+        self.transfer_count += 1
+        self.audit.record(self.clock, "gridftp-get", self.resource.name,
+                          proxy.saml.gateway_user,
+                          detail=f"{remote_path} ({len(data)} bytes)")
+        return data
+
+    def exists(self, proxy, remote_path):
+        self._check_access(proxy, "gridftp-stat", remote_path)
+        return self.resource.filesystem.exists(remote_path)
+
+
+def checksum(data):
+    return hashlib.md5(data).hexdigest()

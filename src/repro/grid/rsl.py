@@ -1,0 +1,92 @@
+"""RSL (Resource Specification Language) job descriptions.
+
+GRAM job requests in the Globus pre-WS era were RSL strings like::
+
+    &(executable=/usr/local/amp/run_ga.sh)(count=128)(maxWallTime=360)
+     (jobType=mpi)(directory=/scratch/amp/sim42)(arguments=seg1)
+
+The GridAMP daemon formulates these directly (§4.3); keeping the textual
+form preserves the paper's copy-paste debuggability — a failed request's
+RSL is printable and re-submittable verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+class RSLError(Exception):
+    pass
+
+
+#: Relation names GRAM understands here.  ``dependsOn`` is the §6
+#: "Grid-based (but possibly nonstandard)" job-chaining extension: a
+#: comma-separated list of prior GRAM job ids on the same resource that
+#: must complete before this job becomes eligible.
+KNOWN_ATTRIBUTES = {
+    "executable", "arguments", "count", "maxWallTime", "directory",
+    "jobType", "stdout", "stderr", "environment", "dependsOn",
+}
+
+
+def format_rsl(spec: dict) -> str:
+    """Serialise a job spec dict to an RSL string."""
+    parts = []
+    for key, value in spec.items():
+        if key not in KNOWN_ATTRIBUTES:
+            raise RSLError(f"Unknown RSL attribute {key!r}")
+        if isinstance(value, (list, tuple)):
+            value = " ".join(str(v) for v in value)
+        parts.append(f"({key}={value})")
+    return "&" + "".join(parts)
+
+
+_PAIR_RE = re.compile(r"\((\w+)=([^()]*)\)")
+
+
+def parse_rsl(text: str) -> dict:
+    """Parse an RSL string back into a dict (values are strings)."""
+    text = text.strip()
+    if not text.startswith("&"):
+        raise RSLError("RSL must start with '&'")
+    body = text[1:]
+    spec = {}
+    consumed = 0
+    for match in _PAIR_RE.finditer(body):
+        key, value = match.group(1), match.group(2)
+        if key not in KNOWN_ATTRIBUTES:
+            raise RSLError(f"Unknown RSL attribute {key!r}")
+        spec[key] = value
+        consumed += match.end() - match.start()
+    if consumed != len(body.replace(" ", "")) and "(" in body:
+        # Tolerate whitespace between relations but nothing else.
+        stripped = _PAIR_RE.sub("", body).strip()
+        if stripped:
+            raise RSLError(f"Malformed RSL fragment: {stripped!r}")
+    if "executable" not in spec:
+        raise RSLError("RSL missing required attribute 'executable'")
+    return spec
+
+
+def batch_spec(executable, *, count, max_wall_time_s, directory,
+               arguments=(), job_type="mpi"):
+    """Convenience builder for a batch (scheduler) job spec."""
+    return {
+        "executable": executable,
+        "count": int(count),
+        "maxWallTime": int(round(max_wall_time_s / 60.0)),  # RSL: minutes
+        "directory": directory,
+        "jobType": job_type,
+        "arguments": list(arguments),
+    }
+
+
+def fork_spec(executable, *, directory, arguments=()):
+    """Convenience builder for a fork (login node) job spec."""
+    return {
+        "executable": executable,
+        "count": 1,
+        "directory": directory,
+        "jobType": "single",
+        "arguments": list(arguments),
+    }

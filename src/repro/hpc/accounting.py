@@ -1,0 +1,105 @@
+"""TeraGrid service-unit (SU) accounting.
+
+Charges follow the paper's Table 1 arithmetic: a job consuming
+``cores × wall_hours`` CPU-hours is charged ``CPUh × su_charge_factor``
+TeraGrid SUs against a project allocation on that machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AllocationError(Exception):
+    pass
+
+
+def cpu_hours(cores, wall_seconds):
+    return cores * wall_seconds / 3600.0
+
+
+def su_charge(machine, cores, wall_seconds):
+    """TeraGrid SUs charged for a job on *machine*."""
+    return cpu_hours(cores, wall_seconds) * machine.su_charge_factor
+
+
+@dataclass
+class LedgerEntry:
+    job_name: str
+    machine: str
+    cores: int
+    wall_seconds: float
+    cpu_hours: float
+    service_units: float
+    user: str
+
+
+@dataclass
+class Allocation:
+    """A project allocation of SUs on one machine."""
+
+    project: str
+    machine_name: str
+    su_granted: float
+    su_used: float = 0.0
+    entries: list = field(default_factory=list)
+
+    @property
+    def su_remaining(self):
+        return self.su_granted - self.su_used
+
+    def charge(self, machine, *, job_name, cores, wall_seconds,
+               user="community", enforce=True):
+        """Debit a completed job; raises when the balance is exhausted."""
+        if machine.name != self.machine_name:
+            raise AllocationError(
+                f"Allocation is for {self.machine_name}, job ran on "
+                f"{machine.name}")
+        hours = cpu_hours(cores, wall_seconds)
+        sus = hours * machine.su_charge_factor
+        if enforce and self.su_used + sus > self.su_granted + 1e-9:
+            raise AllocationError(
+                f"Allocation {self.project}@{self.machine_name} exhausted: "
+                f"need {sus:.0f} SUs, {self.su_remaining:.0f} remain")
+        self.su_used += sus
+        entry = LedgerEntry(job_name=job_name, machine=machine.name,
+                            cores=cores, wall_seconds=wall_seconds,
+                            cpu_hours=hours, service_units=sus, user=user)
+        self.entries.append(entry)
+        return entry
+
+    def usage_by_user(self):
+        """Per-end-user accounting — the paper's GridShib requirement
+        that resource providers can disambiguate the real users behind
+        the community credential."""
+        usage = {}
+        for entry in self.entries:
+            usage[entry.user] = usage.get(entry.user, 0.0) \
+                + entry.service_units
+        return usage
+
+
+class AllocationBook:
+    """All allocations for a gateway, keyed by (project, machine)."""
+
+    def __init__(self):
+        self._allocations = {}
+
+    def grant(self, project, machine_name, service_units):
+        key = (project, machine_name)
+        if key in self._allocations:
+            self._allocations[key].su_granted += service_units
+        else:
+            self._allocations[key] = Allocation(project, machine_name,
+                                                service_units)
+        return self._allocations[key]
+
+    def get(self, project, machine_name):
+        try:
+            return self._allocations[(project, machine_name)]
+        except KeyError:
+            raise AllocationError(
+                f"No allocation for {project} on {machine_name}")
+
+    def all(self):
+        return list(self._allocations.values())

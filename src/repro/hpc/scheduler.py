@@ -1,0 +1,284 @@
+"""Batch scheduler simulation: FCFS with EASY backfill, walltime
+enforcement, and job dependencies (chaining).
+
+One :class:`BatchScheduler` models the queueing system of one TeraGrid
+resource.  It is the substrate behind two of the paper's evaluation
+points: the multi-job propagation of optimization runs under walltime
+limits (§2, §6) and the queue-wait analysis motivating job chaining (§6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from .simclock import SimClock
+
+# Job states.
+PENDING = "PENDING"
+RUNNING = "RUNNING"
+COMPLETED = "COMPLETED"
+WALLTIME_EXCEEDED = "WALLTIME_EXCEEDED"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+TERMINAL_STATES = {COMPLETED, WALLTIME_EXCEEDED, FAILED, CANCELLED}
+#: States a dependency treats as success.
+OK_STATES = {COMPLETED}
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class BatchJob:
+    """One batch job.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (shows up in Gantt output).
+    cores:
+        Cores requested; must not exceed the machine's total.
+    walltime_limit_s:
+        Requested walltime; the scheduler kills the job at this limit.
+    runtime_fn:
+        Zero-argument callable returning the job's *actual* runtime in
+        seconds, evaluated at start (lets payloads depend on staged
+        inputs).  A plain float is also accepted.
+    payload:
+        Optional callable ``payload(job)`` executed (in zero virtual
+        time) at job start — science jobs use this to compute results.
+    on_complete:
+        Optional callable ``on_complete(job)`` fired when the job reaches
+        a terminal state.
+    after:
+        Job ids this job depends on (``afterok`` chaining).
+    fail:
+        Force the job to end FAILED (fault injection).
+    """
+
+    name: str
+    cores: int
+    walltime_limit_s: float
+    runtime_fn: object = 0.0
+    payload: object = None
+    on_complete: object = None
+    after: tuple = ()
+    fail: bool = False
+    user: str = "community"
+
+    id: int = field(default_factory=lambda: next(_job_ids))
+    status: str = PENDING
+    submit_time: float = None
+    start_time: float = None
+    end_time: float = None
+    actual_runtime_s: float = None
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def queue_wait_s(self):
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_duration_s(self):
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def resolve_runtime(self):
+        if callable(self.runtime_fn):
+            return float(self.runtime_fn())
+        return float(self.runtime_fn)
+
+    def __repr__(self):  # pragma: no cover
+        return f"<BatchJob #{self.id} {self.name} {self.status}>"
+
+
+class BatchScheduler:
+    """FCFS + EASY-backfill scheduler over a fixed core pool."""
+
+    def __init__(self, machine, clock: SimClock, *,
+                 enable_backfill=True):
+        self.machine = machine
+        self.clock = clock
+        self.enable_backfill = enable_backfill
+        self.total_cores = machine.total_cores
+        self.cores_free = machine.total_cores
+        self.queue = []          # PENDING jobs, submission order
+        self.running = {}        # job id -> (job, completion_event)
+        self.jobs = {}           # all jobs ever submitted, by id
+        self.history = []        # terminal jobs in completion order
+        self._scheduling = False
+
+    # ------------------------------------------------------------------
+    def submit(self, job: BatchJob):
+        if job.cores > self.total_cores:
+            raise ValueError(
+                f"Job requests {job.cores} cores; {self.machine.name} has "
+                f"{self.total_cores}")
+        if job.walltime_limit_s > self.machine.max_walltime_s + 1e-9:
+            raise ValueError(
+                f"Walltime {job.walltime_limit_s}s exceeds "
+                f"{self.machine.name} limit {self.machine.max_walltime_s}s")
+        job.submit_time = self.clock.now
+        job.status = PENDING
+        self.jobs[job.id] = job
+        self.queue.append(job)
+        # Defer to an event so submission inside callbacks stays safe.
+        self.clock.schedule(0.0, self._try_schedule)
+        return job.id
+
+    def cancel(self, job_id):
+        job = self.jobs.get(job_id)
+        if job is None or job.status in TERMINAL_STATES:
+            return False
+        if job.status == RUNNING:
+            _, event = self.running.pop(job_id)
+            event.cancel()
+            self.cores_free += job.cores
+        else:
+            self.queue = [j for j in self.queue if j.id != job_id]
+        self._finish(job, CANCELLED)
+        self.clock.schedule(0.0, self._try_schedule)
+        return True
+
+    def status_of(self, job_id):
+        return self.jobs[job_id].status
+
+    # ------------------------------------------------------------------
+    def _deps_state(self, job):
+        """'ready' | 'waiting' | 'doomed' for the dependency set."""
+        for dep_id in job.after:
+            dep = self.jobs.get(dep_id)
+            if dep is None:
+                return "doomed"
+            if dep.status in OK_STATES:
+                continue
+            if dep.status in TERMINAL_STATES:  # failed/cancelled/walltime
+                return "doomed"
+            return "waiting"
+        return "ready"
+
+    def _try_schedule(self):
+        if self._scheduling:
+            return
+        self._scheduling = True
+        try:
+            self._schedule_pass()
+        finally:
+            self._scheduling = False
+
+    def _schedule_pass(self):
+        # Cancel jobs whose dependencies can no longer be met.
+        for job in list(self.queue):
+            if self._deps_state(job) == "doomed":
+                self.queue.remove(job)
+                self._finish(job, CANCELLED)
+
+        progressed = True
+        while progressed:
+            progressed = False
+            ready = [j for j in self.queue
+                     if self._deps_state(j) == "ready"]
+            if not ready:
+                return
+            head = ready[0]
+            if head.cores <= self.cores_free:
+                self._start(head)
+                progressed = True
+                continue
+            if not self.enable_backfill:
+                return    # strict FCFS: blocked head blocks everyone
+            # EASY backfill around the head reservation.
+            shadow_time, spare_at_shadow = self._head_reservation(head)
+            for job in ready[1:]:
+                if job.cores > self.cores_free:
+                    continue
+                finishes_before_shadow = (
+                    self.clock.now + job.walltime_limit_s
+                    <= shadow_time + 1e-9)
+                fits_spare = job.cores <= spare_at_shadow
+                if finishes_before_shadow or fits_spare:
+                    self._start(job)
+                    if fits_spare and not finishes_before_shadow:
+                        spare_at_shadow -= job.cores
+                    progressed = True
+                    break  # re-evaluate from scratch after any start
+
+    def _head_reservation(self, head):
+        """Earliest time *head* could start, from running-job end times.
+
+        Returns ``(shadow_time, spare_cores)`` where spare_cores is the
+        core surplus at shadow time after head is placed.
+        """
+        frees = sorted(
+            ((event.time, job.cores)
+             for job, event in self.running.values()),
+            key=lambda pair: pair[0])
+        available = self.cores_free
+        for time, cores in frees:
+            available += cores
+            if available >= head.cores:
+                return time, available - head.cores
+        # Should not happen (head.cores <= total), but be safe:
+        return self.clock.now + self.machine.max_walltime_s, 0
+
+    def _start(self, job):
+        self.queue.remove(job)
+        self.cores_free -= job.cores
+        job.status = RUNNING
+        job.start_time = self.clock.now
+        if job.payload is not None:
+            job.payload(job)
+        runtime = job.resolve_runtime()
+        job.actual_runtime_s = runtime
+        killed = runtime > job.walltime_limit_s + 1e-9
+        duration = min(runtime, job.walltime_limit_s)
+        event = self.clock.schedule(duration, self._complete, job.id,
+                                    killed)
+        self.running[job.id] = (job, event)
+
+    def _complete(self, job_id, killed):
+        job, _ = self.running.pop(job_id)
+        self.cores_free += job.cores
+        if job.fail:
+            self._finish(job, FAILED)
+        elif killed:
+            self._finish(job, WALLTIME_EXCEEDED)
+        else:
+            self._finish(job, COMPLETED)
+        self._try_schedule()
+
+    def _finish(self, job, status):
+        job.status = status
+        job.end_time = self.clock.now
+        self.history.append(job)
+        if job.on_complete is not None:
+            job.on_complete(job)
+
+    # ------------------------------------------------------------------
+    @property
+    def utilisation(self):
+        return 1.0 - self.cores_free / self.total_cores
+
+    def queue_depth(self):
+        return len(self.queue)
+
+    def aggregate_stats(self, jobs=None):
+        """Mean/total queue-wait and run statistics (the §6 tool's data)."""
+        jobs = [j for j in (jobs or self.history)
+                if j.start_time is not None and j.end_time is not None]
+        if not jobs:
+            return {"jobs": 0, "total_wait_s": 0.0, "total_run_s": 0.0,
+                    "mean_wait_s": 0.0, "mean_run_s": 0.0}
+        waits = [j.queue_wait_s for j in jobs]
+        runs = [j.run_duration_s for j in jobs]
+        return {
+            "jobs": len(jobs),
+            "total_wait_s": sum(waits),
+            "total_run_s": sum(runs),
+            "mean_wait_s": sum(waits) / len(waits),
+            "mean_run_s": sum(runs) / len(runs),
+        }

@@ -1,0 +1,99 @@
+"""Synthetic background workload for queue-wait modelling.
+
+Real TeraGrid queues held other groups' jobs; AMP's continuation jobs sat
+behind them (the §6 queue-wait concern).  This module keeps a scheduler
+loaded to a target utilisation with a stream of randomly sized jobs so
+the chaining-vs-sequential experiment sees realistic contention.
+
+Arrivals are Poisson; runtimes are exponential and sizes log-uniform in
+cores — simple but sufficient to produce the qualitative queue behaviour
+(heavier load → longer, more variable waits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scheduler import BatchJob
+
+
+class BackgroundWorkload:
+    """Feeds a scheduler a stationary stream of filler jobs.
+
+    Parameters
+    ----------
+    scheduler:
+        Target :class:`~repro.hpc.scheduler.BatchScheduler`.
+    clock:
+        The shared :class:`~repro.hpc.simclock.SimClock`.
+    rng:
+        ``numpy.random.Generator`` (pass a seeded one for determinism).
+    target_load:
+        Desired long-run utilisation in [0, 1); arrival rate is sized so
+        offered load ≈ target.
+    mean_runtime_s:
+        Mean job runtime.
+    core_choices:
+        Candidate job widths (cores), drawn uniformly.
+    """
+
+    def __init__(self, scheduler, clock, rng, *, target_load=0.7,
+                 mean_runtime_s=2 * 3600.0,
+                 core_choices=(16, 32, 64, 128, 256)):
+        self.scheduler = scheduler
+        self.clock = clock
+        self.rng = rng
+        self.target_load = target_load
+        self.mean_runtime_s = mean_runtime_s
+        self.core_choices = [c for c in core_choices
+                             if c <= scheduler.total_cores]
+        self.submitted = 0
+        self._stopped = False
+        mean_cores = float(np.mean(self.core_choices))
+        work_per_job = mean_cores * mean_runtime_s  # core-seconds
+        capacity = scheduler.total_cores            # core-seconds/second
+        self.arrival_rate = target_load * capacity / work_per_job
+
+    def start(self, horizon_s):
+        """Schedule arrivals covering ``[now, now + horizon_s]``."""
+        t = 0.0
+        while t < horizon_s:
+            t += float(self.rng.exponential(1.0 / self.arrival_rate))
+            if t >= horizon_s:
+                break
+            self.clock.schedule(t, self._arrive)
+        return self
+
+    def stop(self):
+        self._stopped = True
+
+    def _arrive(self):
+        if self._stopped:
+            return
+        cores = int(self.rng.choice(self.core_choices))
+        runtime = float(self.rng.exponential(self.mean_runtime_s))
+        runtime = min(max(runtime, 60.0),
+                      self.scheduler.machine.max_walltime_s * 0.95)
+        job = BatchJob(
+            name=f"bg-{self.submitted}", cores=cores,
+            walltime_limit_s=min(runtime * 1.2 + 600.0,
+                                 self.scheduler.machine.max_walltime_s),
+            runtime_fn=runtime, user="background")
+        self.scheduler.submit(job)
+        self.submitted += 1
+
+
+def warm_up(scheduler, clock, rng, *, target_load, duration_s,
+            mean_runtime_s=2 * 3600.0, horizon_s=None):
+    """Convenience: load a scheduler and advance past the transient.
+
+    Arrivals continue past the warmup (default horizon: 4× the warmup)
+    so the queue stays loaded for whatever the caller measures next.
+    """
+    workload = BackgroundWorkload(scheduler, clock, rng,
+                                  target_load=target_load,
+                                  mean_runtime_s=mean_runtime_s)
+    workload.start(horizon_s if horizon_s is not None
+                   else duration_s * 4)
+    clock.advance(duration_s)
+    return workload

@@ -1,0 +1,29 @@
+"""The science substrate: ASTEC forward model + MPIKAIA optimiser.
+
+See DESIGN.md §3.4.  ``astec`` is the forward stellar model (5 inputs →
+observables), ``mpikaia`` the parallel genetic algorithm, ``pipeline``
+their coupling into AMP's two run types, and ``observations`` the target
+data sets.
+"""
+
+from . import astec, mpikaia, observations, pipeline
+from .astec import StellarModel, StellarParameters, run_astec
+from .mpikaia import ChiSquareFitness, GeneticAlgorithm, ObservedStar
+from .observations import (BRIGHT_TARGETS, bright_star_target,
+                           kepler_input_catalog, solar_target,
+                           synthetic_target)
+from .pipeline import (DEFAULT_GA_RUNS, DEFAULT_ITERATIONS,
+                       DEFAULT_POPULATION, DEFAULT_PROCESSORS,
+                       GARunResult, OptimizationResult, direct_model_run,
+                       estimate_optimization_run, make_ga,
+                       optimization_run, run_single_ga)
+
+__all__ = [
+    "BRIGHT_TARGETS", "ChiSquareFitness", "DEFAULT_GA_RUNS",
+    "DEFAULT_ITERATIONS", "DEFAULT_POPULATION", "DEFAULT_PROCESSORS",
+    "GARunResult", "GeneticAlgorithm", "ObservedStar", "OptimizationResult",
+    "StellarModel", "StellarParameters", "astec", "bright_star_target",
+    "direct_model_run", "estimate_optimization_run", "kepler_input_catalog",
+    "make_ga", "mpikaia", "observations", "optimization_run", "pipeline",
+    "run_single_ga", "solar_target", "synthetic_target",
+]

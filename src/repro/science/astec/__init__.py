@@ -1,0 +1,22 @@
+"""ASTEC — the simplified Aarhus STellar Evolution Code stand-in.
+
+Five physical inputs → observables (Teff, L, pulsation frequencies) plus
+HR-diagram and echelle data, with text-file I/O and a calibrated
+execution-time model.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from . import evolution, oscillations, physics, zams
+from .model import (PARAMETER_NAMES, ModelOutputError, StellarModel,
+                    StellarParameters, execution_time_factor,
+                    execution_time_s, format_output, parse_input_file,
+                    parse_output, population_observables, run_astec,
+                    write_input_file)
+from .physics import PARAMETER_BOUNDS
+
+__all__ = [
+    "ModelOutputError", "PARAMETER_BOUNDS", "PARAMETER_NAMES",
+    "StellarModel", "StellarParameters", "evolution",
+    "execution_time_factor", "execution_time_s", "format_output",
+    "oscillations", "parse_input_file", "parse_output", "physics",
+    "population_observables", "run_astec", "write_input_file", "zams",
+]

@@ -1,0 +1,115 @@
+"""Adiabatic p-mode pulsation frequencies (asymptotic theory).
+
+Oscillation observables follow the standard asteroseismic scaling and
+asymptotic relations used in Kepler-era pipelines:
+
+- large separation    Δν = Δν☉ √(M/R³)
+- ν of maximum power  ν_max = ν_max☉ (M/R²)/√(Teff/Teff☉)
+- frequencies         ν(n, l) ≈ Δν (n + l/2 + ε) + curvature
+- small separations   δν₀₂, δν₁₃ ∝ Δν·D₀ with D₀ tracking central
+  hydrogen (the age diagnostic that makes asteroseismic ages possible)
+
+All functions are vectorised over stellar parameters where meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .physics import DNU_SUN, NUMAX_SUN, TEFF_SUN
+
+#: Solar surface offset ε and curvature parameter.
+EPSILON_SUN = 1.44
+CURVATURE = 0.0018
+
+#: Solar D0 (μHz) and the central-hydrogen lever arm on it.
+D0_SUN = 1.5
+X_SUN_CENTRAL = 0.385  # present-day solar central hydrogen in this model
+
+
+def large_separation(mass, rad):
+    """Δν in μHz from the density scaling relation."""
+    mass = np.asarray(mass, dtype=float)
+    rad = np.asarray(rad, dtype=float)
+    return DNU_SUN * np.sqrt(mass / rad ** 3)
+
+
+def nu_max(mass, rad, teff):
+    """Frequency of maximum oscillation power, μHz."""
+    return (NUMAX_SUN * np.asarray(mass, dtype=float)
+            / np.asarray(rad, dtype=float) ** 2
+            / np.sqrt(np.asarray(teff, dtype=float) / TEFF_SUN))
+
+
+def d0_parameter(xc):
+    """Small-separation scale D₀(Xc): shrinks as the core burns.
+
+    Normalised to the solar value at the Sun's present central hydrogen;
+    floored slightly above zero so post-exhaustion models remain finite.
+    """
+    xc = np.asarray(xc, dtype=float)
+    return D0_SUN * np.maximum(0.35 + 0.65 * xc / X_SUN_CENTRAL, 0.05)
+
+
+def radial_orders(dnu, numax, n_orders=10):
+    """The radial orders observable around ν_max (vector of ints)."""
+    n_center = int(round(float(numax) / float(dnu) - EPSILON_SUN))
+    half = n_orders // 2
+    return np.arange(n_center - half, n_center - half + n_orders)
+
+
+def mode_frequencies(dnu, numax, xc, *, n_orders=10, degrees=(0, 1, 2)):
+    """Frequencies ν(n, l) in μHz.
+
+    Returns ``{l: array_over_n}`` using the asymptotic relation with a
+    quadratic curvature term and D₀-scaled small separations:
+
+        ν(n,l) = Δν·(n + l/2 + ε) + Δν·c·(n − n_max)² − l(l+1)·D₀
+    """
+    dnu = float(dnu)
+    numax = float(numax)
+    orders = radial_orders(dnu, numax, n_orders)
+    n_max = numax / dnu - EPSILON_SUN
+    d0 = float(d0_parameter(xc))
+    out = {}
+    for ell in degrees:
+        nu = (dnu * (orders + ell / 2.0 + EPSILON_SUN)
+              + dnu * CURVATURE * (orders - n_max) ** 2
+              - ell * (ell + 1) * d0)
+        out[ell] = nu
+    return out
+
+
+def small_separation_02(frequencies):
+    """Mean δν₀₂ = ⟨ν(n,0) − ν(n−1,2)⟩ in μHz."""
+    nu0 = frequencies[0]
+    nu2 = frequencies[2]
+    return float(np.mean(nu0[1:] - nu2[:-1]))
+
+
+def mean_large_separation(frequencies):
+    """Observed Δν: mean spacing of consecutive radial modes."""
+    nu0 = frequencies[0]
+    return float(np.mean(np.diff(nu0)))
+
+
+@dataclass(frozen=True)
+class EchellePoint:
+    frequency: float
+    modulo: float
+    degree: int
+    order: int
+
+
+def echelle_diagram(frequencies, dnu):
+    """(ν mod Δν, ν) points for the portal's Echelle plot."""
+    points = []
+    for ell, nus in sorted(frequencies.items()):
+        base = int(np.round(nus[0] / dnu))
+        for i, nu in enumerate(nus):
+            points.append(EchellePoint(
+                frequency=float(nu), modulo=float(nu % dnu),
+                degree=int(ell), order=base + i))
+    return points

@@ -1,0 +1,40 @@
+"""Evolutionary-track utilities: mass grids and the ZAMS locus.
+
+Supports the HR-diagram presentation: the portal plots a star's track
+against the zero-age main sequence line, the classical way to read
+evolutionary state off the diagram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .evolution import evolutionary_track
+from .physics import TEFF_SUN
+from .zams import zams_luminosity, zams_radius
+
+
+def zams_locus(*, z=0.018, y=0.27, alpha=2.1, mass_range=(0.75, 1.75),
+               points=30):
+    """(Teff, L) along the ZAMS for a fixed composition.
+
+    Returns two arrays (teff_k, luminosity_lsun) ordered from low mass
+    to high mass.
+    """
+    masses = np.linspace(mass_range[0], mass_range[1], points)
+    lums = zams_luminosity(masses, z, y)
+    radii = zams_radius(masses, z, y, alpha)
+    teffs = TEFF_SUN * (lums / radii ** 2) ** 0.25
+    return teffs, lums
+
+
+def track_grid(masses, *, z=0.018, y=0.27, alpha=2.1, points=40):
+    """Evolutionary tracks for a list of masses, keyed by mass."""
+    return {float(mass): evolutionary_track(mass, z, y, alpha,
+                                            points=points)
+            for mass in masses}
+
+
+def track_to_rows(track):
+    """Convert TrackPoints to the stored-results row format."""
+    return [(p.age, p.teff, p.luminosity, p.radius) for p in track]

@@ -1,0 +1,22 @@
+"""MPIKAIA — parallel genetic-algorithm optimiser (simulated parallelism).
+
+PIKAIA-style decimal-encoded GA (encoding, operators, generational driver
+with restart files) plus the master–worker wall-clock model that turns
+population evaluation into per-iteration batch-job time.
+"""
+
+from .encoding import Encoding
+from .fitness import ChiSquareFitness, ObservedStar, frequencies_chi_square
+from .ga import GeneticAlgorithm
+from .operators import (adapt_mutation_rate, mutate, one_point_crossover,
+                        rank_weights, roulette_select)
+from .parallel import (MasterWorkerModel, SegmentResult,
+                       full_run_iteration_times, run_ga_segment)
+
+__all__ = [
+    "ChiSquareFitness", "Encoding", "GeneticAlgorithm", "MasterWorkerModel",
+    "ObservedStar", "SegmentResult", "adapt_mutation_rate",
+    "frequencies_chi_square", "full_run_iteration_times", "mutate",
+    "one_point_crossover", "rank_weights", "roulette_select",
+    "run_ga_segment",
+]

@@ -1,0 +1,126 @@
+"""Fitness: match model observables to observed asteroseismic data.
+
+MPIKAIA maximises a fitness derived from the χ² between each candidate
+model's observables and the star's observations.  Following the AMP
+pipeline (Metcalfe et al. 2009) we combine seismic observables (large
+separation Δν, small separation δν₀₂, ν_max) with spectroscopic
+constraints (Teff, luminosity when available).
+
+Everything is vectorised over a ``(pop, 5)`` parameter matrix — this is
+the GA's hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..astec.model import population_observables
+
+
+@dataclass(frozen=True)
+class ObservedStar:
+    """One target's observational data.
+
+    Uncertainties default to Kepler-era values.  ``frequencies`` holds
+    the raw mode list ``{l: [μHz, ...]}`` from which the pipeline derives
+    Δν and δν₀₂ if they are not given directly.
+    """
+
+    name: str
+    teff: float
+    teff_err: float = 80.0
+    luminosity: float = None
+    luminosity_err: float = 0.1
+    delta_nu: float = None
+    delta_nu_err: float = 1.0
+    d02: float = None
+    d02_err: float = 0.6
+    nu_max: float = None
+    nu_max_err: float = 60.0
+    frequencies: dict = field(default_factory=dict)
+
+    def derived(self):
+        """Fill Δν / δν₀₂ / ν_max from the mode list when missing."""
+        dnu, d02, numax = self.delta_nu, self.d02, self.nu_max
+        if self.frequencies.get(0) is not None \
+                and len(self.frequencies.get(0, [])) >= 2:
+            nu0 = np.asarray(self.frequencies[0], dtype=float)
+            if dnu is None:
+                dnu = float(np.mean(np.diff(nu0)))
+            if numax is None:
+                numax = float(np.median(nu0))
+            if d02 is None and len(self.frequencies.get(2, [])) >= 1:
+                nu2 = np.asarray(self.frequencies[2], dtype=float)
+                k = min(len(nu0) - 1, len(nu2))
+                d02 = float(np.mean(nu0[1:k + 1] - nu2[:k]))
+        return dnu, d02, numax
+
+
+class ChiSquareFitness:
+    """χ²-based fitness callable for :class:`GeneticAlgorithm`.
+
+    fitness = 1 / (1 + χ²/N) with N the number of constraints, so
+    fitness ∈ (0, 1] and a perfect match scores 1.
+    """
+
+    def __init__(self, star: ObservedStar):
+        self.star = star
+        self.dnu, self.d02, self.numax = star.derived()
+        self.terms = []
+        if self.dnu is not None:
+            self.terms.append(("delta_nu", self.dnu, star.delta_nu_err))
+        if self.d02 is not None:
+            self.terms.append(("d0_as_d02", self.d02, star.d02_err))
+        if self.numax is not None:
+            self.terms.append(("nu_max", self.numax, star.nu_max_err))
+        if star.teff is not None:
+            self.terms.append(("teff", star.teff, star.teff_err))
+        if star.luminosity is not None:
+            self.terms.append(("luminosity", star.luminosity,
+                               star.luminosity_err))
+        if not self.terms:
+            raise ValueError("Observed star carries no usable constraints")
+
+    def chi_square(self, params):
+        """χ²/N for a (pop, 5) parameter matrix; returns (pop,)."""
+        params = np.atleast_2d(np.asarray(params, dtype=float))
+        obs = population_observables(params[:, 0], params[:, 1],
+                                     params[:, 2], params[:, 3],
+                                     params[:, 4])
+        # Model δν₀₂ from the asymptotic relation: 6·D₀ on average.
+        model_values = {
+            "delta_nu": obs["delta_nu"],
+            "d0_as_d02": 6.0 * obs["d0"],
+            "nu_max": obs["nu_max"],
+            "teff": obs["teff"],
+            "luminosity": obs["luminosity"],
+        }
+        chi2 = np.zeros(params.shape[0])
+        for key, observed, err in self.terms:
+            chi2 += ((model_values[key] - observed) / err) ** 2
+        return chi2 / len(self.terms)
+
+    def __call__(self, params):
+        return 1.0 / (1.0 + self.chi_square(params))
+
+
+def frequencies_chi_square(model_freqs, observed_freqs, *, err=0.3):
+    """Direct frequency-by-frequency χ² for the solution-detail run.
+
+    Matches each observed mode of degree l to the nearest model mode of
+    the same degree (the pipeline's mode identification step).
+    """
+    total, count = 0.0, 0
+    for ell, observed in observed_freqs.items():
+        model = np.asarray(model_freqs.get(ell, []), dtype=float)
+        if model.size == 0:
+            continue
+        for nu in observed:
+            nearest = model[np.argmin(np.abs(model - nu))]
+            total += ((nearest - nu) / err) ** 2
+            count += 1
+    if count == 0:
+        raise ValueError("No overlapping modes between model and data")
+    return total / count

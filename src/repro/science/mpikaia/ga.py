@@ -1,0 +1,159 @@
+"""The generational genetic algorithm with restart support.
+
+One :class:`GeneticAlgorithm` instance corresponds to one "GA run" in the
+paper's workflow (Figure 1).  Because a GA run outlives a single batch
+job's walltime, the full optimiser state — population digits, fitness,
+RNG state, iteration counter — serialises to a JSON-compatible *restart
+file*, which is exactly the "restart progress file" each MPIKAIA batch
+job stages out and the next continuation job stages back in.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .encoding import Encoding
+from .operators import (adapt_mutation_rate, mutate, one_point_crossover,
+                        rank_weights, roulette_select)
+
+
+class GeneticAlgorithm:
+    """PIKAIA-style GA over a bounded box.
+
+    Parameters
+    ----------
+    fitness_fn:
+        Vectorised callable mapping a ``(pop, n_params)`` array of
+        physical parameters to a ``(pop,)`` fitness array (higher is
+        better).  MPIKAIA evaluates members in parallel; here the
+        vectorised call *is* the parallel evaluation (see
+        ``parallel.py`` for the wall-clock model).
+    bounds:
+        ``[(low, high), ...]`` per parameter.
+    population_size:
+        Paper configuration: 126 members.
+    seed:
+        RNG seed — "each GA (and indeed each task) is started with
+        randomly generated seed parameters".
+    """
+
+    def __init__(self, fitness_fn, bounds, *, population_size=126,
+                 seed=0, crossover_rate=0.85, mutation_rate=0.005,
+                 digits_per_gene=6, elitism=True):
+        self.fitness_fn = fitness_fn
+        self.encoding = Encoding(bounds, digits_per_gene)
+        self.population_size = int(population_size)
+        self.crossover_rate = float(crossover_rate)
+        self.mutation_rate = float(mutation_rate)
+        self.elitism = bool(elitism)
+        self.rng = np.random.default_rng(seed)
+        self.seed = seed
+        self.iteration = 0
+        self.population = self.encoding.random_population(
+            self.rng, self.population_size)
+        self.fitness = None
+        self.best_fitness_history = []
+
+    # ------------------------------------------------------------------
+    def decoded_population(self):
+        return self.encoding.decode_population(self.population)
+
+    def evaluate(self):
+        """(Re)evaluate fitness for the current population."""
+        params = self.decoded_population()
+        self.fitness = np.asarray(self.fitness_fn(params), dtype=float)
+        if self.fitness.shape != (self.population_size,):
+            raise ValueError("fitness_fn returned wrong shape")
+        return self.fitness
+
+    def step(self):
+        """Advance one generation; returns best fitness after the step."""
+        if self.fitness is None:
+            self.evaluate()
+        weights = rank_weights(self.fitness)
+        best_index = int(np.argmax(self.fitness))
+        elite = self.population[best_index].copy()
+
+        children = []
+        while len(children) < self.population_size:
+            pa, pb = roulette_select(self.rng, weights, 2)
+            child_a, child_b = one_point_crossover(
+                self.rng, self.population[pa], self.population[pb],
+                self.crossover_rate)
+            children.append(mutate(self.rng, child_a, self.mutation_rate))
+            if len(children) < self.population_size:
+                children.append(mutate(self.rng, child_b,
+                                       self.mutation_rate))
+        self.population = np.array(children, dtype=np.int8)
+        if self.elitism:
+            self.population[0] = elite
+        self.evaluate()
+        self.mutation_rate = adapt_mutation_rate(self.mutation_rate,
+                                                 self.fitness)
+        self.iteration += 1
+        self.best_fitness_history.append(float(self.fitness.max()))
+        return float(self.fitness.max())
+
+    def run(self, iterations):
+        for _ in range(iterations):
+            self.step()
+        return self.best()
+
+    # ------------------------------------------------------------------
+    def best(self):
+        """``(parameters, fitness)`` of the best current member."""
+        if self.fitness is None:
+            self.evaluate()
+        index = int(np.argmax(self.fitness))
+        return self.decoded_population()[index], float(self.fitness[index])
+
+    def converged(self, *, window=20, tolerance=1e-6):
+        """True when best fitness has been flat for *window* iterations."""
+        history = self.best_fitness_history
+        if len(history) < window:
+            return False
+        return (max(history[-window:]) - min(history[-window:])
+                <= tolerance)
+
+    # ------------------------------------------------------------------
+    # Restart files (the walltime-spanning continuation mechanism)
+    # ------------------------------------------------------------------
+    def restart_state(self):
+        """Serialisable optimiser state (the restart progress file)."""
+        return {
+            "iteration": self.iteration,
+            "population": self.population.tolist(),
+            "mutation_rate": self.mutation_rate,
+            "best_fitness_history": list(self.best_fitness_history),
+            "rng_state": _rng_state_to_json(self.rng),
+            "seed": self.seed,
+        }
+
+    def restart_text(self):
+        return json.dumps(self.restart_state())
+
+    @classmethod
+    def from_restart(cls, state, fitness_fn, bounds, **kwargs):
+        """Rebuild a GA mid-run from a restart state dict or JSON text."""
+        if isinstance(state, str):
+            state = json.loads(state)
+        ga = cls(fitness_fn, bounds, seed=state.get("seed", 0), **kwargs)
+        ga.iteration = int(state["iteration"])
+        ga.population = np.array(state["population"], dtype=np.int8)
+        ga.population_size = ga.population.shape[0]
+        ga.mutation_rate = float(state["mutation_rate"])
+        ga.best_fitness_history = list(state["best_fitness_history"])
+        _rng_state_from_json(ga.rng, state["rng_state"])
+        ga.fitness = None
+        return ga
+
+
+def _rng_state_to_json(rng):
+    state = rng.bit_generator.state
+    return json.loads(json.dumps(state))
+
+
+def _rng_state_from_json(rng, state):
+    rng.bit_generator.state = state

@@ -1,0 +1,73 @@
+"""Genetic operators: selection, crossover, mutation, elitism.
+
+These follow PIKAIA's scheme: rank-weighted roulette selection, one-point
+crossover on the digit string, uniform one-point mutation plus "creep"
+mutation (±1 on a digit with carry), and an adaptive mutation rate driven
+by population fitness spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_weights(fitness):
+    """Selection weights from fitness *ranks* (PIKAIA's default).
+
+    Rank-based selection is insensitive to the absolute fitness scale, so
+    a single outlier cannot take over the population in one generation.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    order = np.argsort(np.argsort(fitness))      # 0 = worst
+    weights = order + 1.0
+    return weights / weights.sum()
+
+
+def roulette_select(rng, weights, k):
+    """Draw *k* parent indices with replacement."""
+    return rng.choice(len(weights), size=k, p=weights)
+
+
+def one_point_crossover(rng, parent_a, parent_b, rate):
+    """One-point crossover of two digit chromosomes."""
+    child_a = parent_a.copy()
+    child_b = parent_b.copy()
+    if rng.random() < rate and len(parent_a) > 1:
+        point = int(rng.integers(1, len(parent_a)))
+        child_a[point:] = parent_b[point:]
+        child_b[point:] = parent_a[point:]
+    return child_a, child_b
+
+
+def mutate(rng, chromosome, rate, creep_fraction=0.5):
+    """Per-digit mutation: uniform replacement or ±1 creep."""
+    out = chromosome.copy()
+    hits = np.nonzero(rng.random(len(out)) < rate)[0]
+    for index in hits:
+        if rng.random() < creep_fraction:
+            step = 1 if rng.random() < 0.5 else -1
+            out[index] = (int(out[index]) + step) % 10
+        else:
+            out[index] = rng.integers(0, 10)
+    return out
+
+
+def adapt_mutation_rate(rate, fitness, *, rate_min=5e-4, rate_max=0.03,
+                        spread_low=0.05, spread_high=0.25):
+    """PIKAIA's adaptive mutation control.
+
+    When the normalised fitness spread between the best and the median
+    member collapses (population converging or stuck), the mutation rate
+    is raised; when the spread is healthy it is lowered.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    best = fitness.max()
+    median = float(np.median(fitness))
+    if best <= 0:
+        return rate
+    spread = (best - median) / max(best + median, 1e-30)
+    if spread < spread_low:
+        rate = min(rate * 1.5, rate_max)
+    elif spread > spread_high:
+        rate = max(rate / 1.5, rate_min)
+    return rate

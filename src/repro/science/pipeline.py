@@ -1,0 +1,159 @@
+"""The AMP stellar model-fitting pipeline (Metcalfe et al. 2009 shape).
+
+Couples ASTEC and MPIKAIA into the two operations the portal offers:
+
+- :func:`direct_model_run` — run the forward model for explicit
+  parameters (minutes on one processor),
+- :func:`optimization_run` — the Figure 1 ensemble: N independent GA
+  runs from different random seeds, each chunked into walltime-limited
+  segments, followed by a solution-detail forward run of the ensemble
+  best.
+
+This module runs the *science* standalone (no grid, no portal); the
+GridAMP workflow in :mod:`repro.core` drives the same functions through
+staged files and batch jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .astec.model import (StellarParameters, run_astec)
+from .astec.physics import PARAMETER_BOUNDS
+from .mpikaia.fitness import ChiSquareFitness, ObservedStar
+from .mpikaia.ga import GeneticAlgorithm
+from .mpikaia.parallel import (MasterWorkerModel, run_ga_segment)
+
+BOUNDS_LIST = [PARAMETER_BOUNDS[name]
+               for name in ("mass", "z", "y", "alpha", "age")]
+
+#: Paper configuration for Kepler analysis (§2).
+DEFAULT_GA_RUNS = 4
+DEFAULT_POPULATION = 126
+DEFAULT_PROCESSORS = 128
+DEFAULT_ITERATIONS = 200
+
+
+def direct_model_run(params: StellarParameters):
+    """A "direct model run": forward model with explicit parameters."""
+    return run_astec(params)
+
+
+@dataclass
+class GARunResult:
+    seed: int
+    best_parameters: StellarParameters
+    best_fitness: float
+    iterations: int
+    segments: int
+    iteration_times: list = field(default_factory=list)
+    total_compute_s: float = 0.0
+
+
+@dataclass
+class OptimizationResult:
+    star: ObservedStar
+    ga_runs: list
+    best_parameters: StellarParameters
+    best_fitness: float
+    solution_model: object
+
+    @property
+    def total_compute_s(self):
+        return sum(run.total_compute_s for run in self.ga_runs)
+
+
+def make_ga(star: ObservedStar, seed, *, population_size=DEFAULT_POPULATION):
+    """One GA run configured for a target star."""
+    fitness = ChiSquareFitness(star)
+    return GeneticAlgorithm(fitness, BOUNDS_LIST,
+                            population_size=population_size, seed=seed)
+
+
+def run_single_ga(star, seed, machine, *, iterations=DEFAULT_ITERATIONS,
+                  walltime_s=6 * 3600.0, population_size=DEFAULT_POPULATION,
+                  n_processors=DEFAULT_PROCESSORS):
+    """One complete GA run as a chain of walltime-limited segments.
+
+    Returns a :class:`GARunResult`.  ``segments`` is the number of batch
+    jobs the run would occupy — the §6 "4–8 jobs" observation falls out
+    of walltime_s vs total compute.
+    """
+    ga = make_ga(star, seed, population_size=population_size)
+    timing = MasterWorkerModel(machine, n_processors)
+    iteration_times = []
+    segments = 0
+    guard = 0
+    while ga.iteration < iterations:
+        segment = run_ga_segment(ga, timing, walltime_budget_s=walltime_s,
+                                 target_iterations=iterations)
+        segments += 1
+        iteration_times.extend(segment.iteration_times)
+        guard += 1
+        if guard > 1000 or (not segment.iteration_times
+                            and not segment.finished):
+            raise RuntimeError(
+                "GA cannot make progress within the walltime limit")
+    best_params, best_fit = ga.best()
+    return GARunResult(
+        seed=seed,
+        best_parameters=StellarParameters(*map(float, best_params)),
+        best_fitness=best_fit,
+        iterations=ga.iteration,
+        segments=segments,
+        iteration_times=iteration_times,
+        total_compute_s=float(sum(iteration_times)),
+    )
+
+
+def optimization_run(star: ObservedStar, machine, *,
+                     n_ga_runs=DEFAULT_GA_RUNS,
+                     iterations=DEFAULT_ITERATIONS,
+                     walltime_s=6 * 3600.0,
+                     population_size=DEFAULT_POPULATION,
+                     n_processors=DEFAULT_PROCESSORS,
+                     base_seed=12345):
+    """The full Figure 1 workflow, standalone.
+
+    N independent GA runs (different seeds) each propagate through
+    walltime-limited segments; the ensemble best is refined by a
+    solution-detail forward run (finer frequency grid).
+    """
+    ga_results = [
+        run_single_ga(star, base_seed + 1000 * index, machine,
+                      iterations=iterations, walltime_s=walltime_s,
+                      population_size=population_size,
+                      n_processors=n_processors)
+        for index in range(n_ga_runs)
+    ]
+    winner = max(ga_results, key=lambda r: r.best_fitness)
+    solution = run_astec(winner.best_parameters, n_orders=14)
+    return OptimizationResult(
+        star=star, ga_runs=ga_results,
+        best_parameters=winner.best_parameters,
+        best_fitness=winner.best_fitness,
+        solution_model=solution)
+
+
+def estimate_optimization_run(machine, *, iterations=DEFAULT_ITERATIONS,
+                              factor=160.0, n_ga_runs=DEFAULT_GA_RUNS,
+                              n_processors=DEFAULT_PROCESSORS):
+    """Table 1 estimator: run time, CPU-hours, SU charge.
+
+    The paper's allocation-request arithmetic: an optimization run
+    performs *iterations* GA iterations in about ``factor ×`` the stellar
+    benchmark time, and executes ``n_ga_runs`` jobs of ``n_processors``
+    each (4 × 128 = 512 processors).
+    """
+    run_time_s = factor * machine.stellar_benchmark_s
+    total_processors = n_ga_runs * n_processors
+    cpu_hours = run_time_s / 3600.0 * total_processors
+    service_units = cpu_hours * machine.su_charge_factor
+    return {
+        "machine": machine.name,
+        "model_run_time_min": machine.stellar_benchmark_s / 60.0,
+        "run_time_h": run_time_s / 3600.0,
+        "cpu_hours": cpu_hours,
+        "su_per_cpuh": machine.su_charge_factor,
+        "service_units": service_units,
+    }

@@ -1,0 +1,40 @@
+"""webstack — a from-scratch Django-style web framework.
+
+This package is the reproduction's stand-in for the Django framework the
+AMP paper built on (Django itself is unavailable in this environment; see
+DESIGN.md §2).  It provides the pieces the paper exercises:
+
+- a SQLite-backed ORM with strictly-typed fields, lazy QuerySets, and
+  role-scoped connections with table grants (``webstack.orm``),
+- HTTP request/response objects, URL routing, a template engine with
+  inheritance and autoescaping, declarative forms,
+- the auth framework (users, PBKDF2 hashing, sessions, login),
+- an auto-generated admin interface,
+- a WSGI-callable :class:`~repro.webstack.application.WebApplication`
+  plus an in-process test client and a development server.
+
+Crucially — and this is the paper's architectural point — the ORM and
+models work identically *outside* any web context, so the GridAMP daemon
+imports the very same model definitions the portal serves.
+"""
+
+from . import admin, auth, forms, orm, signals, templates
+from .application import WebApplication, render
+from .pagination import EmptyPage, Page, Paginator
+from .http import (Http404, HttpRequest, HttpResponse,
+                   HttpResponseBadRequest, HttpResponseForbidden,
+                   HttpResponseNotAllowed, HttpResponseNotFound,
+                   HttpResponseRedirect, HttpResponseServerError,
+                   JsonResponse)
+from .testclient import Client
+from .urls import URLResolver, include, path
+
+__all__ = [
+    "Client", "Http404", "HttpRequest", "HttpResponse",
+    "HttpResponseBadRequest", "HttpResponseForbidden",
+    "HttpResponseNotAllowed", "HttpResponseNotFound",
+    "HttpResponseRedirect", "HttpResponseServerError", "JsonResponse",
+    "EmptyPage", "Page", "Paginator", "URLResolver", "WebApplication",
+    "admin", "auth", "forms", "include", "orm", "path", "render",
+    "signals", "templates",
+]

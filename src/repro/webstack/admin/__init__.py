@@ -1,0 +1,15 @@
+"""Auto-generated administrative interface over registered models.
+
+The paper highlights that Django's admin let gateway operators approve
+users and adjust back-end parameters ("allocations and the authorization
+for a user to submit to a machine using a particular allocation") from a
+graphical interface "without custom development", and that the admin is
+only reachable from the developers' environment, never the public web
+servers.  :class:`AdminSite` reproduces that: register a model, get
+list/change/delete views; mount the site's routes only in the non-public
+deployment, backed by the full-privilege ``admin`` database role.
+"""
+
+from .site import AdminSite, ModelAdmin
+
+__all__ = ["AdminSite", "ModelAdmin"]

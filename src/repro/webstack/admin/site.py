@@ -1,0 +1,211 @@
+"""AdminSite: registration, generated CRUD views, and URL routes."""
+
+from __future__ import annotations
+
+from ..auth import staff_required
+from ..http import (Http404, HttpResponse, HttpResponseBadRequest,
+                    HttpResponseRedirect)
+from ..orm.exceptions import IntegrityError, ValidationError
+from ..orm.fields import AutoField, BooleanField, DateTimeField, ForeignKey
+from ..templates.context import escape
+
+_PAGE = """<html><head><title>{title} | webstack admin</title></head>
+<body><h1>{title}</h1><p><a href="{root}">admin index</a></p>{body}
+</body></html>"""
+
+
+class ModelAdmin:
+    """Per-model admin configuration.
+
+    Attributes
+    ----------
+    list_display:
+        Field names shown as columns on the changelist (defaults to all
+        concrete fields).
+    list_filter:
+        Field names offered as exact-match query-string filters.
+    ordering:
+        Changelist ordering (defaults to the model Meta ordering).
+    """
+
+    list_display = None
+    list_filter = ()
+    ordering = None
+
+    def __init__(self, model, db):
+        self.model = model
+        self.db = db
+
+    # ------------------------------------------------------------------
+    def queryset(self):
+        qs = self.model.objects.using(self.db)
+        order = self.ordering or self.model._meta.ordering
+        if order:
+            qs = qs.order_by(*order)
+        return qs
+
+    def display_fields(self):
+        names = self.list_display or [f.attname
+                                      for f in self.model._meta.fields]
+        return names
+
+    def editable_fields(self):
+        return [f for f in self.model._meta.fields
+                if f.editable and not isinstance(f, AutoField)]
+
+
+class AdminSite:
+    """The registry + view factory for the admin interface."""
+
+    def __init__(self, db, *, title="Gateway administration"):
+        self.db = db
+        self.title = title
+        self._registry = {}
+
+    def register(self, model, admin_class=ModelAdmin):
+        key = model._meta.table_name
+        self._registry[key] = admin_class(model, self.db)
+        return self._registry[key]
+
+    def get(self, table_name):
+        try:
+            return self._registry[table_name]
+        except KeyError:
+            raise Http404(f"Model {table_name!r} is not registered")
+
+    # ------------------------------------------------------------------
+    # Views (wrapped by routes())
+    # ------------------------------------------------------------------
+    def index_view(self, request):
+        items = "".join(
+            f'<li><a href="/admin/{key}/">'
+            f"{escape(admin.model.__name__)}</a> "
+            f"({admin.queryset().count()} rows)</li>"
+            for key, admin in sorted(self._registry.items()))
+        return HttpResponse(_PAGE.format(
+            title=self.title, root="/admin/", body=f"<ul>{items}</ul>"))
+
+    def changelist_view(self, request, table):
+        admin = self.get(table)
+        qs = admin.queryset()
+        for field_name in admin.list_filter:
+            if field_name in request.GET:
+                qs = qs.filter(**{field_name: request.GET[field_name]})
+        names = admin.display_fields()
+        head = "".join(f"<th>{escape(n)}</th>" for n in names)
+        rows = []
+        for obj in qs[:200]:
+            cells = "".join(
+                f"<td>{escape(getattr(obj, n, ''))}</td>" for n in names)
+            rows.append(
+                f'<tr><td><a href="/admin/{table}/{obj.pk}/">#{obj.pk}'
+                f"</a></td>{cells}</tr>")
+        body = (f'<table><tr><th>pk</th>{head}</tr>{"".join(rows)}</table>'
+                f'<p><a href="/admin/{table}/add/">Add</a></p>')
+        return HttpResponse(_PAGE.format(
+            title=admin.model.__name__, root="/admin/", body=body))
+
+    def change_view(self, request, table, pk):
+        admin = self.get(table)
+        try:
+            obj = admin.queryset().get(pk=pk)
+        except admin.model.DoesNotExist:
+            raise Http404(f"{table} #{pk} not found")
+        if request.method == "POST":
+            return self._apply_change(request, admin, obj,
+                                      redirect=f"/admin/{table}/")
+        body = self._render_form(admin, obj, action=f"/admin/{table}/{pk}/")
+        body += (f'<form method="post" action="/admin/{table}/{pk}/delete/">'
+                 f'<button type="submit">Delete</button></form>')
+        return HttpResponse(_PAGE.format(
+            title=f"{admin.model.__name__} #{pk}", root="/admin/",
+            body=body))
+
+    def add_view(self, request, table):
+        admin = self.get(table)
+        if request.method == "POST":
+            obj = admin.model()
+            return self._apply_change(request, admin, obj,
+                                      redirect=f"/admin/{table}/")
+        body = self._render_form(admin, None, action=f"/admin/{table}/add/")
+        return HttpResponse(_PAGE.format(
+            title=f"Add {admin.model.__name__}", root="/admin/", body=body))
+
+    def delete_view(self, request, table, pk):
+        admin = self.get(table)
+        if request.method != "POST":
+            return HttpResponseBadRequest(b"POST required")
+        try:
+            obj = admin.queryset().get(pk=pk)
+        except admin.model.DoesNotExist:
+            raise Http404(f"{table} #{pk} not found")
+        obj.delete()
+        return HttpResponseRedirect(f"/admin/{table}/")
+
+    # ------------------------------------------------------------------
+    def _apply_change(self, request, admin, obj, redirect):
+        obj._state_db = self.db
+        for field in admin.editable_fields():
+            raw = request.POST.get(field.attname)
+            if isinstance(field, BooleanField):
+                setattr(obj, field.attname, raw is not None)
+            elif raw is not None:
+                if raw == "" and field.null:
+                    setattr(obj, field.attname, None)
+                else:
+                    setattr(obj, field.attname, raw)
+        try:
+            obj.save(db=self.db)
+        except ValidationError as exc:
+            return HttpResponseBadRequest(
+                escape("; ".join(exc.messages)).encode("utf-8"))
+        except IntegrityError as exc:
+            return HttpResponseBadRequest(escape(str(exc)).encode("utf-8"))
+        return HttpResponseRedirect(redirect)
+
+    def _render_form(self, admin, obj, action):
+        rows = []
+        for field in admin.editable_fields():
+            value = getattr(obj, field.attname, None) if obj else \
+                field.get_default()
+            if isinstance(field, DateTimeField) and value is not None:
+                value = field.to_db(value)
+            if isinstance(field, BooleanField):
+                widget = (f'<input type="checkbox" name="{field.attname}"'
+                          f'{" checked" if value else ""}>')
+            elif field.choices:
+                options = "".join(
+                    f'<option value="{escape(v)}"'
+                    f'{" selected" if v == value else ""}>'
+                    f"{escape(label)}</option>"
+                    for v, label in field.choices)
+                widget = (f'<select name="{field.attname}">{options}'
+                          f"</select>")
+            else:
+                display = "" if value is None else value
+                if isinstance(field, ForeignKey):
+                    display = getattr(obj, field.attname, "") or "" \
+                        if obj else ""
+                widget = (f'<input name="{field.attname}" '
+                          f'value="{escape(display)}">')
+            rows.append(f"<p><label>{escape(field.verbose_name)}</label>"
+                        f"{widget}</p>")
+        return (f'<form method="post" action="{action}">'
+                + "".join(rows) + '<button type="submit">Save</button></form>')
+
+    # ------------------------------------------------------------------
+    def routes(self):
+        """URL patterns to mount (only on non-public deployments)."""
+        from ..urls import path
+        return [
+            path("admin/", staff_required(self.index_view),
+                 name="admin-index"),
+            path("admin/<str:table>/", staff_required(self.changelist_view),
+                 name="admin-list"),
+            path("admin/<str:table>/add/", staff_required(self.add_view),
+                 name="admin-add"),
+            path("admin/<str:table>/<int:pk>/",
+                 staff_required(self.change_view), name="admin-change"),
+            path("admin/<str:table>/<int:pk>/delete/",
+                 staff_required(self.delete_view), name="admin-delete"),
+        ]

@@ -1,0 +1,127 @@
+"""The web application object: middleware pipeline + URL dispatch + WSGI.
+
+A :class:`WebApplication` is the webstack's "project": it owns the URL
+resolver, the template engine, an ordered middleware list, and the
+database connection its views use.  It is callable as a WSGI app and
+drivable in-process by the test client — no socket required, which is how
+the integration tests exercise the full portal.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from .http import (Http404, HttpRequest, HttpResponse,
+                   HttpResponseNotFound, HttpResponseServerError)
+from .signals import request_finished, request_started
+from .templates import Context, Engine
+from .urls import URLResolver
+
+
+class WebApplication:
+    """A routable, middleware-wrapped web application.
+
+    Parameters
+    ----------
+    urlpatterns:
+        List of :func:`~repro.webstack.urls.path` /
+        :func:`~repro.webstack.urls.include` entries.
+    engine:
+        Template :class:`~repro.webstack.templates.Engine`; the app wires
+        its URL resolver into the engine so ``{% url %}`` works.
+    middleware:
+        Objects with optional ``process_request(request)`` and
+        ``process_response(request, response)`` methods, applied in order
+        (and reverse order for responses).
+    db:
+        The role-scoped database views should use; exposed as
+        ``request.db``.
+    debug:
+        When True, unhandled exceptions render a traceback page; when
+        False, a generic 500 (production posture).
+    """
+
+    def __init__(self, urlpatterns, *, engine=None, middleware=(),
+                 db=None, debug=False, context_processors=()):
+        self.resolver = URLResolver(urlpatterns)
+        self.engine = engine or Engine()
+        self.engine.url_resolver = self.resolver
+        self.middleware = list(middleware)
+        self.db = db
+        self.debug = debug
+        self.context_processors = list(context_processors)
+
+    # ------------------------------------------------------------------
+    def handle(self, request):
+        """Process one :class:`HttpRequest` into an :class:`HttpResponse`."""
+        request.app = self
+        request.db = self.db
+        request_started.send(self, request=request)
+        try:
+            response = self._handle_inner(request)
+        except Http404 as exc:
+            response = self._error_response(
+                HttpResponseNotFound, "404 Not Found", str(exc))
+        except Exception:  # noqa: BLE001 - the framework boundary
+            if self.debug:
+                detail = traceback.format_exc()
+            else:
+                detail = "An internal error occurred."
+            response = self._error_response(
+                HttpResponseServerError, "500 Server Error", detail)
+        for mw in reversed(self.middleware):
+            if hasattr(mw, "process_response"):
+                response = mw.process_response(request, response)
+        request_finished.send(self, request=request, response=response)
+        return response
+
+    def _handle_inner(self, request):
+        for mw in self.middleware:
+            if hasattr(mw, "process_request"):
+                short_circuit = mw.process_request(request)
+                if short_circuit is not None:
+                    return short_circuit
+        view, kwargs = self.resolver.resolve(request.path)
+        request.resolver_kwargs = kwargs
+        response = view(request, **kwargs)
+        if not isinstance(response, HttpResponse):
+            raise TypeError(
+                f"View {getattr(view, '__name__', view)!r} returned "
+                f"{type(response).__name__}, not HttpResponse")
+        return response
+
+    @staticmethod
+    def _error_response(cls, title, detail):
+        body = (f"<html><head><title>{title}</title></head>"
+                f"<body><h1>{title}</h1><pre>{detail}</pre></body></html>")
+        return cls(body.encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def render(self, request, template_name, data=None, status=200):
+        """Shortcut used by views: render a template to a response."""
+        context_data = {}
+        for processor in self.context_processors:
+            context_data.update(processor(request))
+        context_data.update(data or {})
+        context_data.setdefault("request", request)
+        context_data.setdefault("user", getattr(request, "user", None))
+        context = Context(context_data)
+        content = self.engine.get_template(template_name).render(
+            context=context)
+        return HttpResponse(content, status=status)
+
+    def reverse(self, name, **kwargs):
+        return self.resolver.reverse(name, **kwargs)
+
+    # -- WSGI ------------------------------------------------------------
+    def __call__(self, environ, start_response):
+        request = HttpRequest(environ)
+        response = self.handle(request)
+        status = f"{response.status_code} {response.reason_phrase}"
+        start_response(status, response.wsgi_headers())
+        return [response.content]
+
+
+def render(request, template_name, data=None, status=200):
+    """Module-level render shortcut (requires ``request.app``)."""
+    return request.app.render(request, template_name, data, status=status)

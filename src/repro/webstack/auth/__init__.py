@@ -1,0 +1,135 @@
+"""Authentication framework: users, password hashing, sessions, login.
+
+Mirrors the Django ``auth`` app surface that AMP adopted wholesale:
+``authenticate()``/``login()``/``logout()`` plus an auth middleware that
+attaches ``request.user`` and ``request.session``, and a
+``login_required`` view decorator.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..http import HttpResponseRedirect
+from ..signals import user_logged_in, user_logged_out
+from . import hashers
+from .models import AUTH_MODELS, AnonymousUser, Session, User
+from .sessions import SESSION_COOKIE_NAME, SESSION_LIFETIME, SessionStore
+
+LOGIN_URL = "/accounts/login/"
+_SESSION_USER_KEY = "_auth_user_id"
+
+
+def authenticate(db, username, password):
+    """Return the matching active user or None.
+
+    Timing parity: the password check runs even for unknown usernames so
+    account existence is not observable from response latency.
+    """
+    try:
+        user = User.objects.using(db).get(username=username)
+    except User.DoesNotExist:
+        hashers.check_password(password, hashers.make_unusable_password())
+        return None
+    if not user.check_password(password):
+        return None
+    if not user.is_active:
+        return None
+    return user
+
+
+def login(request, user):
+    """Bind *user* to the request's session."""
+    request.session.cycle_key()
+    request.session[_SESSION_USER_KEY] = user.pk
+    request.user = user
+    user.last_login = _dt.datetime.utcnow()
+    user.save()
+    user_logged_in.send(user, request=request)
+
+
+def logout(request):
+    user = request.user
+    request.session.flush()
+    request.user = AnonymousUser()
+    if getattr(user, "is_authenticated", False):
+        user_logged_out.send(user, request=request)
+
+
+class AuthMiddleware:
+    """Attach ``request.session`` and ``request.user``; persist on exit."""
+
+    def __init__(self, db):
+        self.db = db
+
+    def process_request(self, request):
+        key = request.COOKIES.get(SESSION_COOKIE_NAME)
+        request.session = SessionStore(self.db, key)
+        user_id = request.session.get(_SESSION_USER_KEY)
+        request.user = AnonymousUser()
+        if user_id is not None:
+            try:
+                user = User.objects.using(self.db).get(pk=user_id)
+                if user.is_active:
+                    request.user = user
+            except User.DoesNotExist:
+                pass
+
+    def process_response(self, request, response):
+        session = getattr(request, "session", None)
+        if session is not None and session.modified:
+            if session.session_key is not None:
+                session.save()
+                response.set_cookie(
+                    SESSION_COOKIE_NAME, session.session_key,
+                    max_age=SESSION_LIFETIME.total_seconds(),
+                    secure=request.is_secure)
+            else:
+                response.delete_cookie(SESSION_COOKIE_NAME)
+        return response
+
+
+def login_required(view):
+    """Redirect anonymous requests to the login page."""
+    def wrapper(request, **kwargs):
+        if not getattr(request.user, "is_authenticated", False):
+            return HttpResponseRedirect(
+                f"{LOGIN_URL}?next={request.path}")
+        return view(request, **kwargs)
+    wrapper.__name__ = getattr(view, "__name__", "view")
+    wrapper.__doc__ = view.__doc__
+    return wrapper
+
+
+def staff_required(view):
+    """403 unless the user is staff (admin interface gate)."""
+    from ..http import HttpResponseForbidden
+
+    def wrapper(request, **kwargs):
+        user = request.user
+        if not (getattr(user, "is_authenticated", False) and user.is_staff):
+            return HttpResponseForbidden(b"Staff access required")
+        return view(request, **kwargs)
+    wrapper.__name__ = getattr(view, "__name__", "view")
+    return wrapper
+
+
+def create_user(db, username, email, password, **extra):
+    """Create a user with a hashed password."""
+    user = User(username=username, email=email, **extra)
+    user.set_password(password)
+    user.save(db=db)
+    return user
+
+
+def create_superuser(db, username, email, password):
+    return create_user(db, username, email, password, is_active=True,
+                       is_staff=True, is_superuser=True)
+
+
+__all__ = [
+    "AUTH_MODELS", "AnonymousUser", "AuthMiddleware", "LOGIN_URL",
+    "SESSION_COOKIE_NAME", "Session", "SessionStore", "User",
+    "authenticate", "create_superuser", "create_user", "hashers", "login",
+    "login_required", "logout", "staff_required",
+]

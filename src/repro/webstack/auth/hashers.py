@@ -1,0 +1,52 @@
+"""Password hashing (PBKDF2-SHA256, Django wire format).
+
+Stored hashes look like ``pbkdf2_sha256$<iterations>$<salt>$<b64digest>``
+so they are self-describing and iteration counts can be raised without
+invalidating existing accounts.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import secrets
+
+ALGORITHM = "pbkdf2_sha256"
+DEFAULT_ITERATIONS = 60_000
+
+
+def make_password(password, *, iterations=DEFAULT_ITERATIONS, salt=None):
+    """Hash *password* for storage."""
+    if salt is None:
+        salt = secrets.token_hex(8)
+    if "$" in salt:
+        raise ValueError("salt may not contain '$'")
+    digest = hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"),
+                                 salt.encode("utf-8"), iterations)
+    encoded = base64.b64encode(digest).decode("ascii")
+    return f"{ALGORITHM}${iterations}${salt}${encoded}"
+
+
+def check_password(password, stored):
+    """Constant-time verification of *password* against a stored hash."""
+    try:
+        algorithm, iterations, salt, encoded = stored.split("$", 3)
+        iterations = int(iterations)
+    except (AttributeError, ValueError):
+        return False
+    if algorithm != ALGORITHM:
+        return False
+    digest = hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"),
+                                 salt.encode("utf-8"), iterations)
+    expected = base64.b64decode(encoded.encode("ascii"))
+    return hmac.compare_digest(digest, expected)
+
+
+def is_usable_password(stored):
+    """False for the sentinel used to lock an account."""
+    return bool(stored) and not stored.startswith("!")
+
+
+def make_unusable_password():
+    return "!" + secrets.token_hex(16)

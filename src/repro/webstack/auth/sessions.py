@@ -1,0 +1,96 @@
+"""Cookie-backed server-side sessions."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from .models import Session
+
+SESSION_COOKIE_NAME = "sessionid"
+SESSION_LIFETIME = _dt.timedelta(hours=12)
+
+
+class SessionStore:
+    """Dict-like view over one Session row.
+
+    Mutations set ``modified``; the response phase persists and (re)sets
+    the cookie only when something changed.
+    """
+
+    def __init__(self, db, session_key=None):
+        self.db = db
+        self.modified = False
+        self._row = None
+        if session_key:
+            try:
+                row = Session.objects.using(db).get(session_key=session_key)
+                if not row.is_expired():
+                    self._row = row
+            except Session.DoesNotExist:
+                pass
+
+    # -- dict API --------------------------------------------------------
+    def _data(self):
+        return self._row.data if self._row is not None else {}
+
+    def get(self, key, default=None):
+        return self._data().get(key, default)
+
+    def __getitem__(self, key):
+        return self._data()[key]
+
+    def __setitem__(self, key, value):
+        self._ensure_row()
+        self._row.data[key] = value
+        self.modified = True
+
+    def __contains__(self, key):
+        return key in self._data()
+
+    def pop(self, key, default=None):
+        if self._row is None:
+            return default
+        self.modified = True
+        return self._row.data.pop(key, default)
+
+    def keys(self):
+        return self._data().keys()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure_row(self):
+        if self._row is None:
+            self._row = Session(
+                session_key=Session.new_key(), data={},
+                expires_at=_dt.datetime.utcnow() + SESSION_LIFETIME)
+            self.modified = True
+
+    @property
+    def session_key(self):
+        return self._row.session_key if self._row else None
+
+    def cycle_key(self):
+        """Replace the session key (post-login fixation defence)."""
+        if self._row is None:
+            self._ensure_row()
+            return
+        old_data = dict(self._row.data)
+        if self._row.pk is not None:
+            self._row.delete()
+        self._row = Session(session_key=Session.new_key(), data=old_data,
+                            expires_at=_dt.datetime.utcnow()
+                            + SESSION_LIFETIME)
+        self.modified = True
+
+    def flush(self):
+        """Destroy the session (logout)."""
+        if self._row is not None and self._row.pk is not None:
+            self._row.delete()
+        self._row = None
+        self.modified = True
+
+    def save(self):
+        if self._row is not None:
+            self._row.save(db=self.db)
+
+    def exists(self):
+        return self._row is not None and self._row.pk is not None

@@ -1,0 +1,17 @@
+"""Declarative HTML forms with validation.
+
+The portal's simulation-submission and account-request pages are built on
+these: a form declares typed fields, ``is_valid()`` runs field cleaning
+plus ``clean_<field>()`` hooks plus a whole-form ``clean()``, and
+``cleaned_data`` is the *only* thing views are allowed to write to the
+database — the first stage of the paper's strict input-marshaling path.
+"""
+
+from .fields import (BooleanField, ChoiceField, EmailField, FloatField,
+                     FormField, IntegerField, StringField)
+from .forms import Form
+
+__all__ = [
+    "BooleanField", "ChoiceField", "EmailField", "FloatField", "Form",
+    "FormField", "IntegerField", "StringField",
+]

@@ -1,0 +1,204 @@
+"""Form fields: HTML widgets + coercion + validation."""
+
+from __future__ import annotations
+
+import re
+
+from ..templates.context import escape
+
+
+class FormValidationError(Exception):
+    def __init__(self, message):
+        self.message = str(message)
+        super().__init__(self.message)
+
+
+class FormField:
+    """Base form field.
+
+    Parameters
+    ----------
+    required:
+        Reject empty submissions.
+    label, help_text:
+        Presentation strings.
+    initial:
+        Pre-filled value for unbound rendering.
+    validators:
+        Extra callables ``fn(value)`` raising :class:`FormValidationError`.
+    """
+
+    widget = "text"
+    _creation_counter = 0
+
+    def __init__(self, *, required=True, label=None, help_text="",
+                 initial=None, validators=()):
+        self.required = required
+        self.label = label
+        self.help_text = help_text
+        self.initial = initial
+        self.validators = list(validators)
+        self.name = None
+        self._order = FormField._creation_counter
+        FormField._creation_counter += 1
+
+    def bind(self, name):
+        self.name = name
+        if self.label is None:
+            self.label = name.replace("_", " ").capitalize()
+
+    def to_python(self, raw):
+        return raw
+
+    def clean(self, raw):
+        if raw in (None, ""):
+            if self.required:
+                raise FormValidationError("This field is required.")
+            return self.empty_value()
+        value = self.to_python(raw)
+        for validator in self.validators:
+            validator(value)
+        return value
+
+    def empty_value(self):
+        return None
+
+    # -- rendering -------------------------------------------------------
+    def render(self, value=None):
+        value = "" if value is None else value
+        return (f'<input type="{self.widget}" name="{self.name}" '
+                f'id="id_{self.name}" value="{escape(value)}"'
+                f'{" required" if self.required else ""}>')
+
+    def render_row(self, value=None, errors=()):
+        error_html = "".join(f'<span class="error">{escape(e)}</span>'
+                             for e in errors)
+        help_html = (f'<span class="help">{escape(self.help_text)}</span>'
+                     if self.help_text else "")
+        return (f'<p><label for="id_{self.name}">{escape(self.label)}'
+                f"</label>{self.render(value)}{help_html}{error_html}</p>")
+
+
+class StringField(FormField):
+    def __init__(self, *, max_length=255, min_length=0, strip=True, **kw):
+        super().__init__(**kw)
+        self.max_length = max_length
+        self.min_length = min_length
+        self.strip = strip
+
+    def to_python(self, raw):
+        value = str(raw)
+        if self.strip:
+            value = value.strip()
+        if self.max_length is not None and len(value) > self.max_length:
+            raise FormValidationError(
+                f"Ensure this value has at most {self.max_length} "
+                f"characters (it has {len(value)}).")
+        if len(value) < self.min_length:
+            raise FormValidationError(
+                f"Ensure this value has at least {self.min_length} "
+                "characters.")
+        return value
+
+    def empty_value(self):
+        return ""
+
+
+class EmailField(StringField):
+    widget = "email"
+    _RE = re.compile(r"^[^@\s]+@[^@\s]+\.[^@\s]+$")
+
+    def to_python(self, raw):
+        value = super().to_python(raw)
+        if not self._RE.match(value):
+            raise FormValidationError("Enter a valid e-mail address.")
+        return value
+
+
+class IntegerField(FormField):
+    widget = "number"
+
+    def __init__(self, *, min_value=None, max_value=None, **kw):
+        super().__init__(**kw)
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def to_python(self, raw):
+        try:
+            value = int(str(raw).strip())
+        except (TypeError, ValueError):
+            raise FormValidationError("Enter a whole number.")
+        if self.min_value is not None and value < self.min_value:
+            raise FormValidationError(
+                f"Ensure this value is at least {self.min_value}.")
+        if self.max_value is not None and value > self.max_value:
+            raise FormValidationError(
+                f"Ensure this value is at most {self.max_value}.")
+        return value
+
+
+class FloatField(FormField):
+    """Floating-point input — the five ASTEC physical parameters use this.
+
+    Bounds are *mandatory* here (unlike Django): a science-gateway float
+    without a physical range is a marshaling bug waiting to happen.
+    """
+
+    widget = "number"
+
+    def __init__(self, *, min_value, max_value, **kw):
+        super().__init__(**kw)
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def to_python(self, raw):
+        try:
+            value = float(str(raw).strip())
+        except (TypeError, ValueError):
+            raise FormValidationError("Enter a number.")
+        if value != value or value in (float("inf"), float("-inf")):
+            raise FormValidationError("Enter a finite number.")
+        if not (self.min_value <= value <= self.max_value):
+            raise FormValidationError(
+                f"Value must be between {self.min_value} and "
+                f"{self.max_value}.")
+        return value
+
+
+class BooleanField(FormField):
+    widget = "checkbox"
+
+    def __init__(self, **kw):
+        kw.setdefault("required", False)
+        super().__init__(**kw)
+
+    def clean(self, raw):
+        return str(raw).lower() in ("on", "true", "1", "yes")
+
+    def render(self, value=None):
+        checked = " checked" if value else ""
+        return (f'<input type="checkbox" name="{self.name}" '
+                f'id="id_{self.name}"{checked}>')
+
+
+class ChoiceField(FormField):
+    def __init__(self, *, choices, **kw):
+        super().__init__(**kw)
+        self.choices = [(str(v), str(label)) for v, label in choices]
+
+    def to_python(self, raw):
+        value = str(raw)
+        if value not in {v for v, _ in self.choices}:
+            raise FormValidationError(
+                f"Select a valid choice; {value!r} is not one of the "
+                "available choices.")
+        return value
+
+    def render(self, value=None):
+        options = []
+        for v, label in self.choices:
+            selected = " selected" if str(value) == v else ""
+            options.append(f'<option value="{escape(v)}"{selected}>'
+                           f"{escape(label)}</option>")
+        return (f'<select name="{self.name}" id="id_{self.name}">'
+                + "".join(options) + "</select>")

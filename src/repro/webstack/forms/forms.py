@@ -1,0 +1,100 @@
+"""Form base class with metaclass field collection."""
+
+from __future__ import annotations
+
+from ..templates.context import SafeString
+from .fields import FormField, FormValidationError
+
+
+class FormMeta(type):
+    def __new__(mcs, name, bases, attrs):
+        fields = {}
+        for base in bases:
+            fields.update(getattr(base, "base_fields", {}))
+        declared = [(k, v) for k, v in attrs.items()
+                    if isinstance(v, FormField)]
+        declared.sort(key=lambda kv: kv[1]._order)
+        for key, field in declared:
+            field.bind(key)
+            fields[key] = field
+            attrs.pop(key)
+        cls = super().__new__(mcs, name, bases, attrs)
+        cls.base_fields = fields
+        return cls
+
+
+class Form(metaclass=FormMeta):
+    """Declarative form.
+
+    Usage mirrors Django::
+
+        form = SubmitForm(request.POST)
+        if form.is_valid():
+            params = form.cleaned_data
+
+    Per-field hooks named ``clean_<field>()`` run after the field's own
+    cleaning; a whole-form ``clean()`` may enforce cross-field rules.
+    """
+
+    def __init__(self, data=None, initial=None):
+        self.data = data
+        self.initial = initial or {}
+        self.is_bound = data is not None
+        self.cleaned_data = {}
+        self.errors = {}
+        self._validated = False
+
+    @property
+    def fields(self):
+        return self.base_fields
+
+    # ------------------------------------------------------------------
+    def is_valid(self):
+        if not self.is_bound:
+            return False
+        if self._validated:
+            return not self.errors
+        self._validated = True
+        for name, field in self.base_fields.items():
+            raw = self.data.get(name)
+            try:
+                value = field.clean(raw)
+                hook = getattr(self, f"clean_{name}", None)
+                if hook is not None:
+                    value = hook(value)
+                self.cleaned_data[name] = value
+            except FormValidationError as exc:
+                self.errors.setdefault(name, []).append(exc.message)
+        if not self.errors:
+            try:
+                self.cleaned_data = self.clean() or self.cleaned_data
+            except FormValidationError as exc:
+                self.errors.setdefault("__all__", []).append(exc.message)
+        return not self.errors
+
+    def clean(self):
+        """Whole-form validation hook; return (possibly amended) data."""
+        return self.cleaned_data
+
+    def add_error(self, field, message):
+        self.errors.setdefault(field, []).append(str(message))
+
+    @property
+    def non_field_errors(self):
+        return self.errors.get("__all__", [])
+
+    # ------------------------------------------------------------------
+    def as_p(self):
+        """Render all fields as ``<p>`` rows (Django's form.as_p)."""
+        rows = []
+        for name, field in self.base_fields.items():
+            if self.is_bound:
+                value = self.data.get(name, "")
+            else:
+                value = self.initial.get(name, field.initial)
+            rows.append(field.render_row(value, self.errors.get(name, ())))
+        return SafeString("\n".join(rows))
+
+    def __repr__(self):  # pragma: no cover
+        bound = "bound" if self.is_bound else "unbound"
+        return f"<{type(self).__name__} {bound}>"

@@ -1,0 +1,46 @@
+"""Reusable middleware.
+
+:class:`SSLRequiredMiddleware` implements the portal's §4.2 posture:
+"AMP uses Django's SSL authentication and session management support to
+ensure that all activities performed by registered users is encrypted."
+Anonymous browsing of public pages over plain HTTP is permitted, but any
+request that carries (or would establish) a session is redirected to the
+HTTPS origin, and session cookies are only ever set with the Secure flag
+over HTTPS.
+"""
+
+from __future__ import annotations
+
+from .http import HttpResponseRedirect
+
+
+class SSLRequiredMiddleware:
+    """Redirect session-bearing or auth-area requests to HTTPS.
+
+    Parameters
+    ----------
+    protected_prefixes:
+        Path prefixes that always require HTTPS (the auth and
+        submission areas).  Defaults cover the AMP portal layout.
+    """
+
+    def __init__(self, protected_prefixes=("/accounts/", "/submit/",
+                                           "/admin/")):
+        self.protected_prefixes = tuple(protected_prefixes)
+
+    def _needs_ssl(self, request):
+        if request.COOKIES.get("sessionid"):
+            return True       # an established session must stay encrypted
+        return any(request.path.startswith(prefix)
+                   for prefix in self.protected_prefixes)
+
+    def process_request(self, request):
+        if request.is_secure or not self._needs_ssl(request):
+            return None
+        secure_url = f"https://{request.get_host()}{request.path}"
+        query = request.META.get("QUERY_STRING")
+        if query:
+            secure_url += f"?{query}"
+        response = HttpResponseRedirect(secure_url)
+        response.status_code = 301   # permanent: clients should learn
+        return response

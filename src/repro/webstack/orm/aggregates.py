@@ -1,0 +1,99 @@
+"""Aggregate queries: Count/Sum/Avg/Min/Max over QuerySets.
+
+Usage mirrors Django's ``aggregate()``::
+
+    Simulation.objects.filter(state="DONE").aggregate(
+        total=Count("id"), su=Sum("su_used"))
+
+and per-column ``values_count()`` provides the GROUP BY the portal's
+statistics page needs.
+"""
+
+from __future__ import annotations
+
+from .exceptions import FieldError
+
+
+class Aggregate:
+    """Base aggregate: SQL function over one column."""
+
+    function = None
+
+    def __init__(self, field_name):
+        self.field_name = field_name
+
+    def sql(self, compiler):
+        if self.field_name == "*":
+            return f"{self.function}(*)"
+        column, _, _ = compiler.resolve_column(self.field_name)
+        return f'{self.function}("{column}")'
+
+    def convert(self, value):
+        return value
+
+
+class Count(Aggregate):
+    function = "COUNT"
+
+    def convert(self, value):
+        return int(value or 0)
+
+
+class Sum(Aggregate):
+    function = "TOTAL"   # SQLite TOTAL: 0.0 instead of NULL on empty
+
+    def convert(self, value):
+        return float(value or 0.0)
+
+
+class Avg(Aggregate):
+    function = "AVG"
+
+
+class Min(Aggregate):
+    function = "MIN"
+
+
+class Max(Aggregate):
+    function = "MAX"
+
+
+def run_aggregate(queryset, named_aggregates):
+    """Execute aggregates over *queryset*; returns {name: value}."""
+    from .query import QueryCompiler
+    if not named_aggregates:
+        raise FieldError("aggregate() requires at least one aggregate")
+    compiler = QueryCompiler(queryset.model)
+    where, params = compiler.compile_where(queryset._conditions)
+    selects = []
+    order = []
+    for name, aggregate in named_aggregates.items():
+        if not isinstance(aggregate, Aggregate):
+            raise FieldError(
+                f"aggregate {name!r} is not an Aggregate instance")
+        selects.append(aggregate.sql(compiler))
+        order.append((name, aggregate))
+    sql = (f'SELECT {", ".join(selects)} FROM '
+           f'"{queryset.model._meta.table_name}"' + where)
+    cursor = queryset.db.execute(
+        sql, params, operation="select",
+        table=queryset.model._meta.table_name)
+    row = cursor.fetchone()
+    return {name: aggregate.convert(row[index])
+            for index, (name, aggregate) in enumerate(order)}
+
+
+def run_values_count(queryset, field_name):
+    """GROUP BY *field_name* with counts; returns {value: count}."""
+    from .query import QueryCompiler
+    compiler = QueryCompiler(queryset.model)
+    column, field, _ = compiler.resolve_column(field_name)
+    where, params = compiler.compile_where(queryset._conditions)
+    sql = (f'SELECT "{column}", COUNT(*) FROM '
+           f'"{queryset.model._meta.table_name}"' + where +
+           f' GROUP BY "{column}"')
+    cursor = queryset.db.execute(
+        sql, params, operation="select",
+        table=queryset.model._meta.table_name)
+    return {field.from_db(value): int(count)
+            for value, count in cursor.fetchall()}

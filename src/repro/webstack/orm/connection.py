@@ -1,0 +1,256 @@
+"""Database connections with role-based table permissions.
+
+The AMP architecture places the web portal, the GridAMP daemon, and the
+database on three separate servers, and grants each process's database
+account only the table privileges it needs.  The paper:
+
+    "Incoming user data is parsed by the web server and uploaded to
+    database tables with strict data type constraints. [...] even a full
+    root compromise of the web server does not provide access to any
+    credentials used for access to any other system."
+
+We reproduce that privilege model at the connection layer: a
+:class:`Database` is opened *as a role*, and every statement the ORM
+compiles declares the operation and target table so the grant table can be
+checked before SQLite ever sees the SQL.  Raw SQL is only accepted from
+the ``admin`` role.
+
+Multiple logical "servers" sharing one database file is modelled by
+opening several :class:`Database` objects (one per role) against the same
+path — or against the same ``:memory:`` store via SQLite shared-cache URIs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import sqlite3
+import threading
+
+from .exceptions import ConnectionError, IntegrityError, PermissionDenied
+
+#: Operations a grant can name.
+OPERATIONS = ("select", "insert", "update", "delete", "create")
+
+_memory_uri_counter = itertools.count(1)
+
+
+class Grant:
+    """Privilege set for one role: ``{table_name: set(operations)}``.
+
+    The wildcard table ``"*"`` grants the listed operations on every
+    table.  Schema creation requires an explicit ``create`` grant.
+    """
+
+    def __init__(self, table_ops=None, *, allow_raw_sql=False):
+        self.table_ops = {t: set(ops) for t, ops in (table_ops or {}).items()}
+        self.allow_raw_sql = allow_raw_sql
+
+    def allows(self, operation, table):
+        ops = self.table_ops.get(table, set()) | self.table_ops.get("*", set())
+        return operation in ops
+
+    @classmethod
+    def all_privileges(cls):
+        return cls({"*": set(OPERATIONS)}, allow_raw_sql=True)
+
+    @classmethod
+    def read_only(cls, tables=("*",)):
+        return cls({t: {"select"} for t in tables})
+
+
+class RoleRegistry:
+    """Named grants for a deployment.
+
+    ``admin`` is always present with full privileges (it is the role the
+    developers' non-public admin interface uses).
+    """
+
+    def __init__(self):
+        self._grants = {"admin": Grant.all_privileges()}
+
+    def define(self, role, grant):
+        self._grants[role] = grant
+
+    def grant_for(self, role):
+        try:
+            return self._grants[role]
+        except KeyError:
+            raise PermissionDenied(f"Unknown database role: {role!r}")
+
+    def roles(self):
+        return sorted(self._grants)
+
+
+class Database:
+    """A role-scoped SQLite connection.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path, or ``":memory:"`` for a private in-memory store,
+        or a ``file:...?cache=shared`` URI to share an in-memory store
+        between several role connections (see :func:`shared_memory_uri`).
+    role:
+        Role name looked up in *roles*; defaults to ``admin``.
+    roles:
+        A :class:`RoleRegistry`; defaults to a registry containing only
+        ``admin``.
+    """
+
+    def __init__(self, path=":memory:", role="admin", roles=None):
+        self.path = path
+        self.role = role
+        self.roles = roles or RoleRegistry()
+        self._grant = self.roles.grant_for(role)
+        self._local = threading.local()
+        self._lock = threading.RLock()
+        # Statement log: (operation, table) tuples, used by the security
+        # audit in tests/benches to prove what each role actually did.
+        self.statement_log = []
+        self.log_statements = False
+
+    # ------------------------------------------------------------------
+    @property
+    def connection(self):
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            try:
+                conn = sqlite3.connect(
+                    self.path, uri=self.path.startswith("file:"),
+                    detect_types=0, check_same_thread=False)
+            except sqlite3.Error as exc:
+                raise ConnectionError(str(exc)) from exc
+            conn.execute("PRAGMA foreign_keys = ON")
+            conn.row_factory = sqlite3.Row
+            self._local.conn = conn
+        return conn
+
+    def close(self):
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # ------------------------------------------------------------------
+    def check_permission(self, operation, table):
+        """Raise :class:`PermissionDenied` unless the role allows it."""
+        if not self._grant.allows(operation, table):
+            raise PermissionDenied(
+                f"Role {self.role!r} may not {operation.upper()} on "
+                f"table {table!r}")
+
+    def execute(self, sql, params=(), *, operation, table):
+        """Run one compiled statement after a grant check.
+
+        All ORM-generated SQL flows through here with its operation and
+        table declared, which is what makes the grant check airtight: the
+        compiler, not a SQL parser, is the source of truth.
+        """
+        self.check_permission(operation, table)
+        if self.log_statements:
+            self.statement_log.append((operation, table))
+        with self._lock:
+            in_txn = getattr(self._local, "txn_depth", 0) > 0
+            try:
+                cur = self.connection.execute(sql, params)
+                if operation != "select" and not in_txn:
+                    self.connection.commit()
+                return cur
+            except sqlite3.IntegrityError as exc:
+                if not in_txn:
+                    self.connection.rollback()
+                raise IntegrityError(str(exc)) from exc
+
+    def executescript(self, script):
+        """Run a raw script; restricted to roles with ``allow_raw_sql``."""
+        if not self._grant.allow_raw_sql:
+            raise PermissionDenied(
+                f"Role {self.role!r} may not execute raw SQL")
+        with self._lock:
+            self.connection.executescript(script)
+            self.connection.commit()
+
+    def atomic(self):
+        """Context manager for a transaction (BEGIN ... COMMIT/ROLLBACK)."""
+        return _Atomic(self)
+
+    def table_names(self):
+        self.check_permission("select", "sqlite_master")
+        with self._lock:
+            cur = self.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type='table' "
+                "AND name NOT LIKE 'sqlite_%' ORDER BY name")
+            return [r[0] for r in cur.fetchall()]
+
+    def __repr__(self):  # pragma: no cover
+        return f"<Database {self.path!r} role={self.role!r}>"
+
+
+class _Atomic:
+    """Transaction scope: statements inside are committed or rolled
+    back together.  Python's sqlite3 driver auto-begins a transaction
+    at the first DML statement; we just suppress per-statement commits
+    while the scope is open and finish it on exit."""
+
+    def __init__(self, db):
+        self.db = db
+
+    def __enter__(self):
+        self.db._lock.acquire()
+        self.db._local.txn_depth = getattr(self.db._local, "txn_depth",
+                                           0) + 1
+        return self.db
+
+    def __exit__(self, exc_type, exc, tb):
+        try:
+            self.db._local.txn_depth -= 1
+            if self.db._local.txn_depth == 0:
+                if exc_type is None:
+                    self.db.connection.commit()
+                else:
+                    self.db.connection.rollback()
+        finally:
+            self.db._lock.release()
+        return False
+
+
+def shared_memory_uri(name=None):
+    """Return a URI for an in-memory database shareable across connections.
+
+    Each call without *name* mints a fresh store, so tests get isolation
+    for free while the portal/daemon role pair in one deployment share
+    state by using the same URI.
+    """
+    if name is None:
+        name = f"webstack_mem_{next(_memory_uri_counter)}"
+    name = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    return f"file:{name}?mode=memory&cache=shared"
+
+
+class DeploymentDatabases:
+    """The multi-server database layout of the AMP deployment.
+
+    One shared store, three role-scoped connections:
+
+    - ``portal``  — the public web server's account,
+    - ``daemon``  — the GridAMP daemon's account,
+    - ``admin``   — the developers' account (full privileges).
+
+    A keeper connection holds the shared in-memory store alive for the
+    lifetime of this object.
+    """
+
+    def __init__(self, roles, uri=None):
+        self.uri = uri or shared_memory_uri()
+        self.roles = roles
+        self._keeper = sqlite3.connect(self.uri, uri=True,
+                                       check_same_thread=False)
+        self.admin = Database(self.uri, role="admin", roles=roles)
+        self.portal = Database(self.uri, role="portal", roles=roles)
+        self.daemon = Database(self.uri, role="daemon", roles=roles)
+
+    def close(self):
+        for db in (self.admin, self.portal, self.daemon):
+            db.close()
+        self._keeper.close()

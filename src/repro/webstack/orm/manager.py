@@ -1,0 +1,94 @@
+"""Model managers — the ``Model.objects`` entry point."""
+
+from __future__ import annotations
+
+from .query import QuerySet
+
+
+class Manager:
+    """Default per-model accessor producing fresh QuerySets.
+
+    Mirrors the Django manager surface AMP used: ``objects.filter(...)``,
+    ``objects.create(...)``, ``objects.get_or_create(...)``.  A manager may
+    be bound to a specific role connection with ``using()`` — this is how
+    the same model class serves both the portal and the daemon processes.
+    """
+
+    def __init__(self):
+        self.model = None
+        self.name = None
+
+    def contribute_to_class(self, model, name):
+        self.model = model
+        self.name = name
+
+    def __get__(self, instance, owner):
+        if instance is not None:
+            raise AttributeError(
+                "Manager is not accessible via model instances")
+        mgr = Manager()
+        mgr.model = owner
+        mgr.name = self.name
+        return mgr
+
+    # ------------------------------------------------------------------
+    def get_queryset(self):
+        return QuerySet(self.model)
+
+    def using(self, db):
+        return self.get_queryset().using(db)
+
+    def all(self):
+        return self.get_queryset()
+
+    def filter(self, *qs, **lookups):
+        return self.get_queryset().filter(*qs, **lookups)
+
+    def exclude(self, *qs, **lookups):
+        return self.get_queryset().exclude(*qs, **lookups)
+
+    def get(self, *qs, **lookups):
+        return self.get_queryset().get(*qs, **lookups)
+
+    def order_by(self, *names):
+        return self.get_queryset().order_by(*names)
+
+    def none(self):
+        return self.get_queryset().none()
+
+    def count(self):
+        return self.get_queryset().count()
+
+    def exists(self):
+        return self.get_queryset().exists()
+
+    def first(self):
+        return self.get_queryset().first()
+
+    def values(self, *names):
+        return self.get_queryset().values(*names)
+
+    def values_list(self, *names, flat=False):
+        return self.get_queryset().values_list(*names, flat=flat)
+
+    def in_bulk(self, ids):
+        return self.get_queryset().in_bulk(ids)
+
+    def create(self, **kwargs):
+        obj = self.model(**kwargs)
+        obj.save()
+        return obj
+
+    def get_or_create(self, defaults=None, **lookups):
+        """Return ``(object, created)`` in one call."""
+        try:
+            return self.get(**lookups), False
+        except self.model.DoesNotExist:
+            params = dict(lookups)
+            params.update(defaults or {})
+            return self.create(**params), True
+
+    def bulk_create(self, objects):
+        for obj in objects:
+            obj.save(force_insert=True)
+        return objects

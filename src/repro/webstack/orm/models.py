@@ -1,0 +1,334 @@
+"""Model base class, metaclass, and the model registry.
+
+The metaclass collects declared :class:`~repro.webstack.orm.fields.Field`
+instances into ``Model._meta`` (declaration order preserved), mints the
+per-model ``DoesNotExist``/``MultipleObjectsReturned`` exceptions, installs
+a default manager, adds reverse accessors for foreign keys, and registers
+the model so string-named ``ForeignKey("app.Model")`` references resolve.
+
+Single-table model inheritance is deliberately *not* implemented — the
+paper's workflow classes use plain Python inheritance over a single base
+table ("the use of inheritance to support AMP's two job types with a
+single base class"), which proxy-style subclassing supports (see
+``Meta.proxy_of`` in the core models).
+"""
+
+from __future__ import annotations
+
+from .exceptions import (FieldError, MultipleObjectsReturned,
+                         ObjectDoesNotExist, ValidationError)
+from .fields import AutoField, DateTimeField, Field, ForeignKey
+from .manager import Manager
+
+#: Global registry: "ModelName" -> model class.
+_model_registry = {}
+
+
+def get_registered_model(name):
+    try:
+        return _model_registry[name]
+    except KeyError:
+        raise FieldError(f"No model registered under name {name!r}")
+
+
+def clear_registry():
+    """Testing hook: forget registered models (does not drop tables)."""
+    _model_registry.clear()
+
+
+class Options:
+    """``Model._meta`` — collected schema information for one model."""
+
+    def __init__(self, model_name, meta_cls):
+        self.model_name = model_name
+        self.fields = []
+        self._by_name = {}
+        self.table_name = getattr(meta_cls, "table_name", None) \
+            or model_name.lower()
+        self.ordering = list(getattr(meta_cls, "ordering", []) or [])
+        self.unique_together = [tuple(g) for g in
+                                getattr(meta_cls, "unique_together", [])]
+        self.verbose_name = getattr(meta_cls, "verbose_name",
+                                    model_name.lower())
+        self.abstract = bool(getattr(meta_cls, "abstract", False))
+        self.database = None   # bound by schema.bind()
+        self.pk = None
+        self.model = None
+
+    def add_field(self, field):
+        self.fields.append(field)
+        self.fields.sort(key=lambda f: f._order)
+        self._by_name[field.name] = field
+        self._by_name[field.attname] = field
+        if field.primary_key:
+            self.pk = field
+
+    def field_by_any_name(self, name):
+        """Look a field up by its name or attname (``fk`` or ``fk_id``)."""
+        return self._by_name.get(name)
+
+    def concrete_fields(self):
+        return list(self.fields)
+
+    def editable_fields(self):
+        return [f for f in self.fields if f.editable and not f.primary_key]
+
+    def foreign_keys(self):
+        return [f for f in self.fields if isinstance(f, ForeignKey)]
+
+
+class ModelMeta(type):
+    def __new__(mcs, name, bases, attrs):
+        parents = [b for b in bases if isinstance(b, ModelMeta)]
+        if not parents:
+            return super().__new__(mcs, name, bases, attrs)
+
+        meta_cls = attrs.pop("Meta", None)
+        opts = Options(name, meta_cls)
+
+        # Inherit fields from abstract parents (copy, preserving order).
+        inherited = []
+        for base in parents:
+            base_meta = getattr(base, "_meta", None)
+            if base_meta is not None and base_meta.abstract:
+                inherited.extend(base_meta.fields)
+
+        module = attrs.get("__module__")
+        new_cls = super().__new__(mcs, name, bases, {
+            k: v for k, v in attrs.items()
+            if not isinstance(v, (Field, Manager))})
+        new_cls._meta = opts
+        opts.model = new_cls
+
+        for field in inherited:
+            clone = _copy_field(field)
+            clone.contribute_to_class(new_cls, field.name)
+
+        declared_fields = [(k, v) for k, v in attrs.items()
+                           if isinstance(v, Field)]
+        declared_fields.sort(key=lambda kv: kv[1]._order)
+        for fname, field in declared_fields:
+            field.contribute_to_class(new_cls, fname)
+
+        if not opts.abstract and opts.pk is None:
+            pk = AutoField()
+            pk.contribute_to_class(new_cls, "id")
+
+        # Per-model exceptions.
+        new_cls.DoesNotExist = type(
+            "DoesNotExist", (ObjectDoesNotExist,), {"__module__": module})
+        new_cls.MultipleObjectsReturned = type(
+            "MultipleObjectsReturned", (MultipleObjectsReturned,),
+            {"__module__": module})
+
+        # Managers.
+        managers = [(k, v) for k, v in attrs.items()
+                    if isinstance(v, Manager)]
+        if not managers and not opts.abstract:
+            managers = [("objects", Manager())]
+        for mname, manager in managers:
+            manager.contribute_to_class(new_cls, mname)
+            setattr(new_cls, mname, manager)
+
+        if not opts.abstract:
+            _model_registry[name] = new_cls
+            for fk in opts.foreign_keys():
+                _install_reverse_accessor(new_cls, fk)
+
+        return new_cls
+
+
+def _copy_field(field):
+    import copy
+    clone = copy.copy(field)
+    clone._order = field._order
+    return clone
+
+
+def _install_reverse_accessor(model, fk):
+    """Add ``target.<related_name>`` returning referencing rows."""
+    related_name = fk.related_name or model.__name__.lower() + "_set"
+
+    def accessor(self, _model=model, _fk=fk):
+        return _model.objects.using(self._state_db).filter(
+            **{_fk.attname: self.pk})
+
+    target = fk.to
+    if isinstance(target, str):
+        # Deferred: install once the target registers.
+        _pending_reverse.setdefault(target, []).append(
+            (related_name, accessor))
+    else:
+        setattr(target, related_name, property(accessor))
+
+
+_pending_reverse = {}
+
+
+def resolve_pending_relations():
+    """Install reverse accessors whose targets registered late."""
+    for target_name, accessors in list(_pending_reverse.items()):
+        target = _model_registry.get(target_name)
+        if target is None:
+            continue
+        for related_name, accessor in accessors:
+            setattr(target, related_name, property(accessor))
+        del _pending_reverse[target_name]
+
+
+class Model(metaclass=ModelMeta):
+    """Base class for all persistent objects.
+
+    Instances track which role connection loaded them (``_state_db``) so
+    related-object traversal and ``save()`` stay within the same role —
+    an object the portal read cannot silently write through the daemon's
+    credentials.
+    """
+
+    class Meta:
+        abstract = True
+
+    def __init__(self, **kwargs):
+        self._state_db = kwargs.pop("_db", None)
+        self._state_adding = True
+        meta = self._meta
+        for field in meta.fields:
+            if field.attname in kwargs:
+                setattr(self, field.attname, kwargs.pop(field.attname))
+            elif isinstance(field, ForeignKey) and field.name in kwargs:
+                setattr(self, field.name, kwargs.pop(field.name))
+            elif field.has_default():
+                setattr(self, field.attname, field.get_default())
+            else:
+                setattr(self, field.attname, None)
+        if kwargs:
+            raise TypeError(
+                f"{type(self).__name__} got unexpected field(s): "
+                f"{sorted(kwargs)}")
+
+    # ------------------------------------------------------------------
+    @property
+    def pk(self):
+        return getattr(self, self._meta.pk.attname)
+
+    @pk.setter
+    def pk(self, value):
+        setattr(self, self._meta.pk.attname, value)
+
+    @classmethod
+    def _from_db_row(cls, row, db):
+        obj = cls.__new__(cls)
+        obj._state_db = db
+        obj._state_adding = False
+        for field in cls._meta.fields:
+            raw = row.get(field.column)
+            object.__setattr__(obj, field.attname, field.from_db(raw))
+        return obj
+
+    def _db_for_write(self):
+        db = self._state_db or self._meta.database
+        if db is None:
+            raise FieldError(
+                f"No database bound for {type(self).__name__}")
+        return db
+
+    # ------------------------------------------------------------------
+    def full_clean(self):
+        """Validate every field; collect all errors before raising."""
+        errors = {}
+        for field in self._meta.fields:
+            if field.primary_key and getattr(self, field.attname) is None:
+                continue
+            if isinstance(field, DateTimeField) and (field.auto_now or
+                                                     field.auto_now_add):
+                continue
+            try:
+                cleaned = field.clean(getattr(self, field.attname))
+                if cleaned is not None:
+                    setattr(self, field.attname, cleaned)
+            except ValidationError as exc:
+                if exc.error_dict:
+                    for k, v in exc.error_dict.items():
+                        errors.setdefault(k, []).extend(v)
+                else:
+                    errors.setdefault(field.name, []).extend(exc.messages)
+        if errors:
+            raise ValidationError(errors)
+
+    def save(self, db=None, force_insert=False):
+        """INSERT or UPDATE this instance after full validation.
+
+        The strict-marshaling guarantee: nothing reaches the table without
+        passing every field's ``clean()``.
+        """
+        if db is not None:
+            self._state_db = db
+        database = self._db_for_write()
+        meta = self._meta
+        self.full_clean()
+
+        adding = force_insert or self.pk is None or self._state_adding
+        columns, values = [], []
+        for field in meta.fields:
+            if isinstance(field, AutoField):
+                continue
+            if isinstance(field, DateTimeField):
+                value = field.pre_save(self, adding)
+            else:
+                value = getattr(self, field.attname)
+            columns.append(field.column)
+            values.append(field.to_db(value))
+
+        if adding:
+            col_sql = ", ".join(f'"{c}"' for c in columns)
+            marks = ", ".join("?" for _ in columns)
+            if self.pk is not None:
+                col_sql = f'"{meta.pk.column}", ' + col_sql if columns else \
+                    f'"{meta.pk.column}"'
+                marks = "?, " + marks if columns else "?"
+                values = [meta.pk.to_db(self.pk)] + values
+            sql = (f'INSERT INTO "{meta.table_name}" ({col_sql}) '
+                   f'VALUES ({marks})')
+            cur = database.execute(sql, values, operation="insert",
+                                   table=meta.table_name)
+            if self.pk is None:
+                self.pk = cur.lastrowid
+            self._state_adding = False
+        else:
+            sets = ", ".join(f'"{c}" = ?' for c in columns)
+            sql = (f'UPDATE "{meta.table_name}" SET {sets} '
+                   f'WHERE "{meta.pk.column}" = ?')
+            database.execute(sql, values + [meta.pk.to_db(self.pk)],
+                             operation="update", table=meta.table_name)
+        return self
+
+    def delete(self):
+        database = self._db_for_write()
+        meta = self._meta
+        database.execute(
+            f'DELETE FROM "{meta.table_name}" WHERE "{meta.pk.column}" = ?',
+            [meta.pk.to_db(self.pk)], operation="delete",
+            table=meta.table_name)
+        self.pk = None
+        self._state_adding = True
+
+    def refresh_from_db(self):
+        fresh = type(self).objects.using(self._db_for_write()).get(pk=self.pk)
+        for field in self._meta.fields:
+            setattr(self, field.attname, getattr(fresh, field.attname))
+        self.__dict__.pop("_fk_cache", None)
+        self._state_adding = False
+        return self
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other):
+        return (type(self) is type(other) and self.pk is not None
+                and self.pk == other.pk)
+
+    def __hash__(self):
+        if self.pk is None:
+            return object.__hash__(self)
+        return hash((type(self).__name__, self.pk))
+
+    def __repr__(self):
+        return f"<{type(self).__name__}: pk={self.pk}>"

@@ -1,0 +1,441 @@
+"""Lazy QuerySets, Q expressions, and the SQL compiler.
+
+The subset of the Django query API implemented here is exactly the subset
+the AMP gateway exercises: chained ``filter``/``exclude`` with field
+lookups, ``get``/``first``/``count``/``exists``, ``order_by``, slicing,
+``values``/``values_list``, bulk ``update``/``delete``, and ``Q`` objects
+for OR'd conditions (the daemon's "jobs in any active state" poll).
+
+QuerySets are lazy and immutable: every refinement returns a clone, and
+SQL executes only on iteration or a terminal method.
+"""
+
+from __future__ import annotations
+
+from .exceptions import FieldError
+
+#: lookup name -> SQL template fragment (``{col}`` substituted, one param).
+_LOOKUPS = {
+    "exact": '"{col}" = ?',
+    "iexact": 'LOWER("{col}") = LOWER(?)',
+    "ne": '"{col}" != ?',
+    "gt": '"{col}" > ?',
+    "gte": '"{col}" >= ?',
+    "lt": '"{col}" < ?',
+    "lte": '"{col}" <= ?',
+    "contains": '"{col}" LIKE ? ESCAPE \'\\\'',
+    "icontains": 'LOWER("{col}") LIKE LOWER(?) ESCAPE \'\\\'',
+    "startswith": '"{col}" LIKE ? ESCAPE \'\\\'',
+    "istartswith": 'LOWER("{col}") LIKE LOWER(?) ESCAPE \'\\\'',
+    "endswith": '"{col}" LIKE ? ESCAPE \'\\\'',
+}
+
+
+def _like_escape(value):
+    return (str(value).replace("\\", "\\\\")
+            .replace("%", r"\%").replace("_", r"\_"))
+
+
+class Q:
+    """A composable filter condition.
+
+    ``Q(state="RUNNING") | Q(state="QUEUED")`` compiles to an OR group;
+    ``~Q(...)`` negates.  Leaves hold keyword lookups in Django syntax
+    (``field``, ``field__lookup``).
+    """
+
+    AND = "AND"
+    OR = "OR"
+
+    def __init__(self, **lookups):
+        self.children = [("leaf", lookups)] if lookups else []
+        self.connector = self.AND
+        self.negated = False
+
+    def _combine(self, other, connector):
+        if not isinstance(other, Q):
+            raise TypeError("Q objects can only combine with Q objects")
+        combined = Q()
+        combined.connector = connector
+        for q in (self, other):
+            if not q.children:
+                continue
+            combined.children.append(("node", q))
+        return combined
+
+    def __and__(self, other):
+        return self._combine(other, self.AND)
+
+    def __or__(self, other):
+        return self._combine(other, self.OR)
+
+    def __invert__(self):
+        clone = Q()
+        clone.children = list(self.children)
+        clone.connector = self.connector
+        clone.negated = not self.negated
+        return clone
+
+    def is_empty(self):
+        return not self.children
+
+
+class QueryCompiler:
+    """Compiles Q trees and queryset state into SQL + parameters."""
+
+    def __init__(self, model):
+        self.model = model
+        self.meta = model._meta
+
+    # -- condition compilation -----------------------------------------
+    def resolve_column(self, name):
+        """Map a lookup path like ``name`` or ``name__lookup`` to a column."""
+        parts = name.split("__")
+        lookup = "exact"
+        if len(parts) > 1 and parts[-1] in _LOOKUPS or (
+                len(parts) > 1 and parts[-1] in ("in", "isnull", "range")):
+            lookup = parts.pop()
+        field_name = "__".join(parts)
+        if field_name == "pk":
+            return self.meta.pk.column, self.meta.pk, lookup
+        field = self.meta.field_by_any_name(field_name)
+        if field is None:
+            raise FieldError(
+                f"Unknown field {field_name!r} for model "
+                f"{self.model.__name__}; choices are "
+                f"{sorted(f.name for f in self.meta.fields)}")
+        return field.column, field, lookup
+
+    def compile_lookup(self, key, value):
+        col, field, lookup = self.resolve_column(key)
+        if lookup == "isnull":
+            return (f'"{col}" IS NULL' if value else f'"{col}" IS NOT NULL'), []
+        if lookup == "in":
+            values = [field.to_db(field.to_python(v)) for v in value]
+            if not values:
+                return "0 = 1", []  # empty IN matches nothing
+            marks = ", ".join("?" for _ in values)
+            return f'"{col}" IN ({marks})', values
+        if lookup == "range":
+            lo, hi = value
+            return (f'"{col}" BETWEEN ? AND ?',
+                    [field.to_db(field.to_python(lo)),
+                     field.to_db(field.to_python(hi))])
+        template = _LOOKUPS.get(lookup)
+        if template is None:
+            raise FieldError(f"Unsupported lookup {lookup!r}")
+        if lookup in ("contains", "icontains"):
+            param = f"%{_like_escape(value)}%"
+        elif lookup in ("startswith", "istartswith"):
+            param = f"{_like_escape(value)}%"
+        elif lookup == "endswith":
+            param = f"%{_like_escape(value)}"
+        else:
+            param = field.to_db(field.to_python(value))
+        return template.format(col=col), [param]
+
+    def compile_q(self, q):
+        """Compile a Q tree; returns (sql, params)."""
+        fragments, params = [], []
+        for kind, payload in q.children:
+            if kind == "leaf":
+                sub = []
+                for key, value in payload.items():
+                    sql, p = self.compile_lookup(key, value)
+                    sub.append(sql)
+                    params.extend(p)
+                if sub:
+                    fragments.append("(" + " AND ".join(sub) + ")")
+            else:
+                sql, p = self.compile_q(payload)
+                if sql:
+                    fragments.append("(" + sql + ")")
+                    params.extend(p)
+        if not fragments:
+            return "", params
+        sql = f" {q.connector} ".join(fragments)
+        if q.negated:
+            sql = f"NOT ({sql})"
+        return sql, params
+
+    def compile_where(self, conditions):
+        """Compile a list of Q objects AND'ed together."""
+        fragments, params = [], []
+        for q in conditions:
+            sql, p = self.compile_q(q)
+            if sql:
+                fragments.append("(" + sql + ")")
+                params.extend(p)
+        if not fragments:
+            return "", []
+        return " WHERE " + " AND ".join(fragments), params
+
+    def compile_order(self, order_by):
+        if not order_by:
+            order_by = self.meta.ordering
+        if not order_by:
+            return ""
+        terms = []
+        for name in order_by:
+            desc = name.startswith("-")
+            col, _, _ = self.resolve_column(name.lstrip("-"))
+            terms.append(f'"{col}" DESC' if desc else f'"{col}" ASC')
+        return " ORDER BY " + ", ".join(terms)
+
+
+class QuerySet:
+    """A lazy, chainable view over one model's table."""
+
+    def __init__(self, model, db=None):
+        self.model = model
+        self._db = db
+        self._conditions = []      # list of Q (AND'ed)
+        self._order_by = []
+        self._limit = None
+        self._offset = None
+        self._result_cache = None
+
+    # ------------------------------------------------------------------
+    @property
+    def db(self):
+        db = self._db or self.model._meta.database
+        if db is None:
+            raise FieldError(
+                f"No database bound for {self.model.__name__}; call "
+                "schema.bind(models, db) or pass .using(db)")
+        return db
+
+    def _clone(self):
+        clone = QuerySet(self.model, self._db)
+        clone._conditions = list(self._conditions)
+        clone._order_by = list(self._order_by)
+        clone._limit = self._limit
+        clone._offset = self._offset
+        return clone
+
+    def using(self, db):
+        clone = self._clone()
+        clone._db = db
+        return clone
+
+    # -- refinement ------------------------------------------------------
+    def filter(self, *qs, **lookups):
+        clone = self._clone()
+        for q in qs:
+            if not isinstance(q, Q):
+                raise TypeError("positional arguments must be Q objects")
+            if not q.is_empty():
+                clone._conditions.append(q)
+        if lookups:
+            clone._conditions.append(Q(**lookups))
+        return clone
+
+    def exclude(self, *qs, **lookups):
+        combined = Q()
+        combined.children = [("node", q) for q in qs]
+        if lookups:
+            combined.children.append(("leaf", lookups))
+        if not combined.children:
+            return self._clone()
+        clone = self._clone()
+        clone._conditions.append(~combined)
+        return clone
+
+    def order_by(self, *names):
+        clone = self._clone()
+        clone._order_by = list(names)
+        return clone
+
+    def all(self):
+        return self._clone()
+
+    def none(self):
+        clone = self._clone()
+        clone._conditions.append(Q(pk__in=[]))
+        return clone
+
+    # -- execution ---------------------------------------------------------
+    def _select_sql(self, columns="*"):
+        compiler = QueryCompiler(self.model)
+        where, params = compiler.compile_where(self._conditions)
+        sql = f'SELECT {columns} FROM "{self.model._meta.table_name}"' + where
+        sql += compiler.compile_order(self._order_by)
+        if self._limit is not None or self._offset is not None:
+            sql += f" LIMIT {self._limit if self._limit is not None else -1}"
+            if self._offset:
+                sql += f" OFFSET {self._offset}"
+        return sql, params
+
+    def _fetch(self):
+        if self._result_cache is None:
+            sql, params = self._select_sql()
+            cur = self.db.execute(sql, params, operation="select",
+                                  table=self.model._meta.table_name)
+            self._result_cache = [
+                self.model._from_db_row(dict(row), self.db)
+                for row in cur.fetchall()]
+        return self._result_cache
+
+    def __iter__(self):
+        return iter(self._fetch())
+
+    def __len__(self):
+        return len(self._fetch())
+
+    def __bool__(self):
+        return bool(self._fetch())
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            if (item.start or 0) < 0 or (item.stop is not None and item.stop < 0):
+                raise ValueError("Negative slicing is not supported")
+            clone = self._clone()
+            clone._offset = (self._offset or 0) + (item.start or 0)
+            if item.stop is not None:
+                clone._limit = item.stop - (item.start or 0)
+            return clone
+        if item < 0:
+            raise ValueError("Negative indexing is not supported")
+        return self._fetch()[item]
+
+    # -- terminal methods --------------------------------------------------
+    def get(self, *qs, **lookups):
+        results = list(self.filter(*qs, **lookups)[:2])
+        if not results:
+            raise self.model.DoesNotExist(
+                f"{self.model.__name__} matching query does not exist "
+                f"({lookups!r})")
+        if len(results) > 1:
+            raise self.model.MultipleObjectsReturned(
+                f"get() returned more than one {self.model.__name__}")
+        return results[0]
+
+    def first(self):
+        results = list(self[:1])
+        return results[0] if results else None
+
+    def last(self):
+        order = self._order_by or self.model._meta.ordering or ["pk"]
+        flipped = [n[1:] if n.startswith("-") else "-" + n for n in order]
+        return self.order_by(*flipped).first()
+
+    def count(self):
+        compiler = QueryCompiler(self.model)
+        where, params = compiler.compile_where(self._conditions)
+        sql = (f'SELECT COUNT(*) FROM "{self.model._meta.table_name}"'
+               + where)
+        cur = self.db.execute(sql, params, operation="select",
+                              table=self.model._meta.table_name)
+        return cur.fetchone()[0]
+
+    def exists(self):
+        return bool(list(self[:1]))
+
+    def delete(self):
+        """Delete matching rows; returns number deleted."""
+        compiler = QueryCompiler(self.model)
+        where, params = compiler.compile_where(self._conditions)
+        sql = f'DELETE FROM "{self.model._meta.table_name}"' + where
+        cur = self.db.execute(sql, params, operation="delete",
+                              table=self.model._meta.table_name)
+        return cur.rowcount
+
+    def update(self, **values):
+        """Bulk UPDATE of matching rows; returns number updated.
+
+        Values pass through the same field ``clean()`` pipeline as
+        ``save()`` — the strict-typing guarantee holds for bulk writes too.
+        """
+        if not values:
+            return 0
+        meta = self.model._meta
+        sets, params = [], []
+        for name, value in values.items():
+            field = meta.field_by_any_name(name)
+            if field is None:
+                raise FieldError(f"Unknown field {name!r} in update()")
+            cleaned = field.clean(value)
+            sets.append(f'"{field.column}" = ?')
+            params.append(field.to_db(cleaned))
+        compiler = QueryCompiler(self.model)
+        where, wparams = compiler.compile_where(self._conditions)
+        sql = (f'UPDATE "{meta.table_name}" SET ' + ", ".join(sets) + where)
+        cur = self.db.execute(sql, params + wparams, operation="update",
+                              table=meta.table_name)
+        return cur.rowcount
+
+    def values(self, *names):
+        """Return a list of dicts restricted to *names* (or all fields)."""
+        meta = self.model._meta
+        if not names:
+            names = [f.attname for f in meta.fields]
+        rows = []
+        for obj in self._fetch():
+            rows.append({n: getattr(obj, n if n != "pk" else meta.pk.attname)
+                         for n in names})
+        return rows
+
+    def values_list(self, *names, flat=False):
+        rows = self.values(*names)
+        if flat:
+            if len(names) != 1:
+                raise FieldError("flat=True requires exactly one field")
+            return [r[names[0]] for r in rows]
+        return [tuple(r[n] for n in names) for r in rows]
+
+    def in_bulk(self, ids):
+        objs = self.filter(pk__in=list(ids))
+        return {obj.pk: obj for obj in objs}
+
+    def create(self, **kwargs):
+        """Create and save an instance through this queryset's database."""
+        obj = self.model(**kwargs)
+        obj.save(db=self.db)
+        return obj
+
+    def get_or_create(self, defaults=None, **lookups):
+        try:
+            return self.get(**lookups), False
+        except self.model.DoesNotExist:
+            params = dict(lookups)
+            params.update(defaults or {})
+            return self.create(**params), True
+
+    def update_or_create(self, defaults=None, **lookups):
+        """Update the matching row with *defaults*, or create it.
+
+        Returns ``(object, created)``.
+        """
+        defaults = defaults or {}
+        try:
+            obj = self.get(**lookups)
+            for key, value in defaults.items():
+                setattr(obj, key, value)
+            obj.save(db=self.db)
+            return obj, False
+        except self.model.DoesNotExist:
+            params = dict(lookups)
+            params.update(defaults)
+            return self.create(**params), True
+
+    def distinct_values(self, field_name):
+        """Sorted distinct values of one column."""
+        from .aggregates import run_values_count
+        return sorted(run_values_count(self, field_name),
+                      key=lambda v: (v is None, v))
+
+    def aggregate(self, **named_aggregates):
+        """Run aggregates (Count/Sum/Avg/Min/Max) over this queryset."""
+        from .aggregates import run_aggregate
+        return run_aggregate(self, named_aggregates)
+
+    def values_count(self, field_name):
+        """GROUP BY *field_name*; returns ``{value: count}``."""
+        from .aggregates import run_values_count
+        return run_values_count(self, field_name)
+
+    def __repr__(self):  # pragma: no cover
+        preview = list(self[:4])
+        suffix = ", ..." if len(preview) > 3 else ""
+        inner = ", ".join(repr(o) for o in preview[:3])
+        return f"<QuerySet [{inner}{suffix}]>"

@@ -1,0 +1,95 @@
+"""Pagination for list views (Django's Paginator equivalent).
+
+Works with QuerySets (sliced lazily — one COUNT plus one LIMIT/OFFSET
+query per page) and with plain sequences.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class EmptyPage(Exception):
+    pass
+
+
+class Page:
+    def __init__(self, objects, number, paginator):
+        self.object_list = list(objects)
+        self.number = number
+        self.paginator = paginator
+
+    def __iter__(self):
+        return iter(self.object_list)
+
+    def __len__(self):
+        return len(self.object_list)
+
+    @property
+    def has_next(self):
+        return self.number < self.paginator.num_pages
+
+    @property
+    def has_previous(self):
+        return self.number > 1
+
+    @property
+    def next_page_number(self):
+        return self.number + 1
+
+    @property
+    def previous_page_number(self):
+        return self.number - 1
+
+    @property
+    def start_index(self):
+        """1-based index of the first object on this page."""
+        if self.paginator.count == 0:
+            return 0
+        return (self.number - 1) * self.paginator.per_page + 1
+
+    @property
+    def end_index(self):
+        return self.start_index + len(self.object_list) - 1
+
+
+class Paginator:
+    def __init__(self, object_list, per_page):
+        if per_page < 1:
+            raise ValueError("per_page must be >= 1")
+        self.object_list = object_list
+        self.per_page = int(per_page)
+
+    @property
+    def count(self):
+        if hasattr(self.object_list, "count") \
+                and not isinstance(self.object_list, (list, tuple)):
+            return self.object_list.count()
+        return len(self.object_list)
+
+    @property
+    def num_pages(self):
+        return max(1, math.ceil(self.count / self.per_page))
+
+    def page(self, number):
+        try:
+            number = int(number)
+        except (TypeError, ValueError):
+            raise EmptyPage(f"Page number {number!r} is not an integer")
+        if number < 1 or number > self.num_pages:
+            raise EmptyPage(
+                f"Page {number} out of range 1..{self.num_pages}")
+        start = (number - 1) * self.per_page
+        return Page(self.object_list[start:start + self.per_page],
+                    number, self)
+
+    def get_page(self, number):
+        """Forgiving variant: clamps bad input to a valid page."""
+        try:
+            return self.page(number)
+        except EmptyPage:
+            try:
+                number = int(number)
+            except (TypeError, ValueError):
+                return self.page(1)
+            return self.page(min(max(number, 1), self.num_pages))

@@ -1,0 +1,58 @@
+"""Development WSGI server (wsgiref-based).
+
+The paper notes Django's "self-contained development environment was easy
+to install and facilitated quick prototyping and debugging"; this module
+is that piece.  Production deployments in the paper sat behind Apache —
+any WSGI container can host :class:`WebApplication` the same way.
+"""
+
+from __future__ import annotations
+
+import threading
+from wsgiref.simple_server import WSGIRequestHandler, make_server
+
+
+class _QuietHandler(WSGIRequestHandler):
+    def log_message(self, format, *args):  # noqa: A002 - wsgiref API
+        pass
+
+
+class DevServer:
+    """Serve a WSGI app on localhost, optionally in a background thread."""
+
+    def __init__(self, app, host="127.0.0.1", port=0):
+        self.app = app
+        self.httpd = make_server(host, port, app,
+                                 handler_class=_QuietHandler)
+        self.host = host
+        self.port = self.httpd.server_address[1]
+        self._thread = None
+
+    @property
+    def url(self):
+        return f"http://{self.host}:{self.port}"
+
+    def start_background(self):
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self):  # pragma: no cover - interactive use
+        self.httpd.serve_forever()
+
+    def stop(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+def run_dev_server(app, host="127.0.0.1", port=8000):  # pragma: no cover
+    """Blocking convenience entry point."""
+    server = DevServer(app, host, port)
+    print(f"webstack dev server on {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()

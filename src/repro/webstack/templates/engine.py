@@ -1,0 +1,228 @@
+"""Template parser and engine.
+
+Templates are registered with the engine as named strings (the portal
+ships its templates as Python-embedded strings so the whole site is one
+importable code base) or loaded from directories.  Parsed templates are
+cached per engine.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from .context import Context
+from .lexer import (TOKEN_COMMENT, TOKEN_TAG, TOKEN_TEXT, TOKEN_VAR,
+                    TemplateSyntaxError, tokenize)
+from .nodes import (AutoescapeNode, BlockNode, BoolExpression, ExtendsNode,
+                    FilterExpression, ForNode, IfNode, IncludeNode, NodeList,
+                    TextNode, UrlNode, VarNode, parse_atom)
+
+_KWARG_RE = re.compile(r"(\w+)=((?:'[^']*')|(?:\"[^\"]*\")|\S+)")
+
+
+class Parser:
+    def __init__(self, tokens, engine):
+        self.tokens = tokens
+        self.engine = engine
+        self.pos = 0
+        self.blocks = {}
+
+    def parse(self, until=()):
+        """Parse until one of the *until* tag names; returns a NodeList.
+
+        The terminating token is left available via ``self.next_tag``.
+        """
+        nodelist = NodeList()
+        self.next_tag = None
+        while self.pos < len(self.tokens):
+            token = self.tokens[self.pos]
+            self.pos += 1
+            if token.kind == TOKEN_TEXT:
+                nodelist.append(TextNode(token.contents))
+            elif token.kind == TOKEN_COMMENT:
+                continue
+            elif token.kind == TOKEN_VAR:
+                nodelist.append(VarNode(token.contents))
+            elif token.kind == TOKEN_TAG:
+                name, _, rest = token.contents.partition(" ")
+                rest = rest.strip()
+                if name in until:
+                    self.next_tag = (name, rest)
+                    return nodelist
+                nodelist.append(self._parse_tag(name, rest, token))
+        if until:
+            raise TemplateSyntaxError(
+                f"Unclosed block: expected one of {until}")
+        return nodelist
+
+    # ------------------------------------------------------------------
+    def _parse_tag(self, name, rest, token):
+        method = getattr(self, f"_tag_{name}", None)
+        if method is None:
+            raise TemplateSyntaxError(
+                f"Unknown tag {{% {name} %}} at line {token.lineno}")
+        return method(rest)
+
+    def _tag_if(self, rest):
+        branches = []
+        condition = BoolExpression(rest)
+        while True:
+            body = self.parse(until=("elif", "else", "endif"))
+            branches.append((condition, body))
+            tag, tag_rest = self.next_tag
+            if tag == "elif":
+                condition = BoolExpression(tag_rest)
+                continue
+            if tag == "else":
+                body = self.parse(until=("endif",))
+                branches.append((None, body))
+            return IfNode(branches)
+
+    def _tag_for(self, rest):
+        match = re.match(r"^(.+?)\s+in\s+(.+)$", rest)
+        if not match:
+            raise TemplateSyntaxError(f"Malformed for tag: {rest!r}")
+        loopvars = [v.strip() for v in match.group(1).split(",")]
+        iterable = FilterExpression(match.group(2).strip())
+        body = self.parse(until=("empty", "endfor"))
+        empty = None
+        if self.next_tag[0] == "empty":
+            empty = self.parse(until=("endfor",))
+        return ForNode(loopvars, iterable, body, empty)
+
+    def _tag_block(self, rest):
+        name = rest.strip()
+        if not name:
+            raise TemplateSyntaxError("{% block %} requires a name")
+        body = self.parse(until=("endblock",))
+        node = BlockNode(name, body)
+        if name in self.blocks:
+            raise TemplateSyntaxError(f"Duplicate block {name!r}")
+        self.blocks[name] = node
+        return node
+
+    def _tag_extends(self, rest):
+        parent = parse_atom(rest)
+        # Everything after extends is parsed normally so blocks register.
+        remainder = self.parse(until=())
+        del remainder  # only the collected blocks matter
+        return ExtendsNode(parent, self.blocks, self.engine)
+
+    def _tag_include(self, rest):
+        head, _, with_part = rest.partition(" with ")
+        template_expr = parse_atom(head.strip())
+        with_map = {}
+        for key, raw in _KWARG_RE.findall(with_part):
+            with_map[key] = FilterExpression(raw)
+        return IncludeNode(template_expr, with_map, self.engine)
+
+    def _tag_comment(self, rest):
+        self.parse(until=("endcomment",))
+        return TextNode("")
+
+    def _tag_autoescape(self, rest):
+        setting = rest.strip()
+        if setting not in ("on", "off"):
+            raise TemplateSyntaxError("autoescape argument must be on|off")
+        body = self.parse(until=("endautoescape",))
+        return AutoescapeNode(setting == "on", body)
+
+    def _tag_with(self, rest):
+        from .nodes import Node
+
+        class WithNode(Node):
+            def __init__(self, assignments, body):
+                self.assignments = assignments
+                self.body = body
+
+            def render(self, context):
+                scope = {key: expr.resolve(context)
+                         for key, expr in self.assignments.items()}
+                context.push(scope)
+                try:
+                    return self.body.render(context)
+                finally:
+                    context.pop()
+
+        assignments = {}
+        for key, raw in _KWARG_RE.findall(rest):
+            assignments[key] = FilterExpression(raw)
+        if not assignments:
+            raise TemplateSyntaxError(
+                "{% with %} requires key=value assignments")
+        body = self.parse(until=("endwith",))
+        return WithNode(assignments, body)
+
+    def _tag_url(self, rest):
+        parts = rest.split()
+        if not parts:
+            raise TemplateSyntaxError("{% url %} requires a route name")
+        name_expr = parse_atom(parts[0])
+        kwargs = {}
+        for key, raw in _KWARG_RE.findall(" ".join(parts[1:])):
+            kwargs[key] = FilterExpression(raw)
+        return UrlNode(name_expr, kwargs, self.engine)
+
+
+class Template:
+    """A compiled template."""
+
+    def __init__(self, source, engine=None, name="<string>"):
+        self.name = name
+        self.engine = engine or Engine()
+        parser = Parser(tokenize(source), self.engine)
+        self.nodelist = parser.parse()
+        self.blocks = parser.blocks
+
+    def render(self, data=None, context=None):
+        context = context or Context(data or {})
+        return self.nodelist.render(context)
+
+
+class Engine:
+    """Template registry + cache.
+
+    Parameters
+    ----------
+    templates:
+        Mapping of template name to source string.
+    directories:
+        Optional list of directories searched for ``name`` files.
+    url_resolver:
+        A :class:`~repro.webstack.urls.URLResolver` enabling {% url %}.
+    """
+
+    def __init__(self, templates=None, directories=(), url_resolver=None):
+        self.sources = dict(templates or {})
+        self.directories = list(directories)
+        self.url_resolver = url_resolver
+        self._cache = {}
+
+    def register(self, name, source):
+        self.sources[name] = source
+        self._cache.pop(name, None)
+
+    def register_many(self, mapping):
+        for name, source in mapping.items():
+            self.register(name, source)
+
+    def get_template(self, name):
+        if name in self._cache:
+            return self._cache[name]
+        source = self.sources.get(name)
+        if source is None:
+            for directory in self.directories:
+                candidate = os.path.join(directory, name)
+                if os.path.exists(candidate):
+                    with open(candidate, encoding="utf-8") as fh:
+                        source = fh.read()
+                    break
+        if source is None:
+            raise TemplateSyntaxError(f"Template {name!r} not found")
+        template = Template(source, engine=self, name=name)
+        self._cache[name] = template
+        return template
+
+    def render_to_string(self, name, data=None):
+        return self.get_template(name).render(data or {})

@@ -1,0 +1,46 @@
+"""Template lexer: splits source into TEXT / VAR / TAG / COMMENT tokens."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+TOKEN_TEXT = "text"
+TOKEN_VAR = "var"       # {{ expression }}
+TOKEN_TAG = "tag"       # {% tag ... %}
+TOKEN_COMMENT = "comment"  # {# ... #}
+
+_TAG_RE = re.compile(r"({{.*?}}|{%.*?%}|{#.*?#})", re.DOTALL)
+
+
+@dataclass
+class Token:
+    kind: str
+    contents: str
+    lineno: int
+
+
+class TemplateSyntaxError(Exception):
+    """Malformed template source."""
+
+
+def tokenize(source):
+    """Split *source* into a token list, tracking line numbers."""
+    tokens = []
+    lineno = 1
+    for chunk in _TAG_RE.split(source):
+        if not chunk:
+            continue
+        if chunk.startswith("{{") and chunk.endswith("}}"):
+            tokens.append(Token(TOKEN_VAR, chunk[2:-2].strip(), lineno))
+        elif chunk.startswith("{%") and chunk.endswith("%}"):
+            tokens.append(Token(TOKEN_TAG, chunk[2:-2].strip(), lineno))
+        elif chunk.startswith("{#") and chunk.endswith("#}"):
+            tokens.append(Token(TOKEN_COMMENT, chunk[2:-2].strip(), lineno))
+        else:
+            if "{{" in chunk or "{%" in chunk:
+                raise TemplateSyntaxError(
+                    f"Unclosed template construct near line {lineno}")
+            tokens.append(Token(TOKEN_TEXT, chunk, lineno))
+        lineno += chunk.count("\n")
+    return tokens

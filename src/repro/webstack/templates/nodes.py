@@ -1,0 +1,371 @@
+"""Template parse-tree nodes and expression evaluation."""
+
+from __future__ import annotations
+
+import re
+
+from .context import SafeString, VariableDoesNotExist, escape
+from .filters import get_filter
+from .lexer import TemplateSyntaxError
+
+_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?$")
+
+
+class Literal:
+    def __init__(self, value):
+        self.value = value
+
+    def resolve(self, context):
+        return self.value
+
+
+class VariablePath:
+    def __init__(self, path):
+        self.path = path
+
+    def resolve(self, context):
+        return context.resolve(self.path)
+
+
+def parse_atom(text):
+    """Parse one expression atom: quoted string, number, or variable path."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return Literal(text[1:-1])
+    if _NUMBER_RE.match(text):
+        return Literal(float(text) if "." in text else int(text))
+    if text == "True":
+        return Literal(True)
+    if text == "False":
+        return Literal(False)
+    if text == "None":
+        return Literal(None)
+    return VariablePath(text)
+
+
+class FilterExpression:
+    """``variable.path|filter:arg|filter`` — the {{ }} expression syntax."""
+
+    _FILTER_RE = re.compile(
+        r"\|(\w+)(?::((?:'[^']*')|(?:\"[^\"]*\")|[^|]+))?")
+
+    def __init__(self, expression):
+        head = self._FILTER_RE.split(expression)[0].strip()
+        self.atom = parse_atom(head)
+        self.filters = []
+        for match in self._FILTER_RE.finditer(expression):
+            name = match.group(1)
+            arg_text = match.group(2)
+            arg = parse_atom(arg_text) if arg_text is not None else None
+            self.filters.append((get_filter(name), arg, name))
+
+    def resolve(self, context, fail_silently=True):
+        try:
+            value = self.atom.resolve(context)
+        except VariableDoesNotExist:
+            if not fail_silently:
+                raise
+            value = ""
+        for fn, arg, _name in self.filters:
+            if arg is None:
+                value = fn(value)
+            else:
+                value = fn(value, arg.resolve(context))
+        return value
+
+
+# ----------------------------------------------------------------------
+# Boolean expressions for {% if %}
+# ----------------------------------------------------------------------
+
+_COMPARISONS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+
+class BoolExpression:
+    """Recursive-descent parser/evaluator for {% if %} conditions.
+
+    Grammar (lowest to highest precedence)::
+
+        expr   := andexp ("or" andexp)*
+        andexp := notexp ("and" notexp)*
+        notexp := "not" notexp | comp
+        comp   := atom (OP atom)?
+    """
+
+    def __init__(self, expression):
+        self.tokens = expression.split()
+        if not self.tokens:
+            raise TemplateSyntaxError("Empty {% if %} condition")
+        self.pos = 0
+        self.tree = self._parse_or()
+        if self.pos != len(self.tokens):
+            raise TemplateSyntaxError(
+                f"Trailing tokens in condition: {self.tokens[self.pos:]}")
+
+    # -- parsing -------------------------------------------------------
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self):
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def _parse_or(self):
+        node = self._parse_and()
+        while self._peek() == "or":
+            self._next()
+            node = ("or", node, self._parse_and())
+        return node
+
+    def _parse_and(self):
+        node = self._parse_not()
+        while self._peek() == "and":
+            self._next()
+            node = ("and", node, self._parse_not())
+        return node
+
+    def _parse_not(self):
+        if self._peek() == "not":
+            self._next()
+            # "not in" as a unit: peek back is handled in _parse_comp.
+            return ("not", self._parse_not())
+        return self._parse_comp()
+
+    def _parse_comp(self):
+        left = parse_atom(self._next())
+        op = self._peek()
+        if op == "not" and self.pos + 1 < len(self.tokens) \
+                and self.tokens[self.pos + 1] == "in":
+            self._next()
+            self._next()
+            right = parse_atom(self._next())
+            return ("cmp", lambda a, b: a not in b, left, right)
+        if op in _COMPARISONS:
+            self._next()
+            right = parse_atom(self._next())
+            return ("cmp", _COMPARISONS[op], left, right)
+        return ("atom", left)
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(self, context):
+        return self._eval(self.tree, context)
+
+    def _eval(self, node, context):
+        kind = node[0]
+        if kind == "or":
+            return (self._eval(node[1], context)
+                    or self._eval(node[2], context))
+        if kind == "and":
+            return (self._eval(node[1], context)
+                    and self._eval(node[2], context))
+        if kind == "not":
+            return not self._eval(node[1], context)
+        if kind == "cmp":
+            _, fn, left, right = node
+            try:
+                return bool(fn(self._atom(left, context),
+                               self._atom(right, context)))
+            except TypeError:
+                return False
+        if kind == "atom":
+            return bool(self._atom(node[1], context))
+        raise AssertionError(kind)  # pragma: no cover
+
+    @staticmethod
+    def _atom(atom, context):
+        try:
+            return atom.resolve(context)
+        except VariableDoesNotExist:
+            return None
+
+
+# ----------------------------------------------------------------------
+# Nodes
+# ----------------------------------------------------------------------
+
+class Node:
+    def render(self, context):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NodeList(list):
+    def render(self, context):
+        return "".join(node.render(context) for node in self)
+
+
+class TextNode(Node):
+    def __init__(self, text):
+        self.text = text
+
+    def render(self, context):
+        return self.text
+
+
+class VarNode(Node):
+    def __init__(self, expression):
+        self.expr = FilterExpression(expression)
+
+    def render(self, context):
+        value = self.expr.resolve(context)
+        if value is None:
+            value = ""
+        if context.autoescape and not isinstance(value, SafeString):
+            return str(escape(value))
+        return str(value)
+
+
+class IfNode(Node):
+    """{% if %} / {% elif %} / {% else %} chains."""
+
+    def __init__(self, branches):
+        self.branches = branches  # list of (BoolExpression|None, NodeList)
+
+    def render(self, context):
+        for condition, body in self.branches:
+            if condition is None or condition.evaluate(context):
+                return body.render(context)
+        return ""
+
+
+class ForNode(Node):
+    """{% for x in items %} ... {% empty %} ... {% endfor %}.
+
+    Exposes ``forloop.counter`` / ``counter0`` / ``first`` / ``last`` /
+    ``revcounter`` exactly like Django.  Multiple loop variables unpack
+    tuples (``{% for key, value in pairs %}``).
+    """
+
+    def __init__(self, loopvars, iterable, body, empty):
+        self.loopvars = loopvars
+        self.iterable = iterable
+        self.body = body
+        self.empty = empty
+
+    def render(self, context):
+        try:
+            items = self.iterable.resolve(context)
+        except VariableDoesNotExist:
+            items = None
+        items = list(items) if items else []
+        if not items:
+            return self.empty.render(context) if self.empty else ""
+        out = []
+        total = len(items)
+        for index, item in enumerate(items):
+            scope = {"forloop": {
+                "counter": index + 1, "counter0": index,
+                "revcounter": total - index, "first": index == 0,
+                "last": index == total - 1,
+            }}
+            if len(self.loopvars) == 1:
+                scope[self.loopvars[0]] = item
+            else:
+                unpacked = list(item)
+                if len(unpacked) != len(self.loopvars):
+                    raise TemplateSyntaxError(
+                        f"Cannot unpack {len(unpacked)} values into "
+                        f"{len(self.loopvars)} loop variables")
+                scope.update(zip(self.loopvars, unpacked))
+            context.push(scope)
+            try:
+                out.append(self.body.render(context))
+            finally:
+                context.pop()
+        return "".join(out)
+
+
+class BlockNode(Node):
+    """{% block name %} — an override point for template inheritance."""
+
+    def __init__(self, name, body):
+        self.name = name
+        self.body = body
+
+    def render(self, context):
+        override = context.block_overrides.get(self.name)
+        if override is not None and override is not self:
+            # block.super support: expose parent body via a scope entry.
+            context.push({"block": {"super": SafeString(
+                self.body.render(context))}})
+            try:
+                return override.body.render(context)
+            finally:
+                context.pop()
+        return self.body.render(context)
+
+
+class ExtendsNode(Node):
+    """{% extends "parent.html" %} — must be the template's first tag."""
+
+    def __init__(self, parent_expr, child_blocks, engine):
+        self.parent_expr = parent_expr
+        self.child_blocks = child_blocks
+        self.engine = engine
+
+    def render(self, context):
+        parent_name = self.parent_expr.resolve(context)
+        parent = self.engine.get_template(parent_name)
+        # Child overrides win over any the parent (itself a child) set.
+        for name, block in self.child_blocks.items():
+            context.block_overrides.setdefault(name, block)
+        return parent.nodelist.render(context)
+
+
+class IncludeNode(Node):
+    """{% include "name.html" %} with optional ``with key=expr`` pairs."""
+
+    def __init__(self, template_expr, with_map, engine):
+        self.template_expr = template_expr
+        self.with_map = with_map
+        self.engine = engine
+
+    def render(self, context):
+        name = self.template_expr.resolve(context)
+        template = self.engine.get_template(name)
+        scope = {key: expr.resolve(context)
+                 for key, expr in self.with_map.items()}
+        context.push(scope)
+        try:
+            return template.nodelist.render(context)
+        finally:
+            context.pop()
+
+
+class AutoescapeNode(Node):
+    def __init__(self, setting, body):
+        self.setting = setting
+        self.body = body
+
+    def render(self, context):
+        previous = context.autoescape
+        context.autoescape = self.setting
+        try:
+            return self.body.render(context)
+        finally:
+            context.autoescape = previous
+
+
+class UrlNode(Node):
+    """{% url 'route-name' key=value ... %} — reverse through the engine."""
+
+    def __init__(self, name_expr, kwargs, engine):
+        self.name_expr = name_expr
+        self.kwargs = kwargs
+        self.engine = engine
+
+    def render(self, context):
+        if self.engine.url_resolver is None:
+            raise TemplateSyntaxError(
+                "{% url %} used but the engine has no URL resolver")
+        kwargs = {k: v.resolve(context) for k, v in self.kwargs.items()}
+        name = self.name_expr.resolve(context)
+        return self.engine.url_resolver.reverse(name, **kwargs)

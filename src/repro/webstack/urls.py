@@ -1,0 +1,134 @@
+"""URL routing with typed path converters.
+
+Routes are declared Django-style::
+
+    urlpatterns = [
+        path("stars/", star_list, name="star-list"),
+        path("stars/<int:pk>/", star_detail, name="star-detail"),
+        path("catalog/<str:survey>/<int:number>/", catalog_entry),
+    ]
+
+Supported converters: ``int``, ``str`` (no slash), ``path`` (greedy),
+``float``.  ``include()`` mounts an application's URLconf under a prefix —
+this is how the portal composes its independent Django-style apps
+(stars / results / submit / accounts) into one site.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .http import Http404
+
+_CONVERTERS = {
+    "int": (r"\d+", int),
+    "str": (r"[^/]+", str),
+    "path": (r".+", str),
+    "float": (r"[0-9]+(?:\.[0-9]+)?", float),
+    "slug": (r"[-a-zA-Z0-9_]+", str),
+}
+
+_PARAM_RE = re.compile(r"<(?:(?P<conv>\w+):)?(?P<name>\w+)>")
+
+
+class Route:
+    """One compiled URL pattern."""
+
+    def __init__(self, pattern, view, name=None):
+        self.pattern = pattern
+        self.view = view
+        self.name = name
+        self.regex, self.converters = self._compile(pattern)
+
+    @staticmethod
+    def _compile(pattern):
+        regex_parts, converters = [], {}
+        pos = 0
+        for match in _PARAM_RE.finditer(pattern):
+            regex_parts.append(re.escape(pattern[pos:match.start()]))
+            conv = match.group("conv") or "str"
+            name = match.group("name")
+            if conv not in _CONVERTERS:
+                raise ValueError(f"Unknown path converter {conv!r}")
+            sub_re, caster = _CONVERTERS[conv]
+            converters[name] = caster
+            regex_parts.append(f"(?P<{name}>{sub_re})")
+            pos = match.end()
+        regex_parts.append(re.escape(pattern[pos:]))
+        return re.compile("^" + "".join(regex_parts) + "$"), converters
+
+    def match(self, path):
+        m = self.regex.match(path)
+        if m is None:
+            return None
+        return {name: self.converters[name](value)
+                for name, value in m.groupdict().items()}
+
+    def reverse_path(self, **kwargs):
+        """Substitute kwargs back into the pattern (``reverse()``)."""
+        def sub(match):
+            name = match.group("name")
+            if name not in kwargs:
+                raise ValueError(f"Missing argument {name!r} for reverse of "
+                                 f"{self.pattern!r}")
+            return str(kwargs[name])
+        return _PARAM_RE.sub(sub, self.pattern)
+
+
+def path(pattern, view, name=None):
+    return Route(pattern, view, name=name)
+
+
+class Include:
+    """A sub-URLconf mounted at a prefix."""
+
+    def __init__(self, prefix, routes, namespace=None):
+        self.prefix = prefix
+        self.routes = list(routes)
+        self.namespace = namespace
+
+
+def include(prefix, routes, namespace=None):
+    return Include(prefix, routes, namespace=namespace)
+
+
+class URLResolver:
+    """Resolves request paths to views and reverses names to paths."""
+
+    def __init__(self, urlpatterns):
+        self.routes = []           # (full_pattern Route, qualified name)
+        self._flatten(urlpatterns, prefix="", namespace=None)
+        self._by_name = {}
+        for route, qualname in self.routes:
+            if qualname:
+                self._by_name[qualname] = route
+
+    def _flatten(self, patterns, prefix, namespace):
+        for entry in patterns:
+            if isinstance(entry, Include):
+                ns = entry.namespace if entry.namespace else namespace
+                self._flatten(entry.routes, prefix + entry.prefix, ns)
+            else:
+                full = Route(prefix + entry.pattern, entry.view,
+                             name=entry.name)
+                qual = None
+                if entry.name:
+                    qual = (f"{namespace}:{entry.name}"
+                            if namespace else entry.name)
+                self.routes.append((full, qual))
+
+    def resolve(self, request_path):
+        """Return ``(view, kwargs)`` for a path or raise :class:`Http404`."""
+        path_ = request_path.lstrip("/")
+        for route, _ in self.routes:
+            kwargs = route.match(path_)
+            if kwargs is not None:
+                return route.view, kwargs
+        raise Http404(f"No URL pattern matches {request_path!r}")
+
+    def reverse(self, name, **kwargs):
+        try:
+            route = self._by_name[name]
+        except KeyError:
+            raise ValueError(f"No URL pattern named {name!r}")
+        return "/" + route.reverse_path(**kwargs)

@@ -1,0 +1,114 @@
+"""Unit tests for the analysis harnesses (table1, convergence,
+queue-wait, reporting)."""
+
+import pytest
+
+from repro.analysis import convergence, queuewait, table1
+from repro.analysis.reporting import format_table, ratio_note
+from repro.hpc.machines import KRAKEN, LONESTAR
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "n"], [["alpha", "1"],
+                                            ["b", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # Numeric cells right-align.
+        assert lines[2].endswith(" 1")
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [["1"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_ratio_note(self):
+        note = ratio_note(120.0, 100.0)
+        assert "×1.20" in note
+        assert ratio_note(5.0, None) == "5.0"
+
+
+class TestTable1Harness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1.measure_table1(iterations=60, seed=1)
+
+    def test_rows_cover_all_machines(self, rows):
+        assert [r["machine"] for r in rows] == \
+            ["frost", "kraken", "lonestar", "ranger"]
+
+    def test_arithmetic_consistency(self, rows):
+        for row in rows:
+            assert row["cpuh"] == pytest.approx(row["run_h"] * 512)
+            assert row["sus"] == pytest.approx(
+                row["cpuh"] * row["su_factor"])
+
+    def test_benchmark_ratio_tracks_machines(self, rows):
+        by = {r["machine"]: r for r in rows}
+        assert by["frost"]["model_min"] / by["kraken"]["model_min"] \
+            == pytest.approx(110.0 / 23.6, rel=1e-9)
+
+    def test_render_contains_paper_reference(self, rows):
+        text = table1.render(rows)
+        assert "NICS Kraken" in text
+        assert "51,486" in text   # paper value shown alongside
+
+    def test_factors_deterministic(self):
+        a = table1.measure_iteration_factors(iterations=10, seed=3)
+        b = table1.measure_iteration_factors(iterations=10, seed=3)
+        assert a == b
+
+    def test_paper_reference_values_intact(self):
+        assert table1.PAPER_TABLE1["kraken"]["sus"] == 51_486
+        assert table1.PAPER_TABLE1["frost"]["model_min"] == 110.0
+
+
+class TestConvergenceHarness:
+    def test_short_run_structure(self):
+        result = convergence.measure_convergence(
+            machine=LONESTAR, iterations=30, seed=2,
+            population_size=48)
+        assert len(result["iteration_times_s"]) == 30
+        assert result["total_s"] == pytest.approx(
+            sum(result["iteration_times_s"]))
+        assert result["machine"] == "lonestar"
+
+    def test_band_checker(self):
+        assert convergence.in_paper_band(
+            {"ratio_total_to_first": 170.0})
+        assert not convergence.in_paper_band(
+            {"ratio_total_to_first": 120.0})
+
+    def test_render(self):
+        result = convergence.measure_convergence(
+            machine=KRAKEN, iterations=25, seed=2, population_size=32)
+        text = convergence.render(result)
+        assert "total / first" in text
+
+
+class TestQueueWaitHarness:
+    def test_single_pair_structure(self):
+        sequential = queuewait.run_sequential(seed=1, n_segments=3)
+        chained = queuewait.run_chained(seed=1, n_segments=3)
+        for result in (sequential, chained):
+            assert result["jobs"] == 3
+            assert all(s == "COMPLETED" for s in result["statuses"])
+            assert result["total_run_s"] > 0
+        assert sequential["strategy"] == "sequential"
+        assert chained["strategy"] == "chained"
+
+    def test_eligible_wait_excludes_dependency_time(self):
+        chained = queuewait.run_chained(seed=2, n_segments=3)
+        # Eligible wait can never exceed raw wait (which counts the
+        # time blocked on the predecessor).
+        assert chained["cumulative_wait_s"] <= chained["raw_wait_s"]
+
+    def test_summarise(self):
+        pairs = queuewait.compare(seeds=(1,), load=0.8)
+        summary = queuewait.summarise(pairs)
+        assert 0 <= summary["wait_reduction_fraction"] <= 1
+
+    def test_render(self):
+        pairs = queuewait.compare(seeds=(1,), load=0.8)
+        text = queuewait.render(pairs)
+        assert "wait reduction" in text

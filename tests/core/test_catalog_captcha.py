@@ -1,0 +1,147 @@
+"""Star catalog (search/suggest/SIMBAD fallback) and the Q/A CAPTCHA."""
+
+import pytest
+
+from repro.core import Star
+from repro.core.catalog import SimbadService, StarCatalog
+from repro.core.portal.captcha import (QuestionBank, amp_question_bank)
+
+
+class FakeSession(dict):
+    pass
+
+
+class TestSimbad:
+    def test_resolves_name(self):
+        simbad = SimbadService()
+        entry = simbad.query("Procyon")
+        assert entry["hd_number"] == 61421
+
+    def test_resolves_hd_identifier(self):
+        simbad = SimbadService()
+        entry = simbad.query("HD 61421")
+        assert entry["name"] == "Procyon"
+
+    def test_case_insensitive(self):
+        simbad = SimbadService()
+        assert simbad.query("procyon") is not None
+
+    def test_unknown_returns_none(self):
+        simbad = SimbadService()
+        assert simbad.query("Totally Made Up Star") is None
+
+    def test_lookup_counter(self):
+        simbad = SimbadService()
+        simbad.query("Procyon")
+        simbad.query("x")
+        assert simbad.lookups == 2
+
+
+class TestCatalog:
+    def test_seed_loads_bright_and_kepler(self, deployment):
+        db = deployment.databases.portal
+        assert Star.objects.using(db).filter(
+            name="16 Cyg A").exists()
+        assert Star.objects.using(db).filter(
+            in_kepler_catalog=True).count() >= 30
+
+    def test_local_hit_does_not_query_simbad(self, deployment):
+        before = deployment.simbad.lookups
+        star, created = deployment.catalog.search("16 Cyg B")
+        assert star is not None and not created
+        assert deployment.simbad.lookups == before
+
+    def test_search_by_hd_number(self, deployment):
+        star, _ = deployment.catalog.search("HD 186427")
+        assert star.name == "16 Cyg B"
+
+    def test_search_by_kic_number(self, deployment):
+        db = deployment.databases.portal
+        kic_star = Star.objects.using(db).filter(
+            in_kepler_catalog=True).first()
+        found, _ = deployment.catalog.search(f"KIC {kic_star.kic_number}")
+        assert found.pk == kic_star.pk
+
+    def test_simbad_fallback_imports(self, deployment):
+        star, created = deployment.catalog.search("Procyon")
+        assert created
+        assert star.source == "simbad"
+        # Second search is now a local hit.
+        again, created_again = deployment.catalog.search("Procyon")
+        assert not created_again and again.pk == star.pk
+
+    def test_unresolvable_search(self, deployment):
+        star, created = deployment.catalog.search("Planet X")
+        assert star is None and not created
+
+    def test_empty_search(self, deployment):
+        star, created = deployment.catalog.search("   ")
+        assert star is None
+
+    def test_suggest_prefix(self, deployment):
+        suggestions = deployment.catalog.suggest("16 Cyg")
+        names = [s["name"] for s in suggestions]
+        assert "16 Cyg A" in names and "16 Cyg B" in names
+
+    def test_suggest_hd(self, deployment):
+        suggestions = deployment.catalog.suggest("HD 186427")
+        assert any(s["name"] == "16 Cyg B" for s in suggestions)
+
+    def test_suggest_kic_flag(self, deployment):
+        suggestions = deployment.catalog.suggest("KIC")
+        assert all(s["kepler"] for s in suggestions)
+
+    def test_suggest_limit(self, deployment):
+        assert len(deployment.catalog.suggest("KIC", limit=5)) <= 5
+
+    def test_suggest_empty_prefix(self, deployment):
+        assert deployment.catalog.suggest("") == []
+
+
+class TestCaptcha:
+    def test_issue_and_verify(self):
+        bank = amp_question_bank()
+        session = FakeSession()
+        challenge = bank.issue(session)
+        assert "HD number" in challenge.question
+        assert bank.verify(session, challenge.answer)
+
+    def test_wrong_answer_rejected(self):
+        bank = amp_question_bank()
+        session = FakeSession()
+        bank.issue(session)
+        assert not bank.verify(session, "42")
+
+    def test_single_attempt_per_challenge(self):
+        bank = amp_question_bank()
+        session = FakeSession()
+        challenge = bank.issue(session)
+        assert bank.verify(session, challenge.answer)
+        # The same answer cannot be replayed.
+        assert not bank.verify(session, challenge.answer)
+
+    def test_answer_normalisation(self):
+        bank = amp_question_bank()
+        session = FakeSession()
+        challenge = bank.issue(session)
+        assert bank.verify(session, f"  {challenge.answer} ")
+
+    def test_no_challenge_outstanding(self):
+        bank = amp_question_bank()
+        assert not bank.verify(FakeSession(), "anything")
+
+    def test_rotation_through_bank(self):
+        bank = amp_question_bank()
+        session = FakeSession()
+        first = bank.issue(session).question
+        second = bank.issue(session).question
+        assert first != second
+
+    def test_hint_links_present(self):
+        bank = amp_question_bank()
+        challenge = bank.issue(FakeSession())
+        assert challenge.hint_url.startswith("https://simbad")
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            QuestionBank([])

@@ -1,0 +1,93 @@
+"""Gantt-row invariants and database transaction support."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gantt import GanttRow, aggregate_statistics
+from repro.webstack.orm import Database, IntegrityError, create_all
+
+from .conftest import submit_optimization
+from .test_workflow import drive
+
+
+rows_strategy = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1e5),      # submit
+              st.floats(min_value=0, max_value=1e5),      # wait
+              st.floats(min_value=1, max_value=1e5)),     # run
+    min_size=1, max_size=12)
+
+
+def make_rows(spec):
+    rows = []
+    for index, (submit, wait, run) in enumerate(spec):
+        rows.append(GanttRow(
+            label=f"j{index}", purpose="ga", ga_index=0, sequence=index,
+            submit_time=submit, start_time=submit + wait,
+            end_time=submit + wait + run))
+    return rows
+
+
+class TestGanttInvariants:
+    @given(spec=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_consistency(self, spec):
+        rows = make_rows(spec)
+        stats = aggregate_statistics(rows)
+        assert stats["jobs"] == len(rows)
+        assert stats["total_wait_s"] == pytest.approx(
+            sum(r.wait_s for r in rows))
+        assert stats["total_run_s"] == pytest.approx(
+            sum(r.run_s for r in rows))
+        assert 0.0 <= stats["wait_fraction"] <= 1.0
+        # Makespan covers every row.
+        assert stats["makespan_s"] >= max(r.run_s for r in rows) - 1e-6
+
+    @given(spec=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_row_decomposition(self, spec):
+        for row in make_rows(spec):
+            assert row.wait_s + row.run_s == pytest.approx(
+                row.end_time - row.submit_time)
+
+    def test_real_simulation_rows_satisfy_invariants(self, deployment,
+                                                     astronomer):
+        from repro.core.gantt import simulation_gantt
+        sim, _ = submit_optimization(deployment, astronomer,
+                                     iterations=10)
+        drive(deployment, sim)
+        for row in simulation_gantt(deployment, sim):
+            assert row.submit_time <= row.start_time <= row.end_time
+
+
+class TestTransactions:
+    def _setup(self):
+        from ..webstack.conftest import Author
+        database = Database(":memory:")
+        create_all([Author], database)
+        return database, Author
+
+    def test_atomic_commits_on_success(self):
+        database, Author = self._setup()
+        with database.atomic():
+            Author(name="kept").save(db=database)
+        assert Author.objects.using(database).count() == 1
+
+    def test_atomic_rolls_back_on_error(self):
+        database, Author = self._setup()
+        with pytest.raises(RuntimeError):
+            with database.atomic():
+                Author(name="gone").save(db=database)
+                raise RuntimeError("abort")
+        assert Author.objects.using(database).count() == 0
+
+    def test_atomic_rollback_on_integrity_error(self):
+        database, Author = self._setup()
+        Author(name="dup").save(db=database)
+        with pytest.raises(IntegrityError):
+            with database.atomic():
+                Author(name="new-in-txn").save(db=database)
+                Author(name="dup").save(db=database)
+        names = Author.objects.using(database).values_list("name",
+                                                           flat=True)
+        assert names == ["dup"]

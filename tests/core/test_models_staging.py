@@ -1,0 +1,186 @@
+"""Core models and the input-marshaling/staging layer."""
+
+import json
+
+import pytest
+
+from repro.core import (ObservationSet, Simulation, StagingError, Star,
+                        generate_input_files)
+from repro.core.models import KIND_DIRECT, KIND_OPTIMIZATION
+from repro.core.staging import (interpret_output_tarball,
+                                interpret_progress)
+from repro.webstack.orm import ValidationError
+
+from .conftest import submit_direct, submit_optimization
+
+
+class TestModels:
+    def test_star_identifiers(self, deployment):
+        star = Star.objects.using(deployment.databases.portal).get(
+            name="16 Cyg B")
+        assert "HD 186427" in star.identifier_strings()
+
+    def test_observation_bounds_enforced(self, deployment, astronomer):
+        star, _ = deployment.catalog.search("16 Cyg B")
+        with pytest.raises(ValidationError):
+            ObservationSet(star_id=star.pk, label="bad",
+                           teff=99999.0).save(
+                db=deployment.databases.portal)
+
+    def test_observation_to_observed_star(self, deployment, astronomer):
+        sim, _ = submit_optimization(deployment, astronomer)
+        observed = sim.observation.to_observed_star()
+        assert observed.teff == sim.observation.teff
+        assert 0 in observed.frequencies
+
+    def test_simulation_state_choices_enforced(self, deployment,
+                                               astronomer):
+        sim = submit_direct(deployment, astronomer)
+        sim.state = "NOT_A_STATE"
+        with pytest.raises(ValidationError):
+            sim.save()
+
+    def test_remote_directory_per_simulation(self, deployment,
+                                             astronomer):
+        a = submit_direct(deployment, astronomer)
+        b = submit_direct(deployment, astronomer)
+        assert a.remote_directory != b.remote_directory
+
+    def test_describe(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        assert "Direct model run" in sim.describe()
+        assert "QUEUED" in sim.describe()
+
+
+class TestInputRegeneration:
+    def test_direct_input_file(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        files = generate_input_files(sim)
+        assert set(files) == {"input.txt"}
+        assert "mass = 1.05" in files["input.txt"]
+
+    def test_direct_input_rejects_missing_params(self, deployment,
+                                                 astronomer):
+        sim = submit_direct(deployment, astronomer)
+        sim.parameters = {"mass": 1.0}
+        with pytest.raises(StagingError):
+            generate_input_files(sim)
+
+    def test_direct_input_rejects_unphysical(self, deployment,
+                                             astronomer):
+        sim = submit_direct(deployment, astronomer)
+        sim.parameters = {"mass": 50.0, "z": 0.02, "y": 0.27,
+                          "alpha": 2.0, "age": 5.0}
+        with pytest.raises(StagingError):
+            generate_input_files(sim)
+
+    def test_optimization_inputs(self, deployment, astronomer):
+        sim, _ = submit_optimization(deployment, astronomer)
+        files = generate_input_files(sim, sim.observation)
+        assert set(files) == {"observations.json", "config.json"}
+        config = json.loads(files["config.json"])
+        assert config["n_ga_runs"] == 2
+        observations = json.loads(files["observations.json"])
+        assert observations["teff"] == sim.observation.teff
+
+    def test_optimization_requires_observation(self, deployment,
+                                               astronomer):
+        sim, _ = submit_optimization(deployment, astronomer)
+        with pytest.raises(StagingError):
+            generate_input_files(sim, None)
+
+    def test_optimization_requires_seeds(self, deployment, astronomer):
+        sim, _ = submit_optimization(deployment, astronomer)
+        del sim.config["ga_seeds"]
+        with pytest.raises(StagingError):
+            generate_input_files(sim, sim.observation)
+
+    def test_only_serialised_db_values_reach_files(self, deployment,
+                                                   astronomer):
+        """The security property: staged bytes derive from validated
+        columns only — no free-form user text is present."""
+        sim, _ = submit_optimization(deployment, astronomer)
+        files = generate_input_files(sim, sim.observation)
+        payload = json.loads(files["observations.json"])
+        assert set(payload) <= {
+            "name", "teff", "teff_err", "luminosity", "luminosity_err",
+            "delta_nu", "delta_nu_err", "d02", "d02_err", "nu_max",
+            "nu_max_err", "frequencies"}
+
+
+class TestProgressInterpretation:
+    GOOD = {"ga_index": 1, "iterations_completed": 50,
+            "target_iterations": 200, "finished": False,
+            "best_parameters": [1.0, 0.02, 0.27, 2.0, 4.0],
+            "best_fitness": 0.7, "elapsed_s": 3600.0,
+            "iteration_times": [60.0], "total_elapsed_s": 7200.0}
+
+    def test_good_progress(self):
+        payload = interpret_progress(json.dumps(self.GOOD))
+        assert payload["iterations_completed"] == 50
+        assert payload["total_elapsed_s"] == 7200.0
+
+    def test_total_defaults_to_elapsed(self):
+        data = dict(self.GOOD)
+        del data["total_elapsed_s"]
+        payload = interpret_progress(json.dumps(data))
+        assert payload["total_elapsed_s"] == 3600.0
+
+    def test_missing_key_raises(self):
+        data = dict(self.GOOD)
+        del data["best_fitness"]
+        with pytest.raises(StagingError):
+            interpret_progress(json.dumps(data))
+
+    def test_garbage_raises(self):
+        with pytest.raises(StagingError):
+            interpret_progress("this is not json {")
+
+    def test_wrong_types_raise(self):
+        data = dict(self.GOOD)
+        data["iterations_completed"] = "many"
+        with pytest.raises(StagingError):
+            interpret_progress(json.dumps(data))
+
+
+class TestTarballInterpretation:
+    def _tarball(self, files):
+        import io
+        import tarfile
+        buffer = io.BytesIO()
+        with tarfile.open(fileobj=buffer, mode="w") as archive:
+            for name, data in files.items():
+                if isinstance(data, str):
+                    data = data.encode()
+                info = tarfile.TarInfo(name=name)
+                info.size = len(data)
+                archive.addfile(info, io.BytesIO(data))
+        return buffer.getvalue()
+
+    def test_direct_missing_output_raises(self):
+        blob = self._tarball({"model.log": "finished"})
+        with pytest.raises(StagingError) as err:
+            interpret_output_tarball(blob, KIND_DIRECT)
+        assert "output.txt" in str(err.value)
+
+    def test_direct_garbled_output_raises(self):
+        blob = self._tarball({"output.txt": "RESULT teff = NOT_A_NUMBER"})
+        with pytest.raises(StagingError):
+            interpret_output_tarball(blob, KIND_DIRECT)
+
+    def test_direct_good_output(self):
+        from repro.science.astec.model import (StellarParameters,
+                                               format_output, run_astec)
+        model = run_astec(StellarParameters.solar())
+        blob = self._tarball({"output.txt": format_output(model)})
+        results = interpret_output_tarball(blob, KIND_DIRECT)
+        assert results["scalars"]["teff"] == pytest.approx(model.teff,
+                                                           abs=0.01)
+
+    def test_optimization_requires_progress_files(self):
+        from repro.science.astec.model import (StellarParameters,
+                                               format_output, run_astec)
+        model = run_astec(StellarParameters.solar())
+        blob = self._tarball({"solution.txt": format_output(model)})
+        with pytest.raises(StagingError):
+            interpret_output_tarball(blob, KIND_OPTIMIZATION)

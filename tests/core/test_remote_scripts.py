@@ -1,0 +1,178 @@
+"""The remote-side AMP runtime: fork scripts and batch applications,
+exercised standalone (no daemon, no GRAM)."""
+
+import json
+
+import pytest
+
+from repro.core.remote import (CLEANUP_SH, POSTJOB_SH, PREJOB_SH,
+                               RUN_GA_SH, RUN_MODEL_SH, SOLUTION_SH,
+                               deploy_amp, output_tarball_path)
+from repro.hpc import HOUR, KRAKEN, ComputeResource, SimClock
+from repro.hpc.filesystem import extract_tar_to_dict
+from repro.science.astec.model import (StellarParameters, parse_output,
+                                       write_input_file)
+
+
+@pytest.fixture()
+def resource():
+    clock = SimClock()
+    res = ComputeResource(KRAKEN, clock)
+    deploy_amp(res)
+    return res
+
+
+def _stage_optimization_inputs(resource, directory, *, iterations=8,
+                               population=24):
+    fs = resource.filesystem
+    fs.write_json(directory + "/config.json", {
+        "ga_seeds": [5, 6], "iterations": iterations,
+        "population_size": population, "processors": 128})
+    fs.write_json(directory + "/observations.json", {
+        "name": "t", "teff": 5800.0, "teff_err": 80.0,
+        "luminosity": 1.1, "delta_nu": 120.0, "nu_max": 2500.0,
+        "frequencies": {}})
+
+
+class TestDeploy:
+    def test_all_scripts_installed(self, resource):
+        assert set(resource.fork.installed()) == {
+            PREJOB_SH, POSTJOB_SH, CLEANUP_SH}
+        assert set(resource.applications) == {
+            RUN_MODEL_SH, RUN_GA_SH, SOLUTION_SH}
+
+
+class TestPrejob:
+    def test_creates_tree_with_static_inputs(self, resource):
+        resource.fork.run(PREJOB_SH, directory="/scratch/amp/sim1",
+                          n_ga="3")
+        fs = resource.filesystem
+        assert fs.exists("/scratch/amp/sim1/static/opacities.dat")
+        for index in range(3):
+            assert fs.isdir(f"/scratch/amp/sim1/ga_{index}")
+
+    def test_idempotent_recreates_clean(self, resource):
+        fs = resource.filesystem
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="1")
+        fs.write("/run/stale.dat", b"left over")
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="1")
+        assert not fs.exists("/run/stale.dat")
+
+
+class TestModelApp:
+    def test_reads_input_writes_output(self, resource):
+        fs = resource.filesystem
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="0")
+        params = StellarParameters.solar()
+        fs.write("/run/input.txt", write_input_file(params))
+        execution = resource.applications[RUN_MODEL_SH](
+            resource, directory="/run")
+        assert execution.runtime_s > 10 * 60   # minutes, not seconds
+        execution.on_finish()
+        scalars, freqs, track = parse_output(
+            fs.read_text("/run/output.txt"))
+        assert scalars["teff"] == pytest.approx(5780, abs=30)
+
+    def test_missing_input_raises(self, resource):
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="0")
+        with pytest.raises(Exception):
+            resource.applications[RUN_MODEL_SH](resource,
+                                                directory="/run")
+
+
+class TestGAApp:
+    def test_fresh_segment_writes_restart_and_progress(self, resource):
+        fs = resource.filesystem
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="2")
+        _stage_optimization_inputs(resource, "/run")
+        execution = resource.applications[RUN_GA_SH](
+            resource, directory="/run", ga="0",
+            walltime=str(24 * HOUR))
+        execution.on_finish()
+        progress = fs.read_json("/run/ga_0/progress.json")
+        assert progress["finished"] is True
+        assert progress["iterations_completed"] == 8
+        assert fs.exists("/run/ga_0/restart.json")
+
+    def test_continuation_resumes_from_restart(self, resource):
+        fs = resource.filesystem
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="1")
+        _stage_optimization_inputs(resource, "/run", iterations=10)
+        # Short walltime: the first segment cannot finish.
+        short = 40 * 60.0   # 40 minutes
+        first = resource.applications[RUN_GA_SH](
+            resource, directory="/run", ga="0", walltime=str(short))
+        first.on_finish()
+        before = fs.read_json("/run/ga_0/progress.json")
+        assert not before["finished"]
+        second = resource.applications[RUN_GA_SH](
+            resource, directory="/run", ga="0",
+            walltime=str(24 * HOUR))
+        second.on_finish()
+        after = fs.read_json("/run/ga_0/progress.json")
+        assert after["finished"]
+        assert after["iterations_completed"] == 10
+        assert after["total_elapsed_s"] > before["total_elapsed_s"]
+
+    def test_finished_ga_noop_is_cheap(self, resource):
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="1")
+        _stage_optimization_inputs(resource, "/run")
+        done = resource.applications[RUN_GA_SH](
+            resource, directory="/run", ga="0",
+            walltime=str(24 * HOUR))
+        done.on_finish()
+        surplus = resource.applications[RUN_GA_SH](
+            resource, directory="/run", ga="0",
+            walltime=str(24 * HOUR))
+        assert surplus.runtime_s < 5 * 60   # just job overhead
+
+
+class TestSolutionApp:
+    def test_picks_best_ga(self, resource):
+        fs = resource.filesystem
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="2")
+        good = [1.0, 0.018, 0.27, 2.1, 4.6]
+        bad = [1.5, 0.04, 0.31, 1.2, 1.0]
+        fs.write_json("/run/ga_0/progress.json", {
+            "ga_index": 0, "best_fitness": 0.4,
+            "best_parameters": bad})
+        fs.write_json("/run/ga_1/progress.json", {
+            "ga_index": 1, "best_fitness": 0.9,
+            "best_parameters": good})
+        execution = resource.applications[SOLUTION_SH](
+            resource, directory="/run")
+        execution.on_finish()
+        meta = fs.read_json("/run/solution_meta.json")
+        assert meta["parameters"] == good
+        scalars, freqs, _ = parse_output(
+            fs.read_text("/run/solution.txt"))
+        assert len(freqs[0]) == 14   # finer granularity
+
+    def test_no_progress_raises(self, resource):
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="0")
+        with pytest.raises(RuntimeError):
+            resource.applications[SOLUTION_SH](resource,
+                                               directory="/run")
+
+
+class TestPostjobCleanup:
+    def test_postjob_tars_everything(self, resource):
+        fs = resource.filesystem
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="1")
+        fs.write("/run/output.txt", b"RESULT ...")
+        resource.fork.run(POSTJOB_SH, directory="/run")
+        blob = fs.read(output_tarball_path("/run"))
+        contents = extract_tar_to_dict(blob)
+        assert "output.txt" in contents
+        assert "static/opacities.dat" in contents
+
+    def test_cleanup_removes_everything(self, resource):
+        fs = resource.filesystem
+        resource.fork.run(PREJOB_SH, directory="/run", n_ga="1")
+        resource.fork.run(POSTJOB_SH, directory="/run")
+        resource.fork.run(CLEANUP_SH, directory="/run")
+        assert not fs.exists("/run")
+        assert not fs.exists(output_tarball_path("/run"))
+        # Nothing of the run remains anywhere on scratch.
+        assert all(not p.startswith("/run")
+                   for p in fs.walk_files("/"))

@@ -1,0 +1,292 @@
+"""The Listing 1 workflow engine: state sequences, both run types,
+failure handling, hold/resume, and notifications."""
+
+import pytest
+
+from repro.core import (GridJobRecord, SIM_DONE, SIM_HOLD, Simulation,
+                        UserProfile)
+from repro.core.workflow.base import TRANSIENT_MESSAGE
+from repro.grid import FaultInjector
+from repro.hpc import HOUR
+
+from .conftest import submit_direct, submit_optimization
+
+LISTING1_SEQUENCE = ["QUEUED", "PREJOB", "RUNNING", "POSTJOB", "CLEANUP",
+                     "DONE"]
+
+
+def drive(deployment, simulation, *, poll_interval_s=1800.0,
+          max_polls=3000):
+    """Run the daemon until the simulation is terminal, recording the
+    state sequence."""
+    states = [simulation.state]
+    for _ in range(max_polls):
+        deployment.clock.advance(poll_interval_s)
+        deployment.daemon.poll_once()
+        simulation.refresh_from_db()
+        if simulation.state != states[-1]:
+            states.append(simulation.state)
+        if simulation.state in (SIM_DONE, SIM_HOLD):
+            break
+    return states
+
+
+class TestListing1StateMachine:
+    def test_direct_run_visits_exact_sequence(self, deployment,
+                                              astronomer):
+        sim = submit_direct(deployment, astronomer)
+        states = drive(deployment, sim)
+        assert states == LISTING1_SEQUENCE
+
+    def test_optimization_visits_exact_sequence(self, deployment,
+                                                astronomer):
+        sim, _ = submit_optimization(deployment, astronomer,
+                                     iterations=10)
+        states = drive(deployment, sim)
+        assert states == LISTING1_SEQUENCE
+
+    def test_workflow_table_shape(self, deployment):
+        """The workflow dict matches Listing 1: 5 states, linear."""
+        workflow = deployment.daemon.workflows["direct"].workflow
+        assert list(workflow) == ["QUEUED", "PREJOB", "RUNNING",
+                                  "POSTJOB", "CLEANUP"]
+        next_states = [next_state for _, next_state in workflow.values()]
+        assert next_states == ["PREJOB", "RUNNING", "POSTJOB", "CLEANUP",
+                               "DONE"]
+
+    def test_derived_classes_share_base_table(self, deployment):
+        direct = deployment.daemon.workflows["direct"]
+        optimization = deployment.daemon.workflows["optimization"]
+        assert type(direct).__mro__[1] is type(optimization).__mro__[1]
+
+
+class TestDirectRun:
+    def test_results_populated(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        drive(deployment, sim)
+        assert sim.results["scalars"]["teff"] > 3000
+        assert "0" in sim.results["frequencies"]
+        assert sim.results["track"]
+
+    def test_job_records_created_per_stage(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        drive(deployment, sim)
+        purposes = [j.purpose for j in GridJobRecord.objects.using(
+            deployment.databases.admin).filter(simulation_id=sim.pk)]
+        assert purposes == ["prejob", "model", "postjob", "cleanup"]
+
+    def test_cleanup_removes_remote_directory(self, deployment,
+                                              astronomer):
+        sim = submit_direct(deployment, astronomer)
+        drive(deployment, sim)
+        fs = deployment.fabric.resource("kraken").filesystem
+        assert not fs.exists(sim.remote_directory)
+        assert not fs.exists(sim.remote_directory + ".output.tar")
+
+    def test_unauthorized_machine_holds(self, deployment):
+        user = deployment.create_astronomer("limited",
+                                            machines=["frost"])
+        sim = submit_direct(deployment, user, machine="kraken")
+        states = drive(deployment, sim)
+        assert states[-1] == SIM_HOLD
+        assert "not authorized" in sim.hold_reason
+
+
+class TestOptimizationRun:
+    def test_continuation_chains_under_short_walltime(self, deployment,
+                                                      astronomer):
+        sim, _ = submit_optimization(deployment, astronomer,
+                                     iterations=30,
+                                     walltime_s=6 * HOUR)
+        drive(deployment, sim)
+        ga_jobs = list(GridJobRecord.objects.using(
+            deployment.databases.admin).filter(
+            simulation_id=sim.pk, purpose="ga"))
+        sequences = {j.ga_index: max(jj.sequence for jj in ga_jobs
+                                     if jj.ga_index == j.ga_index)
+                     for j in ga_jobs}
+        # 30 iterations × ~20 min ≫ 6 h ⇒ every GA needed continuations.
+        assert all(seq >= 1 for seq in sequences.values())
+
+    def test_single_job_when_walltime_ample(self, deployment,
+                                            astronomer):
+        sim, _ = submit_optimization(deployment, astronomer,
+                                     iterations=10,
+                                     walltime_s=24 * HOUR)
+        drive(deployment, sim)
+        ga_jobs = list(GridJobRecord.objects.using(
+            deployment.databases.admin).filter(
+            simulation_id=sim.pk, purpose="ga"))
+        assert all(j.sequence == 0 for j in ga_jobs)
+
+    def test_solution_evaluation_runs_after_gas(self, deployment,
+                                                astronomer):
+        sim, _ = submit_optimization(deployment, astronomer,
+                                     iterations=10)
+        drive(deployment, sim)
+        records = list(GridJobRecord.objects.using(
+            deployment.databases.admin).filter(
+            simulation_id=sim.pk).order_by("id"))
+        purposes = [r.purpose for r in records]
+        assert purposes.index("solution") > max(
+            i for i, p in enumerate(purposes) if p == "ga")
+
+    def test_results_contain_solution_and_progress(self, deployment,
+                                                   astronomer):
+        sim, truth = submit_optimization(deployment, astronomer,
+                                         iterations=20)
+        drive(deployment, sim)
+        assert set(sim.results["ga_progress"]) == {"0", "1"}
+        assert sim.results["solution_meta"]["best_fitness"] > 0
+        best_mass = sim.results["solution_meta"]["parameters"][0]
+        assert abs(best_mass - truth.mass) < 0.4
+
+    def test_allocation_charged(self, deployment, astronomer):
+        sim, _ = submit_optimization(deployment, astronomer,
+                                     iterations=10)
+        drive(deployment, sim)
+        from repro.core import AllocationRecord
+        allocation = AllocationRecord.objects.using(
+            deployment.databases.admin).get(
+            pk=deployment.allocations["kraken"].pk)
+        assert allocation.su_used > 0
+
+
+class TestTransientHandling:
+    def test_outage_retried_silently(self, deployment, astronomer):
+        """§4.4: transients are retried automatically; the user sees a
+        plain-text note, never an e-mail; admins are notified."""
+        sim = submit_direct(deployment, astronomer)
+        injector = FaultInjector(deployment.fabric, deployment.clock)
+        injector.outage("kraken", start_in_s=0.0, duration_s=2 * HOUR)
+        states = drive(deployment, sim)
+        assert states[-1] == SIM_DONE
+        admin_mail = deployment.mailer.to_admin()
+        assert any("Transient" in m.subject for m in admin_mail)
+        user_mail = deployment.mailer.to_user(astronomer.email)
+        assert all("Transient" not in m.subject for m in user_mail)
+
+    def test_transient_sets_plain_text_status(self, deployment,
+                                              astronomer):
+        sim = submit_direct(deployment, astronomer)
+        deployment.fabric.resource("kraken").reachable = False
+        deployment.clock.advance(300)
+        deployment.daemon.poll_once()
+        sim.refresh_from_db()
+        assert sim.status_message == TRANSIENT_MESSAGE
+        deployment.fabric.resource("kraken").reachable = True
+        states = drive(deployment, sim)
+        assert states[-1] == SIM_DONE
+        assert sim.status_message == ""
+
+    def test_transfer_fault_retried(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        injector = FaultInjector(deployment.fabric, deployment.clock)
+        injector.abort_transfers("kraken", 2)
+        states = drive(deployment, sim)
+        assert states[-1] == SIM_DONE
+
+    def test_admin_notification_contains_command_line(self, deployment,
+                                                      astronomer):
+        """The copy-paste debugging contract survives into the admin
+        notification."""
+        sim = submit_direct(deployment, astronomer)
+        deployment.fabric.resource("kraken").reachable = False
+        deployment.clock.advance(300)
+        deployment.daemon.poll_once()
+        admin_mail = deployment.mailer.to_admin()
+        assert any("globusrun" in m.body or "grid-proxy-init" in m.body
+                   or "globus" in m.body for m in admin_mail)
+        deployment.fabric.resource("kraken").reachable = True
+
+
+class TestModelFailureHold:
+    def _drive_to_postjob(self, deployment, sim):
+        while sim.state not in ("POSTJOB", SIM_DONE, SIM_HOLD):
+            deployment.clock.advance(1800)
+            deployment.daemon.poll_once()
+            sim.refresh_from_db()
+        return sim
+
+    def test_corrupted_output_holds_simulation(self, deployment,
+                                               astronomer):
+        sim = submit_direct(deployment, astronomer)
+        injector = FaultInjector(deployment.fabric, deployment.clock)
+        # Run until the post-job stage has built the output tarball,
+        # then corrupt it before the daemon downloads and parses it.
+        while sim.state != "POSTJOB":
+            deployment.clock.advance(1800)
+            deployment.daemon.poll_once()
+            sim.refresh_from_db()
+            assert sim.state not in (SIM_DONE, SIM_HOLD)
+        injector.corrupt_file("kraken",
+                              sim.remote_directory + ".output.tar")
+        states = drive(deployment, sim)
+        assert states[-1] == SIM_HOLD
+        assert "unreadable" in sim.hold_reason
+
+    def test_hold_notifies_user_and_admin(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        workflow = deployment.daemon.workflows["direct"]
+        workflow.hold(sim, "output.txt failed to parse")
+        user_mail = deployment.mailer.to_user(astronomer.email)
+        assert any("needs attention" in m.subject for m in user_mail)
+        admin_mail = deployment.mailer.to_admin()
+        assert any("HELD" in m.subject for m in admin_mail)
+
+    def test_user_hold_message_has_no_grid_jargon(self, deployment,
+                                                  astronomer):
+        from repro.core.notifications import GRID_JARGON
+        sim = submit_direct(deployment, astronomer)
+        deployment.daemon.workflows["direct"].hold(sim, "GRAM failure")
+        for message in deployment.mailer.to_user(astronomer.email):
+            text = (message.subject + message.body).lower()
+            assert not any(word in text for word in GRID_JARGON)
+
+    def test_resume_after_hold_completes(self, deployment, astronomer):
+        """'Once the problem has been resolved, the workflow resumes
+        automatically.'"""
+        sim = submit_direct(deployment, astronomer)
+        sim = self._drive_to_postjob(deployment, sim)
+        workflow = deployment.daemon.workflows["direct"]
+        workflow.hold(sim, "operator investigating")
+        assert sim.state == SIM_HOLD
+        # Daemon ignores held simulations.
+        deployment.clock.advance(1800)
+        deployment.daemon.poll_once()
+        sim.refresh_from_db()
+        assert sim.state == SIM_HOLD
+        workflow.resume(sim)
+        states = drive(deployment, sim)
+        assert states[-1] == SIM_DONE
+
+    def test_resume_requires_hold(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        with pytest.raises(ValueError):
+            deployment.daemon.workflows["direct"].resume(sim)
+
+
+class TestNotificationPreferences:
+    def test_completion_email_by_default(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        drive(deployment, sim)
+        mail = deployment.mailer.to_user(astronomer.email)
+        assert len([m for m in mail if "complete" in m.subject]) == 1
+
+    def test_opt_out_of_completion(self, deployment):
+        user = deployment.create_astronomer(
+            "quiet", notify_on_completion=False)
+        sim = submit_direct(deployment, user)
+        drive(deployment, sim)
+        assert deployment.mailer.to_user(user.email) == []
+
+    def test_per_transition_emails(self, deployment):
+        user = deployment.create_astronomer(
+            "chatty", notify_each_transition=True)
+        sim = submit_direct(deployment, user)
+        drive(deployment, sim)
+        mail = deployment.mailer.to_user(user.email)
+        # One per transition: PREJOB, RUNNING, POSTJOB, CLEANUP + DONE.
+        assert len(mail) == 5
+        assert any("PREJOB" in m.subject for m in mail)
+        assert any("complete" in m.subject for m in mail)

@@ -1,0 +1,67 @@
+"""Proxy certificates and GridShib SAML extensions."""
+
+import pytest
+
+from repro.grid.certificates import (CertificateInvalid,
+                                     CommunityCredential, ProxyFactory,
+                                     SAMLAssertion)
+from repro.hpc.simclock import HOUR, SimClock
+
+
+@pytest.fixture()
+def factory():
+    clock = SimClock()
+    credential = CommunityCredential("/C=US/O=NCAR/OU=AMP/CN=community")
+    return clock, ProxyFactory(credential, clock)
+
+
+class TestProxyLifecycle:
+    def test_issue_and_verify(self, factory):
+        clock, proxy_factory = factory
+        saml = SAMLAssertion("AMP", "metcalfe", "t@ucar.edu")
+        proxy = proxy_factory.issue(saml)
+        assert proxy_factory.verify(proxy)
+        assert proxy.saml.gateway_user == "metcalfe"
+
+    def test_subject_chains_from_community_dn(self, factory):
+        _, proxy_factory = factory
+        proxy = proxy_factory.issue(SAMLAssertion("AMP", "u"))
+        assert proxy.subject.startswith(
+            proxy_factory.credential.distinguished_name)
+
+    def test_expiry(self, factory):
+        clock, proxy_factory = factory
+        proxy = proxy_factory.issue(SAMLAssertion("AMP", "u"),
+                                    lifetime_s=1 * HOUR)
+        clock.advance(2 * HOUR)
+        with pytest.raises(CertificateInvalid):
+            proxy_factory.verify(proxy)
+
+    def test_tampered_signature_rejected(self, factory):
+        _, proxy_factory = factory
+        proxy = proxy_factory.issue(SAMLAssertion("AMP", "u"))
+        forged = type(proxy)(
+            subject=proxy.subject, issuer_dn=proxy.issuer_dn,
+            issued_at=proxy.issued_at, lifetime_s=proxy.lifetime_s,
+            saml=SAMLAssertion("AMP", "someone-else"),
+            signature=proxy.signature)
+        with pytest.raises(CertificateInvalid):
+            proxy_factory.verify(forged)
+
+    def test_foreign_credential_rejected(self, factory):
+        clock, proxy_factory = factory
+        other = ProxyFactory(
+            CommunityCredential("/C=US/O=Evil/CN=attacker"), clock)
+        foreign = other.issue(SAMLAssertion("AMP", "u"))
+        with pytest.raises(CertificateInvalid):
+            proxy_factory.verify(foreign)
+
+    def test_saml_attributes(self):
+        saml = SAMLAssertion("AMP", "metcalfe", "t@ucar.edu")
+        attrs = saml.attributes()
+        assert attrs["urn:teragrid:gateway-user"] == "metcalfe"
+        assert attrs["urn:teragrid:gateway"] == "AMP"
+
+    def test_credential_secret_not_in_repr(self):
+        credential = CommunityCredential("/CN=x")
+        assert credential._secret not in repr(credential)

@@ -1,0 +1,85 @@
+"""RSL formatting/parsing and the CTSS capability registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.ctss import (DeploymentError, advertised_stack,
+                             verify_deployment)
+from repro.grid.rsl import (RSLError, batch_spec, fork_spec, format_rsl,
+                            parse_rsl)
+from repro.hpc.machines import KRAKEN, RANGER, TABLE1_MACHINES
+
+
+class TestRSL:
+    def test_format(self):
+        text = format_rsl({"executable": "/bin/run", "count": 128})
+        assert text == "&(executable=/bin/run)(count=128)"
+
+    def test_round_trip(self):
+        spec = batch_spec("/usr/local/amp/run_ga.sh", count=128,
+                          max_wall_time_s=6 * 3600,
+                          directory="/scratch/amp/sim1",
+                          arguments=["ga=0", "walltime=21600"])
+        parsed = parse_rsl(format_rsl(spec))
+        assert parsed["executable"] == "/usr/local/amp/run_ga.sh"
+        assert parsed["count"] == "128"
+        assert parsed["maxWallTime"] == "360"  # minutes
+        assert parsed["arguments"] == "ga=0 walltime=21600"
+
+    def test_fork_spec(self):
+        spec = fork_spec("/usr/local/amp/prejob.sh", directory="/d")
+        assert spec["jobType"] == "single"
+        assert spec["count"] == 1
+
+    def test_unknown_attribute_rejected_on_format(self):
+        with pytest.raises(RSLError):
+            format_rsl({"executable": "x", "bogus": 1})
+
+    def test_unknown_attribute_rejected_on_parse(self):
+        with pytest.raises(RSLError):
+            parse_rsl("&(executable=x)(bogus=1)")
+
+    def test_missing_executable_rejected(self):
+        with pytest.raises(RSLError):
+            parse_rsl("&(count=4)")
+
+    def test_must_start_with_ampersand(self):
+        with pytest.raises(RSLError):
+            parse_rsl("(executable=x)")
+
+    @given(count=st.integers(min_value=1, max_value=4096),
+           wall=st.integers(min_value=60, max_value=48 * 3600),
+           directory=st.text(alphabet="abc/123_", min_size=1,
+                             max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, count, wall, directory):
+        spec = batch_spec("/x/run.sh", count=count, max_wall_time_s=wall,
+                          directory=directory)
+        parsed = parse_rsl(format_rsl(spec))
+        assert int(parsed["count"]) == count
+        assert parsed["directory"] == directory
+
+
+class TestCTSS:
+    def test_every_table1_machine_supports_basic_deployment(self):
+        """The paper's deployment premise: CTSS-only components mean AMP
+        deploys anywhere the community account is authorized."""
+        for machine in TABLE1_MACHINES:
+            stack = verify_deployment(machine)
+            assert stack.provides("gridftp")
+
+    def test_ranger_fails_ws_gram_requirement(self):
+        with pytest.raises(DeploymentError) as err:
+            verify_deployment(RANGER, require_ws_gram=True)
+        assert "ws-gram" in str(err.value)
+
+    def test_kraken_passes_ws_gram_requirement(self):
+        verify_deployment(KRAKEN, require_ws_gram=True)
+
+    def test_advertised_stack(self):
+        stack = advertised_stack(KRAKEN)
+        assert stack.provides("gram-batch")
+        assert stack.provides("ws-gram")
+        stack_ranger = advertised_stack(RANGER)
+        assert not stack_ranger.provides("ws-gram")

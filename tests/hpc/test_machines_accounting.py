@@ -1,0 +1,156 @@
+"""Machine catalog, production selection, SU accounting, workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc import (DAY, FROST, HOUR, KRAKEN, LONESTAR, RANGER,
+                       TABLE1_MACHINES, Allocation, AllocationBook,
+                       AllocationError, BatchJob, ComputeResource,
+                       SimClock, cpu_hours, get_machine,
+                       select_production_machine, su_charge, warm_up)
+
+
+class TestMachineCatalog:
+    def test_table1_benchmark_minutes(self):
+        assert FROST.stellar_benchmark_min == pytest.approx(110.0)
+        assert KRAKEN.stellar_benchmark_min == pytest.approx(23.6)
+        assert LONESTAR.stellar_benchmark_min == pytest.approx(15.1)
+        assert RANGER.stellar_benchmark_min == pytest.approx(21.1)
+
+    def test_table1_su_factors(self):
+        assert [m.su_charge_factor for m in TABLE1_MACHINES] == \
+            [0.558, 1.623, 1.935, 1.644]
+
+    def test_all_machines_fit_amp_jobs(self):
+        """Every Table 1 system must run 4 × 128-processor jobs."""
+        for machine in TABLE1_MACHINES:
+            assert machine.total_cores >= 512
+
+    def test_get_machine(self):
+        assert get_machine("kraken") is KRAKEN
+        with pytest.raises(KeyError):
+            get_machine("bluegene")
+
+    def test_ranger_lacks_ws_gram(self):
+        assert not RANGER.has_ws_gram
+        assert KRAKEN.has_ws_gram
+
+    def test_production_selection_is_kraken(self):
+        """The paper's §2 resource decision: Kraken wins despite TACC
+        being faster, due to disk, WS-GRAM and oversubscription."""
+        chosen = select_production_machine(TABLE1_MACHINES)
+        assert chosen.name == "kraken"
+
+    def test_selection_without_constraints_prefers_lonestar(self):
+        chosen = select_production_machine(
+            TABLE1_MACHINES, required_disk_gb=0.0, require_ws_gram=False,
+            oversubscription_limit=10.0)
+        assert chosen.name == "lonestar"
+
+    def test_selection_can_fail(self):
+        with pytest.raises(ValueError):
+            select_production_machine(TABLE1_MACHINES,
+                                      required_disk_gb=1e9)
+
+
+class TestAccounting:
+    def test_cpu_hours(self):
+        assert cpu_hours(512, 3600.0) == pytest.approx(512.0)
+
+    def test_su_charge_matches_paper_arithmetic(self):
+        """Kraken: 61.9 h × 512 cores × 1.623 ≈ 51,439 SUs (Table 1
+        lists 51,486 from unrounded inputs)."""
+        sus = su_charge(KRAKEN, 512, 61.9 * HOUR)
+        assert sus == pytest.approx(51_439, rel=0.01)
+
+    def test_allocation_charge_and_balance(self):
+        allocation = Allocation("TG-TEST", "kraken", su_granted=60_000)
+        entry = allocation.charge(KRAKEN, job_name="opt", cores=512,
+                                  wall_seconds=61.9 * HOUR,
+                                  user="metcalfe")
+        assert allocation.su_remaining == pytest.approx(
+            60_000 - entry.service_units)
+
+    def test_allocation_exhaustion(self):
+        allocation = Allocation("TG-TEST", "kraken", su_granted=100)
+        with pytest.raises(AllocationError):
+            allocation.charge(KRAKEN, job_name="big", cores=512,
+                              wall_seconds=10 * HOUR)
+
+    def test_allocation_wrong_machine(self):
+        allocation = Allocation("TG-TEST", "frost", su_granted=1e6)
+        with pytest.raises(AllocationError):
+            allocation.charge(KRAKEN, job_name="x", cores=1,
+                              wall_seconds=60)
+
+    def test_usage_by_user(self):
+        """End-to-end accountability behind the community credential."""
+        allocation = Allocation("TG-TEST", "kraken", su_granted=1e6)
+        allocation.charge(KRAKEN, job_name="a", cores=128,
+                          wall_seconds=HOUR, user="alice")
+        allocation.charge(KRAKEN, job_name="b", cores=128,
+                          wall_seconds=HOUR, user="bob")
+        allocation.charge(KRAKEN, job_name="c", cores=128,
+                          wall_seconds=HOUR, user="alice")
+        usage = allocation.usage_by_user()
+        assert usage["alice"] == pytest.approx(2 * usage["bob"])
+
+    def test_allocation_book(self):
+        book = AllocationBook()
+        book.grant("TG-A", "kraken", 1000)
+        book.grant("TG-A", "kraken", 500)
+        assert book.get("TG-A", "kraken").su_granted == 1500
+        with pytest.raises(AllocationError):
+            book.get("TG-A", "frost")
+
+    @given(cores=st.integers(min_value=1, max_value=1024),
+           hours=st.floats(min_value=0.1, max_value=400))
+    @settings(max_examples=30, deadline=None)
+    def test_charge_arithmetic_property(self, cores, hours):
+        sus = su_charge(KRAKEN, cores, hours * HOUR)
+        assert sus == pytest.approx(cores * hours * 1.623, rel=1e-9)
+
+
+class TestBackgroundWorkload:
+    def test_load_generates_queue_wait(self):
+        """Heavier background load ⇒ longer probe-job queue wait."""
+        waits = {}
+        for load in (0.45, 0.95):
+            clock = SimClock()
+            resource = ComputeResource(KRAKEN, clock)
+            rng = np.random.default_rng(5)
+            warm_up(resource.scheduler, clock, rng, target_load=load,
+                    duration_s=4 * DAY)
+            probe = BatchJob(name="probe", cores=512,
+                             walltime_limit_s=6 * HOUR,
+                             runtime_fn=3 * HOUR)
+            resource.scheduler.submit(probe)
+            clock.run(until=lambda: probe.start_time is not None)
+            waits[load] = probe.queue_wait_s
+        assert waits[0.95] > waits[0.45]
+
+    def test_workload_is_deterministic_per_seed(self):
+        counts = []
+        for _ in range(2):
+            clock = SimClock()
+            resource = ComputeResource(KRAKEN, clock)
+            rng = np.random.default_rng(42)
+            workload = warm_up(resource.scheduler, clock, rng,
+                               target_load=0.7, duration_s=2 * DAY)
+            counts.append(workload.submitted)
+        assert counts[0] == counts[1]
+
+    def test_utilisation_approaches_target(self):
+        clock = SimClock()
+        resource = ComputeResource(KRAKEN, clock)
+        rng = np.random.default_rng(3)
+        warm_up(resource.scheduler, clock, rng, target_load=0.7,
+                duration_s=6 * DAY)
+        # Sample utilisation over a day; should be within a broad band.
+        samples = []
+        for _ in range(24):
+            clock.advance(HOUR)
+            samples.append(resource.scheduler.utilisation)
+        assert 0.35 <= np.mean(samples) <= 1.0

@@ -1,0 +1,293 @@
+"""Batch scheduler: FCFS, backfill, walltime, dependencies, stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc import (CANCELLED, COMPLETED, FAILED, HOUR, KRAKEN,
+                       PENDING, RUNNING, TERMINAL_STATES,
+                       WALLTIME_EXCEEDED, BatchJob, BatchScheduler,
+                       ComputeResource, SimClock)
+
+
+@pytest.fixture()
+def setup():
+    clock = SimClock()
+    scheduler = BatchScheduler(KRAKEN, clock)
+    return clock, scheduler
+
+
+def job(name="j", cores=128, wall=6 * HOUR, runtime=1 * HOUR, **kw):
+    return BatchJob(name=name, cores=cores, walltime_limit_s=wall,
+                    runtime_fn=runtime, **kw)
+
+
+class TestBasicScheduling:
+    def test_job_runs_and_completes(self, setup):
+        clock, scheduler = setup
+        j = job()
+        scheduler.submit(j)
+        clock.run()
+        assert j.status == COMPLETED
+        assert j.queue_wait_s == 0.0
+        assert j.run_duration_s == pytest.approx(1 * HOUR)
+
+    def test_fcfs_order_when_saturated(self, setup):
+        clock, scheduler = setup
+        first = job("first", cores=1024, runtime=2 * HOUR)
+        second = job("second", cores=1024, runtime=1 * HOUR)
+        scheduler.submit(first)
+        scheduler.submit(second)
+        clock.run()
+        assert second.start_time == pytest.approx(first.end_time)
+
+    def test_parallel_when_cores_allow(self, setup):
+        clock, scheduler = setup
+        jobs = [job(f"j{i}", cores=256) for i in range(4)]
+        for j in jobs:
+            scheduler.submit(j)
+        clock.run()
+        assert all(j.start_time == 0.0 for j in jobs)
+
+    def test_oversized_job_rejected(self, setup):
+        _, scheduler = setup
+        with pytest.raises(ValueError):
+            scheduler.submit(job(cores=100_000))
+
+    def test_overlong_walltime_rejected(self, setup):
+        _, scheduler = setup
+        with pytest.raises(ValueError):
+            scheduler.submit(job(wall=100 * HOUR))
+
+    def test_status_of(self, setup):
+        clock, scheduler = setup
+        j = job()
+        scheduler.submit(j)
+        assert scheduler.status_of(j.id) == PENDING
+        clock.advance(1)
+        assert scheduler.status_of(j.id) == RUNNING
+        clock.run()
+        assert scheduler.status_of(j.id) == COMPLETED
+
+
+class TestWalltime:
+    def test_walltime_kill(self, setup):
+        clock, scheduler = setup
+        j = job(wall=1 * HOUR, runtime=5 * HOUR)
+        scheduler.submit(j)
+        clock.run()
+        assert j.status == WALLTIME_EXCEEDED
+        assert j.run_duration_s == pytest.approx(1 * HOUR)
+
+    def test_job_under_walltime_completes(self, setup):
+        clock, scheduler = setup
+        j = job(wall=2 * HOUR, runtime=1.99 * HOUR)
+        scheduler.submit(j)
+        clock.run()
+        assert j.status == COMPLETED
+
+
+class TestBackfill:
+    def test_small_job_backfills_ahead_of_blocked_head(self, setup):
+        clock, scheduler = setup
+        wide = job("wide", cores=960, runtime=4 * HOUR)
+        head = job("head", cores=1024, runtime=1 * HOUR)
+        # Never possible to delay head: small job ends before wide does.
+        small = job("small", cores=64, wall=2 * HOUR, runtime=2 * HOUR)
+        scheduler.submit(wide)
+        clock.advance(1)   # wide starts
+        scheduler.submit(head)
+        scheduler.submit(small)
+        clock.run()
+        assert small.start_time < head.start_time
+        # Head not delayed: it starts when wide ends.
+        assert head.start_time == pytest.approx(wide.end_time)
+
+    def test_backfill_does_not_delay_head(self, setup):
+        clock, scheduler = setup
+        wide = job("wide", cores=1000, runtime=2 * HOUR)
+        head = job("head", cores=1024, runtime=1 * HOUR)
+        # This job would outlive the shadow time using head-needed cores.
+        blocker = job("blocker", cores=128, wall=24 * HOUR,
+                      runtime=23 * HOUR)
+        scheduler.submit(wide)
+        clock.advance(1)
+        scheduler.submit(head)
+        scheduler.submit(blocker)
+        clock.run()
+        assert head.start_time == pytest.approx(wide.end_time)
+        assert blocker.start_time >= head.start_time
+
+
+class TestDependencies:
+    def test_afterok_chain(self, setup):
+        clock, scheduler = setup
+        first = job("first", runtime=1 * HOUR)
+        second = job("second", runtime=1 * HOUR, after=(first.id,))
+        scheduler.submit(second)  # submitted first, must still wait
+        scheduler.submit(first)
+        clock.run()
+        assert second.start_time >= first.end_time
+        assert second.status == COMPLETED
+
+    def test_chain_of_four(self, setup):
+        clock, scheduler = setup
+        jobs = []
+        prev = None
+        for i in range(4):
+            j = job(f"seg{i}", runtime=2 * HOUR,
+                    after=(prev.id,) if prev else ())
+            jobs.append(j)
+            scheduler.submit(j)
+            prev = j
+        clock.run()
+        for a, b in zip(jobs, jobs[1:]):
+            assert b.start_time >= a.end_time
+        assert all(j.status == COMPLETED for j in jobs)
+
+    def test_dependent_cancelled_when_dep_fails(self, setup):
+        clock, scheduler = setup
+        first = job("first", runtime=1 * HOUR, fail=True)
+        second = job("second", after=(first.id,))
+        scheduler.submit(first)
+        scheduler.submit(second)
+        clock.run()
+        assert first.status == FAILED
+        assert second.status == CANCELLED
+
+    def test_dependent_cancelled_when_dep_walltime_killed(self, setup):
+        clock, scheduler = setup
+        first = job("first", wall=1 * HOUR, runtime=9 * HOUR)
+        second = job("second", after=(first.id,))
+        scheduler.submit(first)
+        scheduler.submit(second)
+        clock.run()
+        assert second.status == CANCELLED
+
+    def test_unknown_dependency_cancels(self, setup):
+        clock, scheduler = setup
+        j = job(after=(99999,))
+        scheduler.submit(j)
+        clock.run()
+        assert j.status == CANCELLED
+
+
+class TestCancelAndCallbacks:
+    def test_cancel_pending(self, setup):
+        clock, scheduler = setup
+        wide = job("wide", cores=1024, runtime=5 * HOUR)
+        queued = job("queued", cores=1024)
+        scheduler.submit(wide)
+        scheduler.submit(queued)
+        clock.advance(1)
+        assert scheduler.cancel(queued.id)
+        clock.run()
+        assert queued.status == CANCELLED
+
+    def test_cancel_running_frees_cores(self, setup):
+        clock, scheduler = setup
+        j = job(cores=1024, runtime=5 * HOUR)
+        scheduler.submit(j)
+        clock.advance(1)
+        scheduler.cancel(j.id)
+        assert scheduler.cores_free == scheduler.total_cores
+
+    def test_cancel_terminal_is_noop(self, setup):
+        clock, scheduler = setup
+        j = job(runtime=1)
+        scheduler.submit(j)
+        clock.run()
+        assert not scheduler.cancel(j.id)
+
+    def test_on_complete_callback(self, setup):
+        clock, scheduler = setup
+        seen = []
+        j = job(on_complete=lambda jb: seen.append(jb.status))
+        scheduler.submit(j)
+        clock.run()
+        assert seen == [COMPLETED]
+
+    def test_payload_runs_at_start_and_sets_runtime(self, setup):
+        clock, scheduler = setup
+
+        def payload(batch_job):
+            batch_job.runtime_fn = 2 * HOUR
+        j = BatchJob(name="p", cores=1, walltime_limit_s=6 * HOUR,
+                     runtime_fn=0.0, payload=payload)
+        scheduler.submit(j)
+        clock.run()
+        assert j.run_duration_s == pytest.approx(2 * HOUR)
+
+    def test_failed_job_status(self, setup):
+        clock, scheduler = setup
+        j = job(fail=True)
+        scheduler.submit(j)
+        clock.run()
+        assert j.status == FAILED
+
+
+class TestStats:
+    def test_aggregate_stats(self, setup):
+        clock, scheduler = setup
+        for i in range(3):
+            scheduler.submit(job(f"j{i}", cores=1024, runtime=1 * HOUR))
+        clock.run()
+        stats = scheduler.aggregate_stats()
+        assert stats["jobs"] == 3
+        assert stats["total_run_s"] == pytest.approx(3 * HOUR)
+        assert stats["total_wait_s"] == pytest.approx(3 * HOUR)  # 0+1+2
+
+    def test_utilisation(self, setup):
+        clock, scheduler = setup
+        scheduler.submit(job(cores=512, runtime=4 * HOUR))
+        clock.advance(1)
+        assert scheduler.utilisation == pytest.approx(0.5)
+
+
+class TestSchedulerInvariants:
+    @given(spec=st.lists(
+        st.tuples(st.sampled_from([64, 128, 256, 512]),
+                  st.floats(min_value=60, max_value=20 * HOUR)),
+        min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_no_core_oversubscription_and_all_terminal(self, spec):
+        clock = SimClock()
+        scheduler = BatchScheduler(KRAKEN, clock)
+        usage_samples = []
+        jobs = []
+        for cores, runtime in spec:
+            jobs.append(BatchJob(name="x", cores=cores,
+                                 walltime_limit_s=24 * HOUR,
+                                 runtime_fn=runtime))
+            scheduler.submit(jobs[-1])
+
+        def sample():
+            used = sum(j.cores for j, _ in scheduler.running.values())
+            usage_samples.append(used)
+            assert used <= scheduler.total_cores
+            assert scheduler.cores_free == scheduler.total_cores - used
+        for t in range(0, 48):
+            clock.schedule(t * HOUR, sample)
+        clock.run()
+        assert all(j.status in TERMINAL_STATES for j in jobs)
+
+    @given(runtimes=st.lists(
+        st.floats(min_value=60, max_value=5 * HOUR), min_size=2,
+        max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_chain_never_overlaps(self, runtimes):
+        clock = SimClock()
+        scheduler = BatchScheduler(KRAKEN, clock)
+        jobs, prev = [], None
+        for runtime in runtimes:
+            j = BatchJob(name="seg", cores=128,
+                         walltime_limit_s=6 * HOUR, runtime_fn=runtime,
+                         after=(prev.id,) if prev else ())
+            scheduler.submit(j)
+            jobs.append(j)
+            prev = j
+        clock.run()
+        for a, b in zip(jobs, jobs[1:]):
+            if a.status == COMPLETED:
+                assert b.start_time >= a.end_time - 1e-6

@@ -1,0 +1,123 @@
+"""Discrete-event clock tests."""
+
+import pytest
+
+from repro.hpc.simclock import HOUR, SimClock
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(10, fired.append, "b")
+        clock.schedule(5, fired.append, "a")
+        clock.schedule(20, fired.append, "c")
+        clock.advance(30)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        clock = SimClock()
+        fired = []
+        for label in "abc":
+            clock.schedule(5.0, fired.append, label)
+        clock.advance(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_advance_sets_now_even_without_events(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        assert clock.now == 100.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        clock = SimClock()
+        clock.advance(10)
+        with pytest.raises(ValueError):
+            clock.schedule_at(5, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        event = clock.schedule(5, fired.append, "x")
+        event.cancel()
+        clock.advance(10)
+        assert fired == []
+
+    def test_cascading_events(self):
+        clock = SimClock()
+        fired = []
+
+        def first():
+            fired.append(("first", clock.now))
+            clock.schedule(5, second)
+
+        def second():
+            fired.append(("second", clock.now))
+
+        clock.schedule(10, first)
+        clock.advance(20)
+        assert fired == [("first", 10.0), ("second", 15.0)]
+
+    def test_callback_sees_event_time(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(7.5, lambda: seen.append(clock.now))
+        clock.advance(100)
+        assert seen == [7.5]
+
+
+class TestRun:
+    def test_run_until_predicate(self):
+        clock = SimClock()
+        state = {"done": False}
+        clock.schedule(5, lambda: None)
+        clock.schedule(10, lambda: state.update(done=True))
+        clock.schedule(100, lambda: None)
+        clock.run(until=lambda: state["done"])
+        assert clock.now == 10.0
+
+    def test_run_respects_max_time(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5, fired.append, 1)
+        clock.schedule(50, fired.append, 2)
+        clock.run(max_time=20)
+        assert fired == [1]
+        assert clock.now == 20.0
+
+    def test_run_drains_queue(self):
+        clock = SimClock()
+        for delay in (3, 1, 2):
+            clock.schedule(delay, lambda: None)
+        clock.run()
+        assert clock.pending_count() == 0
+        assert clock.now == 3.0
+
+    def test_processed_events_counted(self):
+        clock = SimClock()
+        for delay in range(5):
+            clock.schedule(delay, lambda: None)
+        clock.run()
+        assert clock.processed_events == 5
+
+
+class TestPropertyOrdering:
+    def test_random_schedule_fires_sorted(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(delays=st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1, max_size=50))
+        @settings(max_examples=50, deadline=None)
+        def check(delays):
+            clock = SimClock()
+            fired = []
+            for delay in delays:
+                clock.schedule(delay, lambda d=delay: fired.append(d))
+            clock.run()
+            assert fired == sorted(fired)
+        check()

@@ -1,0 +1,55 @@
+"""Property-based fault schedules: the gateway never wedges.
+
+For any schedule of transient outages and transfer aborts, a direct
+simulation must end DONE (transients are retryable by definition) and
+the user must receive exactly the completion notification.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AMPDeployment, SIM_DONE, Simulation
+from repro.grid import FaultInjector
+from repro.hpc import HOUR
+
+outage_schedule = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=12.0),   # start (h)
+              st.floats(min_value=0.1, max_value=3.0)),   # duration (h)
+    min_size=0, max_size=4)
+
+
+@given(outages=outage_schedule,
+       aborts=st.integers(min_value=0, max_value=3))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_direct_run_always_completes_under_transients(outages, aborts):
+    deployment = AMPDeployment(seed_catalog=False)
+    try:
+        user = deployment.create_astronomer("prop")
+        from repro.core import Star
+        star = Star(name="Prop Star", hd_number=1)
+        star.save(db=deployment.databases.admin)
+        simulation = Simulation(
+            star_id=star.pk, owner_id=user.pk, kind="direct",
+            machine_name="kraken",
+            parameters={"mass": 1.0, "z": 0.018, "y": 0.27,
+                        "alpha": 2.1, "age": 4.6})
+        simulation.save(db=deployment.databases.portal)
+        injector = FaultInjector(deployment.fabric, deployment.clock)
+        for start_h, duration_h in outages:
+            injector.outage("kraken", start_in_s=start_h * HOUR,
+                            duration_s=duration_h * HOUR)
+        injector.abort_transfers("kraken", aborts)
+        deployment.run_daemon_until_idle(poll_interval_s=1800,
+                                         max_polls=500)
+        simulation.refresh_from_db()
+        assert simulation.state == SIM_DONE
+        mail = deployment.mailer.to_user(user.email)
+        assert len(mail) == 1 and "complete" in mail[0].subject
+    finally:
+        from repro.webstack.orm import bind
+        from repro.core.models import ALL_MODELS
+        bind(ALL_MODELS, None)
+        deployment.close()

@@ -1,0 +1,293 @@
+"""ASTEC stand-in: physics, calibration, oscillations, I/O, runtime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc.machines import FROST, KRAKEN
+from repro.science.astec import (ModelOutputError, PARAMETER_BOUNDS,
+                                 StellarParameters, execution_time_factor,
+                                 execution_time_s, format_output,
+                                 parse_input_file, parse_output,
+                                 population_observables, run_astec,
+                                 write_input_file)
+from repro.science.astec.evolution import (burn_fraction,
+                                           central_hydrogen, luminosity,
+                                           radius)
+from repro.science.astec.oscillations import (echelle_diagram,
+                                              large_separation,
+                                              mode_frequencies, nu_max)
+from repro.science.astec.physics import (mean_molecular_weight,
+                                         validate_parameters)
+
+SUN = StellarParameters.solar()
+
+params_strategy = st.builds(
+    StellarParameters,
+    mass=st.floats(*PARAMETER_BOUNDS["mass"]),
+    z=st.floats(*PARAMETER_BOUNDS["z"]),
+    y=st.floats(*PARAMETER_BOUNDS["y"]),
+    alpha=st.floats(*PARAMETER_BOUNDS["alpha"]),
+    age=st.floats(*PARAMETER_BOUNDS["age"]),
+)
+
+
+class TestSolarCalibration:
+    """The model must land on the Sun at solar inputs."""
+
+    def test_luminosity(self):
+        model = run_astec(SUN)
+        assert model.luminosity == pytest.approx(1.0, abs=0.01)
+
+    def test_radius(self):
+        model = run_astec(SUN)
+        assert model.radius == pytest.approx(1.0, abs=0.01)
+
+    def test_teff(self):
+        model = run_astec(SUN)
+        assert model.teff == pytest.approx(5777, abs=30)
+
+    def test_large_separation(self):
+        model = run_astec(SUN)
+        assert model.delta_nu == pytest.approx(135.0, abs=3.0)
+
+    def test_nu_max(self):
+        model = run_astec(SUN)
+        assert model.nu_max == pytest.approx(3090, rel=0.02)
+
+    def test_logg(self):
+        model = run_astec(SUN)
+        assert model.logg == pytest.approx(4.44, abs=0.02)
+
+
+class TestPhysicsTrends:
+    def test_more_massive_is_more_luminous(self):
+        low = float(luminosity(0.9, 0.018, 0.27, 4.6))
+        high = float(luminosity(1.2, 0.018, 0.27, 4.6))
+        assert high > low
+
+    def test_stars_brighten_with_age(self):
+        young = float(luminosity(1.0, 0.018, 0.27, 1.0))
+        old = float(luminosity(1.0, 0.018, 0.27, 8.0))
+        assert old > young
+
+    def test_radius_grows_with_age(self):
+        young = float(radius(1.0, 0.018, 0.27, 2.1, 1.0))
+        old = float(radius(1.0, 0.018, 0.27, 2.1, 8.0))
+        assert old > young
+
+    def test_metal_rich_is_fainter(self):
+        """Higher opacity dims the star at fixed mass."""
+        poor = float(luminosity(1.0, 0.005, 0.27, 4.6))
+        rich = float(luminosity(1.0, 0.04, 0.27, 4.6))
+        assert poor > rich
+
+    def test_helium_rich_is_brighter(self):
+        """Higher mean molecular weight boosts luminosity."""
+        low = float(luminosity(1.0, 0.018, 0.23, 4.6))
+        high = float(luminosity(1.0, 0.018, 0.31, 4.6))
+        assert high > low
+
+    def test_higher_alpha_smaller_radius(self):
+        loose = float(radius(1.0, 0.018, 0.27, 1.2, 4.6))
+        tight = float(radius(1.0, 0.018, 0.27, 2.8, 4.6))
+        assert tight < loose
+
+    def test_central_hydrogen_depletes(self):
+        young = float(central_hydrogen(1.0, 0.018, 0.27, 1.0))
+        old = float(central_hydrogen(1.0, 0.018, 0.27, 9.0))
+        assert young > old >= 0.0
+
+    def test_mean_molecular_weight_solar(self):
+        mu = float(mean_molecular_weight(0.018, 0.27))
+        assert 0.55 < mu < 0.65
+
+    def test_validate_rejects_out_of_box(self):
+        with pytest.raises(ValueError):
+            validate_parameters(2.5, 0.018, 0.27, 2.1, 4.6)
+        with pytest.raises(ValueError):
+            validate_parameters(1.0, 0.018, 0.27, 2.1, float("nan"))
+
+    @given(params=params_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_observables_finite_and_positive(self, params):
+        obs = population_observables(*(np.atleast_1d(v)
+                                       for v in params.as_tuple()))
+        for key in ("teff", "luminosity", "radius", "delta_nu", "nu_max"):
+            assert np.isfinite(obs[key]).all()
+            assert (obs[key] > 0).all()
+
+
+class TestOscillations:
+    def test_scaling_relation_at_sun(self):
+        assert float(large_separation(1.0, 1.0)) == pytest.approx(134.9)
+        assert float(nu_max(1.0, 1.0, 5777.0)) == pytest.approx(3090.0)
+
+    def test_denser_star_larger_dnu(self):
+        assert float(large_separation(1.0, 0.8)) > \
+            float(large_separation(1.0, 1.2))
+
+    def test_frequencies_ordered_within_degree(self):
+        freqs = mode_frequencies(135.0, 3090.0, 0.35)
+        for nus in freqs.values():
+            assert np.all(np.diff(nus) > 0)
+
+    def test_l1_between_l0(self):
+        """Asymptotic interleaving: ν(n,1) sits between ν(n,0) and
+        ν(n+1,0)."""
+        freqs = mode_frequencies(135.0, 3090.0, 0.35)
+        nu0, nu1 = freqs[0], freqs[1]
+        for i in range(len(nu0) - 1):
+            assert nu0[i] < nu1[i] < nu0[i + 1]
+
+    def test_small_separation_positive_and_small(self):
+        model = run_astec(SUN)
+        assert 0 < model.small_separation_02 < 15.0
+
+    def test_small_separation_shrinks_with_age(self):
+        young = run_astec(StellarParameters(1.0, 0.018, 0.27, 2.1, 1.0),
+                          with_track=False)
+        old = run_astec(StellarParameters(1.0, 0.018, 0.27, 2.1, 9.0),
+                        with_track=False)
+        assert old.small_separation_02 < young.small_separation_02
+
+    def test_echelle_modulo_bounded(self):
+        model = run_astec(SUN, with_track=False)
+        for point in model.echelle():
+            assert 0 <= point.modulo < model.delta_nu * 1.001
+
+    def test_requested_orders(self):
+        model = run_astec(SUN, n_orders=14, with_track=False)
+        assert all(len(nus) == 14 for nus in model.frequencies.values())
+
+
+class TestTextIO:
+    def test_input_round_trip(self):
+        text = write_input_file(SUN)
+        assert parse_input_file(text) == SUN
+
+    def test_input_missing_parameter(self):
+        with pytest.raises(ModelOutputError):
+            parse_input_file("mass = 1.0\nz = 0.02\n")
+
+    def test_output_round_trip(self):
+        model = run_astec(SUN)
+        scalars, freqs, track = parse_output(format_output(model))
+        assert scalars["teff"] == pytest.approx(model.teff, abs=0.01)
+        assert len(freqs[0]) == len(model.frequencies[0])
+        assert len(track) == len(model.track)
+
+    def test_malformed_result_line_raises(self):
+        """The paper's model-failure trigger: 'the failure of a result
+        line to parse correctly'."""
+        model = run_astec(SUN, with_track=False)
+        text = format_output(model).replace(
+            "RESULT teff", "RESULT teff garbled", 1)
+        with pytest.raises(ModelOutputError):
+            parse_output(text)
+
+    def test_missing_mandatory_field_raises(self):
+        """'the absence of a mandatory output file' analogue at the
+        field level."""
+        model = run_astec(SUN, with_track=False)
+        lines = [ln for ln in format_output(model).splitlines()
+                 if not ln.startswith("RESULT luminosity")]
+        with pytest.raises(ModelOutputError):
+            parse_output("\n".join(lines))
+
+    def test_unknown_record_raises(self):
+        with pytest.raises(ModelOutputError):
+            parse_output("GARBAGE 1 2 3")
+
+    @given(params=params_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_input_round_trip_property(self, params):
+        parsed = parse_input_file(write_input_file(params))
+        for name in ("mass", "z", "y", "alpha", "age"):
+            assert getattr(parsed, name) == pytest.approx(
+                getattr(params, name), rel=1e-9)
+
+
+class TestRuntimeModel:
+    def test_factor_bounds(self):
+        rng = np.random.default_rng(0)
+        n = 1000
+        factors = execution_time_factor(
+            rng.uniform(0.75, 1.75, n), rng.uniform(0.002, 0.05, n),
+            rng.uniform(0.22, 0.32, n), rng.uniform(1.0, 3.0, n),
+            rng.uniform(0.01, 13.8, n))
+        assert factors.min() >= 0.6
+        assert factors.max() <= 1.05
+
+    def test_deterministic(self):
+        a = execution_time_s(SUN, KRAKEN)
+        b = execution_time_s(SUN, KRAKEN)
+        assert a == b
+
+    def test_scales_with_machine(self):
+        """Per-star runtime preserves the machine benchmark ratio."""
+        ratio = execution_time_s(SUN, FROST) / execution_time_s(SUN,
+                                                                KRAKEN)
+        assert ratio == pytest.approx(110.0 / 23.6, rel=1e-6)
+
+    def test_direct_run_band(self):
+        """'Direct model runs take 10-15 minutes' on the fast systems
+        (TACC-class benchmarks)."""
+        from repro.hpc.machines import LONESTAR
+        runtime_min = execution_time_s(SUN, LONESTAR) / 60.0
+        assert 8.0 <= runtime_min <= 16.0
+
+    def test_evolved_stars_slower(self):
+        young = execution_time_s(
+            StellarParameters(1.0, 0.018, 0.27, 2.1, 1.0), KRAKEN)
+        old = execution_time_s(
+            StellarParameters(1.0, 0.018, 0.27, 2.1, 10.0), KRAKEN)
+        assert old > young
+
+
+class TestTrack:
+    def test_track_monotone_in_age(self):
+        model = run_astec(SUN)
+        ages = [p.age for p in model.track]
+        assert ages == sorted(ages)
+
+    def test_track_luminosity_increases(self):
+        model = run_astec(SUN)
+        lums = [p.luminosity for p in model.track]
+        assert lums[-1] > lums[0]
+
+
+class TestTracksModule:
+    def test_zams_locus_shape(self):
+        from repro.science.astec.tracks import zams_locus
+        teffs, lums = zams_locus(points=20)
+        assert len(teffs) == len(lums) == 20
+        # More massive ZAMS stars are hotter and brighter.
+        assert teffs[-1] > teffs[0]
+        assert lums[-1] > lums[0]
+
+    def test_zams_locus_passes_near_zams_sun(self):
+        from repro.science.astec.tracks import zams_locus
+        import numpy as np
+        teffs, lums = zams_locus(points=200)
+        index = int(np.argmin(np.abs(lums - 0.723)))
+        assert 5300 < teffs[index] < 6000
+
+    def test_track_grid(self):
+        from repro.science.astec.tracks import track_grid, track_to_rows
+        grid = track_grid([0.9, 1.0, 1.1], points=10)
+        assert set(grid) == {0.9, 1.0, 1.1}
+        rows = track_to_rows(grid[1.0])
+        assert len(rows) == 10
+        assert len(rows[0]) == 4
+
+    def test_hr_svg_includes_zams(self):
+        from repro.core.plots import hr_diagram_svg
+        track = [(age, 5800 - age * 40, 0.8 + 0.04 * age, 1.0)
+                 for age in range(1, 10)]
+        with_zams = hr_diagram_svg(track, show_zams=True)
+        without = hr_diagram_svg(track, show_zams=False)
+        assert "ZAMS" in with_zams
+        assert "ZAMS" not in without
+        assert "stroke-dasharray" in with_zams

@@ -1,0 +1,228 @@
+"""MPIKAIA: encoding, operators, GA driver, restart files."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.science.mpikaia import (Encoding, GeneticAlgorithm,
+                                   adapt_mutation_rate, mutate,
+                                   one_point_crossover, rank_weights,
+                                   roulette_select)
+
+BOUNDS = [(0.75, 1.75), (0.002, 0.05), (0.22, 0.32), (1.0, 3.0),
+          (0.01, 13.8)]
+
+
+def sphere_fitness(params):
+    """Simple test objective: peak at the centre of the box."""
+    params = np.atleast_2d(params)
+    centre = np.array([(lo + hi) / 2 for lo, hi in BOUNDS])
+    span = np.array([hi - lo for lo, hi in BOUNDS])
+    return 1.0 / (1.0 + (((params - centre) / span) ** 2).sum(axis=1))
+
+
+class TestEncoding:
+    def test_round_trip_precision(self):
+        encoding = Encoding(BOUNDS, digits_per_gene=6)
+        values = np.array([1.05, 0.019, 0.27, 2.1, 4.6])
+        decoded = encoding.decode(encoding.encode(values))
+        for value, got, (lo, hi) in zip(values, decoded, BOUNDS):
+            assert abs(got - value) < (hi - lo) * 1e-5
+
+    def test_bounds_clamped(self):
+        encoding = Encoding(BOUNDS)
+        decoded = encoding.decode(encoding.encode([0.0, 1.0, 1.0, 99, 99]))
+        for value, (lo, hi) in zip(decoded, BOUNDS):
+            assert lo <= value <= hi
+
+    def test_chromosome_length(self):
+        encoding = Encoding(BOUNDS, digits_per_gene=4)
+        assert encoding.length == 20
+
+    def test_decode_population_matches_scalar_decode(self):
+        encoding = Encoding(BOUNDS)
+        rng = np.random.default_rng(1)
+        population = encoding.random_population(rng, 17)
+        vectorised = encoding.decode_population(population)
+        for row, chromosome in zip(vectorised, population):
+            np.testing.assert_allclose(row, encoding.decode(chromosome))
+
+    def test_digits_in_range(self):
+        encoding = Encoding(BOUNDS)
+        rng = np.random.default_rng(2)
+        population = encoding.random_population(rng, 50)
+        assert population.min() >= 0 and population.max() <= 9
+
+    def test_wrong_length_rejected(self):
+        encoding = Encoding(BOUNDS)
+        with pytest.raises(ValueError):
+            encoding.decode(np.zeros(7, dtype=np.int8))
+
+    @given(fractions=st.lists(st.floats(min_value=0, max_value=0.999999),
+                              min_size=5, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, fractions):
+        encoding = Encoding(BOUNDS)
+        physical = encoding.denormalise(np.array(fractions))
+        decoded = encoding.decode(encoding.encode(physical))
+        for value, got, (lo, hi) in zip(physical, decoded, BOUNDS):
+            assert abs(got - value) <= (hi - lo) * 1.1e-6
+
+
+class TestOperators:
+    def test_rank_weights_sum_to_one(self):
+        weights = rank_weights([0.1, 0.9, 0.5])
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_rank_weights_order(self):
+        weights = rank_weights([0.1, 0.9, 0.5])
+        assert weights[1] > weights[2] > weights[0]
+
+    def test_rank_weights_scale_invariant(self):
+        a = rank_weights([1, 2, 3])
+        b = rank_weights([10, 200, 30000])
+        np.testing.assert_allclose(a, b)
+
+    def test_selection_prefers_fit(self):
+        rng = np.random.default_rng(0)
+        weights = rank_weights([0.0, 0.0, 1.0])
+        picks = roulette_select(rng, weights, 3000)
+        counts = np.bincount(picks, minlength=3)
+        assert counts[2] > counts[0]
+
+    def test_crossover_preserves_material(self):
+        rng = np.random.default_rng(1)
+        a = np.zeros(30, dtype=np.int8)
+        b = np.ones(30, dtype=np.int8) * 9
+        child_a, child_b = one_point_crossover(rng, a, b, rate=1.0)
+        np.testing.assert_array_equal(child_a + child_b,
+                                      np.full(30, 9))
+
+    def test_crossover_rate_zero_copies(self):
+        rng = np.random.default_rng(1)
+        a = np.arange(30, dtype=np.int8) % 10
+        b = (np.arange(30, dtype=np.int8) + 5) % 10
+        child_a, child_b = one_point_crossover(rng, a, b, rate=0.0)
+        np.testing.assert_array_equal(child_a, a)
+        np.testing.assert_array_equal(child_b, b)
+
+    def test_mutation_rate_zero_is_identity(self):
+        rng = np.random.default_rng(2)
+        chromosome = rng.integers(0, 10, 30).astype(np.int8)
+        np.testing.assert_array_equal(
+            mutate(rng, chromosome, rate=0.0), chromosome)
+
+    def test_mutation_keeps_digits_valid(self):
+        rng = np.random.default_rng(3)
+        chromosome = np.zeros(30, dtype=np.int8)
+        mutated = mutate(rng, chromosome, rate=1.0)
+        assert mutated.min() >= 0 and mutated.max() <= 9
+
+    def test_adaptive_rate_rises_on_collapse(self):
+        rate = adapt_mutation_rate(0.005, [0.5, 0.5, 0.5, 0.5])
+        assert rate > 0.005
+
+    def test_adaptive_rate_falls_on_spread(self):
+        rate = adapt_mutation_rate(0.02, [0.01, 0.02, 0.05, 0.9])
+        assert rate < 0.02
+
+    def test_adaptive_rate_bounded(self):
+        rate = 0.005
+        for _ in range(50):
+            rate = adapt_mutation_rate(rate, [0.5, 0.5, 0.5])
+        assert rate <= 0.03 + 1e-12
+
+
+class TestGeneticAlgorithm:
+    def test_improves_on_sphere(self):
+        ga = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                              population_size=40, seed=1)
+        ga.evaluate()
+        initial = ga.best()[1]
+        ga.run(30)
+        assert ga.best()[1] > initial
+
+    def test_converges_near_centre(self):
+        ga = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                              population_size=60, seed=3)
+        ga.run(60)
+        best, fitness = ga.best()
+        centre = np.array([(lo + hi) / 2 for lo, hi in BOUNDS])
+        span = np.array([hi - lo for lo, hi in BOUNDS])
+        assert np.all(np.abs(best - centre) / span < 0.15)
+
+    def test_elitism_never_regresses(self):
+        ga = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                              population_size=30, seed=5)
+        ga.evaluate()
+        history = [ga.best()[1]]
+        for _ in range(25):
+            ga.step()
+            history.append(ga.best()[1])
+        assert all(b >= a - 1e-12 for a, b in zip(history, history[1:]))
+
+    def test_deterministic_given_seed(self):
+        runs = []
+        for _ in range(2):
+            ga = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                                  population_size=30, seed=9)
+            ga.run(10)
+            runs.append(ga.best())
+        np.testing.assert_allclose(runs[0][0], runs[1][0])
+        assert runs[0][1] == runs[1][1]
+
+    def test_different_seeds_differ(self):
+        results = set()
+        for seed in (1, 2, 3):
+            ga = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                                  population_size=20, seed=seed)
+            ga.run(3)
+            results.add(tuple(np.round(ga.best()[0], 6)))
+        assert len(results) > 1
+
+    def test_converged_detector(self):
+        ga = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                              population_size=30, seed=1)
+        assert not ga.converged()
+        ga.best_fitness_history = [0.5] * 25
+        assert ga.converged()
+
+
+class TestRestart:
+    def test_restart_resumes_identically(self):
+        """The walltime-spanning continuation must be bit-exact: a GA
+        split across two 'jobs' equals one uninterrupted run."""
+        whole = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                                 population_size=30, seed=7)
+        whole.run(20)
+
+        first = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                                 population_size=30, seed=7)
+        first.run(9)
+        state_text = first.restart_text()
+        resumed = GeneticAlgorithm.from_restart(
+            state_text, sphere_fitness, BOUNDS, population_size=30)
+        resumed.run(20 - 9)
+
+        assert resumed.iteration == whole.iteration
+        np.testing.assert_array_equal(resumed.population,
+                                      whole.population)
+        assert resumed.best()[1] == pytest.approx(whole.best()[1])
+
+    def test_restart_state_is_json(self):
+        import json
+        ga = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                              population_size=10, seed=1)
+        ga.run(2)
+        payload = json.loads(ga.restart_text())
+        assert payload["iteration"] == 2
+
+    def test_restart_preserves_history(self):
+        ga = GeneticAlgorithm(sphere_fitness, BOUNDS,
+                              population_size=10, seed=1)
+        ga.run(5)
+        resumed = GeneticAlgorithm.from_restart(
+            ga.restart_state(), sphere_fitness, BOUNDS,
+            population_size=10)
+        assert resumed.best_fitness_history == ga.best_fitness_history

@@ -1,0 +1,193 @@
+"""Fitness, parallel timing model, and the standalone pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.machines import FROST, KRAKEN
+from repro.science import (StellarParameters, make_ga, optimization_run,
+                           run_single_ga, solar_target, synthetic_target)
+from repro.science.mpikaia import (ChiSquareFitness, MasterWorkerModel,
+                                   ObservedStar, frequencies_chi_square,
+                                   run_ga_segment)
+from repro.science.pipeline import estimate_optimization_run
+from repro.science.astec.model import run_astec
+
+
+class TestObservedStar:
+    def test_derived_from_frequencies(self):
+        target = solar_target()
+        dnu, d02, numax = target.derived()
+        assert dnu == pytest.approx(135.0, abs=3)
+        assert 5 < d02 < 12
+        assert numax > 2000
+
+    def test_explicit_values_pass_through(self):
+        star = ObservedStar(name="x", teff=5800, delta_nu=103.5,
+                            nu_max=2188)
+        dnu, d02, numax = star.derived()
+        assert dnu == 103.5 and numax == 2188 and d02 is None
+
+    def test_no_constraints_rejected(self):
+        star = ObservedStar(name="x", teff=None)
+        with pytest.raises(ValueError):
+            ChiSquareFitness(star)
+
+
+class TestChiSquareFitness:
+    def test_truth_scores_near_one(self):
+        params = StellarParameters(1.05, 0.02, 0.27, 2.1, 4.0)
+        target, _ = synthetic_target("t", params, seed=1,
+                                     freq_noise=0.0, teff_noise=0.0)
+        fitness = ChiSquareFitness(target)
+        score = fitness(np.array([params.as_tuple()]))
+        # Not exactly 1.0: the fitness compares the asymptotic-mean
+        # observables against a 6·D₀ shortcut (a surface-term-like
+        # systematic), so truth scores high but not perfect.
+        assert score[0] > 0.75
+
+    def test_wrong_params_score_lower(self):
+        params = StellarParameters(1.05, 0.02, 0.27, 2.1, 4.0)
+        target, _ = synthetic_target("t", params, seed=1)
+        fitness = ChiSquareFitness(target)
+        right = fitness(np.array([params.as_tuple()]))[0]
+        wrong = fitness(np.array([[1.6, 0.04, 0.31, 1.2, 12.0]]))[0]
+        assert right > wrong
+
+    def test_vectorised_over_population(self):
+        target = solar_target()
+        fitness = ChiSquareFitness(target)
+        population = np.tile([1.0, 0.018, 0.27, 2.1, 4.6], (50, 1))
+        scores = fitness(population)
+        assert scores.shape == (50,)
+        assert np.allclose(scores, scores[0])
+
+    def test_fitness_bounded(self):
+        target = solar_target()
+        fitness = ChiSquareFitness(target)
+        rng = np.random.default_rng(0)
+        population = np.column_stack([
+            rng.uniform(0.75, 1.75, 100), rng.uniform(0.002, 0.05, 100),
+            rng.uniform(0.22, 0.32, 100), rng.uniform(1.0, 3.0, 100),
+            rng.uniform(0.01, 13.8, 100)])
+        scores = fitness(population)
+        assert np.all((scores > 0) & (scores <= 1.0))
+
+    def test_frequencies_chi_square(self):
+        model = run_astec(StellarParameters.solar(), with_track=False)
+        chi2 = frequencies_chi_square(model.frequencies,
+                                      {0: model.frequencies[0].tolist()})
+        assert chi2 == pytest.approx(0.0, abs=1e-12)
+
+    def test_frequencies_chi_square_no_overlap(self):
+        with pytest.raises(ValueError):
+            frequencies_chi_square({0: []}, {0: [3000.0]})
+
+
+class TestMasterWorkerModel:
+    def test_iteration_blocked_on_slowest(self):
+        timing = MasterWorkerModel(KRAKEN, 128)
+        population = np.tile([1.0, 0.018, 0.27, 2.1, 4.6], (126, 1))
+        population[0] = [1.7, 0.018, 0.27, 2.1, 2.0]  # slow outlier
+        times = timing.member_times(population)
+        assert timing.iteration_time(population) == pytest.approx(
+            times.max())
+
+    def test_population_larger_than_workers_waves(self):
+        timing = MasterWorkerModel(KRAKEN, 64)  # 63 workers
+        population = np.tile([1.0, 0.018, 0.27, 2.1, 4.6], (126, 1))
+        single = timing.member_times(population)[0]
+        assert timing.iteration_time(population) == pytest.approx(
+            2 * single, rel=0.01)
+
+    def test_machine_scaling(self):
+        population = np.tile([1.0, 0.018, 0.27, 2.1, 4.6], (10, 1))
+        fast = MasterWorkerModel(KRAKEN, 128).iteration_time(population)
+        slow = MasterWorkerModel(FROST, 128).iteration_time(population)
+        assert slow / fast == pytest.approx(110.0 / 23.6, rel=1e-6)
+
+
+class TestSegments:
+    def test_segment_respects_walltime(self):
+        target = solar_target()
+        ga = make_ga(target, seed=1, population_size=32)
+        timing = MasterWorkerModel(KRAKEN, 128)
+        segment = run_ga_segment(ga, timing,
+                                 walltime_budget_s=4 * 3600.0,
+                                 target_iterations=500)
+        assert segment.elapsed_s <= 4 * 3600.0
+        assert not segment.finished
+        assert segment.iterations_completed > 0
+
+    def test_segment_finishes_small_target(self):
+        target = solar_target()
+        ga = make_ga(target, seed=1, population_size=32)
+        timing = MasterWorkerModel(KRAKEN, 128)
+        segment = run_ga_segment(ga, timing,
+                                 walltime_budget_s=24 * 3600.0,
+                                 target_iterations=5)
+        assert segment.finished
+        assert segment.iterations_completed == 5
+
+    def test_chained_segments_match_uninterrupted(self):
+        from repro.science.mpikaia import GeneticAlgorithm
+        from repro.science.pipeline import BOUNDS_LIST
+        target = solar_target()
+        timing = MasterWorkerModel(KRAKEN, 128)
+
+        whole = make_ga(target, seed=4, population_size=32)
+        whole.run(12)
+
+        chained = make_ga(target, seed=4, population_size=32)
+        iterations_seen = 0
+        while iterations_seen < 12:
+            segment = run_ga_segment(
+                chained, timing, walltime_budget_s=2.2 * 3600.0,
+                target_iterations=12)
+            iterations_seen = segment.iterations_completed
+            if not segment.finished:
+                fitness = ChiSquareFitness(target)
+                chained = GeneticAlgorithm.from_restart(
+                    segment.restart_state, fitness, BOUNDS_LIST,
+                    population_size=32)
+        np.testing.assert_array_equal(chained.population,
+                                      whole.population)
+
+
+class TestPipeline:
+    def test_single_ga_run_segments(self):
+        target = solar_target()
+        result = run_single_ga(target, seed=1, machine=KRAKEN,
+                               iterations=30, walltime_s=6 * 3600.0,
+                               population_size=32)
+        assert result.iterations == 30
+        # 30 iterations × ~20 min ≈ 10 h at 6 h walltime ⇒ 2-4 segments.
+        assert 2 <= result.segments <= 5
+        assert len(result.iteration_times) == 30
+
+    def test_optimization_run_ensemble(self):
+        params = StellarParameters(1.02, 0.018, 0.265, 2.0, 4.5)
+        target, truth = synthetic_target("t", params, seed=2)
+        result = optimization_run(target, KRAKEN, n_ga_runs=2,
+                                  iterations=40, population_size=48)
+        assert len(result.ga_runs) == 2
+        assert result.best_fitness == max(r.best_fitness
+                                          for r in result.ga_runs)
+        assert result.solution_model is not None
+        # Recovered mass within the GA's typical scatter.
+        assert result.best_parameters.mass == pytest.approx(truth.mass,
+                                                            abs=0.15)
+
+    def test_ga_runs_use_distinct_seeds(self):
+        target = solar_target()
+        result = optimization_run(target, KRAKEN, n_ga_runs=3,
+                                  iterations=5, population_size=24)
+        assert len({r.seed for r in result.ga_runs}) == 3
+
+    def test_estimate_matches_paper_arithmetic(self):
+        estimate = estimate_optimization_run(KRAKEN)
+        assert estimate["run_time_h"] == pytest.approx(
+            160 * 23.6 / 60.0, rel=1e-6)
+        assert estimate["cpu_hours"] == pytest.approx(
+            estimate["run_time_h"] * 512)
+        assert estimate["service_units"] == pytest.approx(
+            estimate["cpu_hours"] * 1.623)

@@ -1,0 +1,46 @@
+"""Shared fixtures for webstack tests."""
+
+import pytest
+
+from repro.webstack.orm import (BooleanField, CharField, Database,
+                                DateTimeField, FloatField, ForeignKey,
+                                IntegerField, JSONField, Model, TextField,
+                                bind, create_all)
+
+
+class Author(Model):
+    name = CharField(max_length=60, unique=True)
+    email = CharField(max_length=100, null=True)
+    active = BooleanField(default=True)
+
+    class Meta:
+        table_name = "ws_author"
+        ordering = ["name"]
+
+
+class Book(Model):
+    author = ForeignKey(Author, related_name="books")
+    title = CharField(max_length=120)
+    pages = IntegerField(default=0, min_value=0)
+    rating = FloatField(null=True, min_value=0.0, max_value=5.0)
+    tags = JSONField(null=True)
+    published = DateTimeField(null=True)
+    summary = TextField(default="")
+    status = CharField(max_length=12, default="draft",
+                       choices=[("draft", "Draft"), ("final", "Final")])
+
+    class Meta:
+        table_name = "ws_book"
+
+
+MODELS = [Author, Book]
+
+
+@pytest.fixture()
+def db():
+    database = Database(":memory:")
+    create_all(MODELS, database)
+    bind(MODELS, database)
+    yield database
+    bind(MODELS, None)
+    database.close()

@@ -1,0 +1,195 @@
+"""Auth framework: hashing, users, sessions, middleware, decorators."""
+
+import pytest
+
+from repro.webstack import (HttpResponse, HttpResponseRedirect,
+                            WebApplication, path)
+from repro.webstack.auth import (AUTH_MODELS, AnonymousUser, AuthMiddleware,
+                                 Session, User, authenticate,
+                                 create_superuser, create_user, hashers,
+                                 login, login_required, logout,
+                                 staff_required)
+from repro.webstack.orm import Database, bind, create_all
+from repro.webstack.testclient import Client
+
+
+@pytest.fixture()
+def db():
+    database = Database(":memory:")
+    create_all(AUTH_MODELS, database)
+    bind(AUTH_MODELS, database)
+    yield database
+    bind(AUTH_MODELS, None)
+    database.close()
+
+
+class TestHashers:
+    def test_round_trip(self):
+        stored = hashers.make_password("s3cret")
+        assert hashers.check_password("s3cret", stored)
+        assert not hashers.check_password("wrong", stored)
+
+    def test_unique_salts(self):
+        assert hashers.make_password("x") != hashers.make_password("x")
+
+    def test_format_self_describing(self):
+        stored = hashers.make_password("x", iterations=1000)
+        algorithm, iters, salt, digest = stored.split("$")
+        assert algorithm == "pbkdf2_sha256"
+        assert int(iters) == 1000
+
+    def test_check_garbage_hash(self):
+        assert not hashers.check_password("x", "not-a-hash")
+        assert not hashers.check_password("x", None)
+
+    def test_unusable_password(self):
+        assert not hashers.is_usable_password(
+            hashers.make_unusable_password())
+        assert hashers.is_usable_password(hashers.make_password("x"))
+
+
+class TestUsers:
+    def test_create_user_hashes_password(self, db):
+        user = create_user(db, "travis", "t@ucar.edu", "pw")
+        assert user.password != "pw"
+        assert user.check_password("pw")
+
+    def test_new_users_inactive_by_default(self, db):
+        """AMP accounts require administrator approval before use."""
+        user = create_user(db, "new", "n@x.yz", "pw")
+        assert user.is_active is False
+
+    def test_superuser_flags(self, db):
+        user = create_superuser(db, "ops", "o@x.yz", "pw")
+        assert user.is_active and user.is_staff and user.is_superuser
+
+    def test_metadata_extension_point(self, db):
+        user = create_user(db, "u", "u@x.yz", "pw",
+                           metadata={"teragrid_dn": "/C=US/O=NCAR/CN=u"})
+        fetched = User.objects.using(db).get(username="u")
+        assert fetched.metadata["teragrid_dn"].endswith("CN=u")
+
+
+class TestAuthenticate:
+    def test_success(self, db):
+        create_user(db, "u", "u@x.yz", "pw", is_active=True)
+        assert authenticate(db, "u", "pw") is not None
+
+    def test_wrong_password(self, db):
+        create_user(db, "u", "u@x.yz", "pw", is_active=True)
+        assert authenticate(db, "u", "nope") is None
+
+    def test_unknown_user(self, db):
+        assert authenticate(db, "ghost", "pw") is None
+
+    def test_inactive_rejected(self, db):
+        create_user(db, "u", "u@x.yz", "pw")  # not approved
+        assert authenticate(db, "u", "pw") is None
+
+
+def _make_app(db):
+    def public(request):
+        return HttpResponse(b"public")
+
+    @login_required
+    def private(request):
+        return HttpResponse(f"hello {request.user.username}".encode())
+
+    @staff_required
+    def staff_only(request):
+        return HttpResponse(b"staff")
+
+    def login_view(request):
+        user = authenticate(request.db, request.POST.get("username", ""),
+                            request.POST.get("password", ""))
+        if user is None:
+            return HttpResponse(b"denied", status=403)
+        login(request, user)
+        return HttpResponseRedirect("/")
+
+    def logout_view(request):
+        logout(request)
+        return HttpResponseRedirect("/")
+
+    return WebApplication(
+        [path("", public), path("private/", private),
+         path("staff/", staff_only),
+         path("accounts/login/", login_view),
+         path("accounts/logout/", logout_view)],
+        middleware=[AuthMiddleware(db)], db=db)
+
+
+class TestSessionsAndMiddleware:
+    def test_anonymous_by_default(self, db):
+        app = _make_app(db)
+        client = Client(app)
+        response = client.get("/private/")
+        assert response.status_code == 302
+        assert "login" in response["Location"]
+
+    def test_login_sets_session_cookie(self, db):
+        create_user(db, "u", "u@x.yz", "pw", is_active=True)
+        app = _make_app(db)
+        client = Client(app)
+        assert client.login("u", "pw")
+        assert "sessionid" in client.cookies
+        response = client.get("/private/")
+        assert response.text == "hello u"
+
+    def test_session_persisted_server_side(self, db):
+        create_user(db, "u", "u@x.yz", "pw", is_active=True)
+        app = _make_app(db)
+        client = Client(app)
+        client.login("u", "pw")
+        assert Session.objects.using(db).count() == 1
+
+    def test_logout_flushes(self, db):
+        create_user(db, "u", "u@x.yz", "pw", is_active=True)
+        app = _make_app(db)
+        client = Client(app)
+        client.login("u", "pw")
+        client.get("/accounts/logout/")
+        assert Session.objects.using(db).count() == 0
+        assert client.get("/private/").status_code == 302
+
+    def test_login_cycles_session_key(self, db):
+        """Session-fixation defence: key changes at login."""
+        create_user(db, "u", "u@x.yz", "pw", is_active=True)
+        app = _make_app(db)
+        client = Client(app)
+        client.get("/")  # may or may not set a session
+        before = client.cookies.get("sessionid")
+        client.login("u", "pw")
+        assert client.cookies["sessionid"] != before
+
+    def test_forged_cookie_ignored(self, db):
+        app = _make_app(db)
+        client = Client(app)
+        client.cookies["sessionid"] = "forged-key-aaaaaaaaaaaa"
+        assert client.get("/private/").status_code == 302
+
+    def test_staff_gate(self, db):
+        create_user(db, "u", "u@x.yz", "pw", is_active=True)
+        create_superuser(db, "ops", "o@x.yz", "pw")
+        app = _make_app(db)
+        client = Client(app)
+        client.login("u", "pw")
+        assert client.get("/staff/").status_code == 403
+        client2 = Client(app)
+        client2.login("ops", "pw")
+        assert client2.get("/staff/").status_code == 200
+
+    def test_two_clients_are_isolated(self, db):
+        create_user(db, "a", "a@x.yz", "pw", is_active=True)
+        create_user(db, "b", "b@x.yz", "pw", is_active=True)
+        app = _make_app(db)
+        ca, cb = Client(app), Client(app)
+        ca.login("a", "pw")
+        cb.login("b", "pw")
+        assert ca.get("/private/").text == "hello a"
+        assert cb.get("/private/").text == "hello b"
+
+    def test_anonymous_user_api(self):
+        anon = AnonymousUser()
+        assert not anon.is_authenticated
+        assert not anon.has_perm("anything")

@@ -1,0 +1,163 @@
+"""Declarative form validation tests."""
+
+import pytest
+
+from repro.webstack import forms
+from repro.webstack.forms.fields import FormValidationError
+
+
+class DirectRunForm(forms.Form):
+    """Shape of the portal's direct-model-run submission form."""
+
+    mass = forms.FloatField(min_value=0.75, max_value=1.75)
+    metallicity = forms.FloatField(min_value=0.002, max_value=0.05)
+    helium = forms.FloatField(min_value=0.22, max_value=0.32)
+    mixing_length = forms.FloatField(min_value=1.0, max_value=3.0)
+    age = forms.FloatField(min_value=0.01, max_value=13.8)
+    label = forms.StringField(max_length=40, required=False)
+
+    def clean(self):
+        data = self.cleaned_data
+        if data.get("metallicity", 0) > 0.04 and data.get("mass", 0) < 0.8:
+            raise FormValidationError(
+                "High metallicity requires mass above 0.8.")
+        return data
+
+
+class AccountForm(forms.Form):
+    username = forms.StringField(max_length=30, min_length=3)
+    email = forms.EmailField()
+    notify = forms.BooleanField()
+    machine = forms.ChoiceField(choices=[("kraken", "NICS Kraken"),
+                                         ("frost", "NCAR Frost")])
+
+    def clean_username(self, value=None):
+        value = value if value is not None else self.cleaned_data["username"]
+        if value.lower() == "root":
+            raise FormValidationError("Reserved username.")
+        return value
+
+
+VALID_RUN = {"mass": "1.0", "metallicity": "0.02", "helium": "0.28",
+             "mixing_length": "2.1", "age": "4.6"}
+
+
+class TestFieldValidation:
+    def test_valid_submission(self):
+        form = DirectRunForm(VALID_RUN)
+        assert form.is_valid()
+        assert form.cleaned_data["mass"] == 1.0
+
+    def test_float_out_of_bounds(self):
+        form = DirectRunForm({**VALID_RUN, "mass": "2.5"})
+        assert not form.is_valid()
+        assert "mass" in form.errors
+
+    def test_float_garbage(self):
+        form = DirectRunForm({**VALID_RUN, "age": "old"})
+        assert not form.is_valid()
+
+    def test_float_rejects_inf(self):
+        form = DirectRunForm({**VALID_RUN, "age": "inf"})
+        assert not form.is_valid()
+
+    def test_required_missing(self):
+        data = dict(VALID_RUN)
+        del data["mass"]
+        form = DirectRunForm(data)
+        assert not form.is_valid()
+        assert form.errors["mass"] == ["This field is required."]
+
+    def test_optional_missing_ok(self):
+        form = DirectRunForm(VALID_RUN)
+        assert form.is_valid()
+        assert form.cleaned_data["label"] == ""
+
+    def test_multiple_errors_collected(self):
+        form = DirectRunForm({"mass": "99", "age": "-1",
+                              "metallicity": "0.02", "helium": "0.28",
+                              "mixing_length": "2.1"})
+        assert not form.is_valid()
+        assert set(form.errors) == {"mass", "age"}
+
+    def test_unbound_is_not_valid(self):
+        assert not DirectRunForm().is_valid()
+
+
+class TestFormLevelClean:
+    def test_cross_field_rule(self):
+        form = DirectRunForm({**VALID_RUN, "metallicity": "0.045",
+                              "mass": "0.78"})
+        assert not form.is_valid()
+        assert form.non_field_errors
+
+    def test_clean_field_hook(self):
+        form = AccountForm({"username": "root", "email": "r@x.yz",
+                            "machine": "kraken"})
+        assert not form.is_valid()
+        assert "Reserved username." in form.errors["username"]
+
+
+class TestFieldTypes:
+    def test_email(self):
+        form = AccountForm({"username": "abc", "email": "not-an-email",
+                            "machine": "kraken"})
+        assert not form.is_valid()
+        assert "email" in form.errors
+
+    def test_choice_rejects_unknown(self):
+        form = AccountForm({"username": "abc", "email": "a@b.cd",
+                            "machine": "ranger"})
+        assert not form.is_valid()
+
+    def test_boolean_unchecked_is_false(self):
+        form = AccountForm({"username": "abc", "email": "a@b.cd",
+                            "machine": "frost"})
+        assert form.is_valid()
+        assert form.cleaned_data["notify"] is False
+
+    def test_boolean_checked(self):
+        form = AccountForm({"username": "abc", "email": "a@b.cd",
+                            "machine": "frost", "notify": "on"})
+        assert form.is_valid()
+        assert form.cleaned_data["notify"] is True
+
+    def test_string_strips_whitespace(self):
+        form = AccountForm({"username": "  abc  ", "email": "a@b.cd",
+                            "machine": "frost"})
+        assert form.is_valid()
+        assert form.cleaned_data["username"] == "abc"
+
+    def test_min_length(self):
+        form = AccountForm({"username": "ab", "email": "a@b.cd",
+                            "machine": "frost"})
+        assert not form.is_valid()
+
+    def test_integer_field(self):
+        class F(forms.Form):
+            n = forms.IntegerField(min_value=0, max_value=10)
+        assert F({"n": "7"}).is_valid()
+        assert not F({"n": "11"}).is_valid()
+        assert not F({"n": "2.5"}).is_valid()
+
+
+class TestRendering:
+    def test_as_p_contains_inputs(self):
+        html = str(DirectRunForm().as_p())
+        assert 'name="mass"' in html and "<label" in html
+
+    def test_as_p_escapes_values(self):
+        html = str(AccountForm({"username": '<script>', "email": "a@b.cd",
+                                "machine": "frost"}).as_p())
+        assert "<script>" not in html
+
+    def test_errors_rendered(self):
+        form = AccountForm({"username": "ab", "email": "bad",
+                            "machine": "frost"})
+        form.is_valid()
+        html = str(form.as_p())
+        assert 'class="error"' in html
+
+    def test_choice_renders_options(self):
+        html = str(AccountForm().as_p())
+        assert "<select" in html and "NICS Kraken" in html

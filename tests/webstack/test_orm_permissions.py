@@ -1,0 +1,113 @@
+"""Role-based connection grants — the paper's security architecture."""
+
+import pytest
+
+from repro.webstack.orm import (Database, DeploymentDatabases, Grant,
+                                PermissionDenied, RoleRegistry, create_all,
+                                shared_memory_uri)
+
+from .conftest import MODELS, Author, Book
+
+
+@pytest.fixture()
+def roles():
+    registry = RoleRegistry()
+    registry.define("portal", Grant({
+        "ws_author": {"select", "insert", "update"},
+        "ws_book": {"select", "insert"},
+    }))
+    registry.define("daemon", Grant({
+        "ws_author": {"select"},
+        "ws_book": {"select", "update"},
+    }))
+    return registry
+
+
+@pytest.fixture()
+def deployment(roles):
+    dep = DeploymentDatabases(roles)
+    create_all(MODELS, dep.admin)
+    yield dep
+    dep.close()
+
+
+class TestGrants:
+    def test_grant_allows(self):
+        grant = Grant({"t": {"select", "insert"}})
+        assert grant.allows("select", "t")
+        assert not grant.allows("delete", "t")
+
+    def test_wildcard_grant(self):
+        grant = Grant({"*": {"select"}})
+        assert grant.allows("select", "anything")
+        assert not grant.allows("insert", "anything")
+
+    def test_unknown_role_rejected(self, roles):
+        with pytest.raises(PermissionDenied):
+            Database(":memory:", role="nosuch", roles=roles)
+
+
+class TestRoleSeparation:
+    def test_portal_can_insert_but_not_delete(self, deployment):
+        portal = deployment.portal
+        author = Author.objects.using(portal).create(name="User Input")
+        with pytest.raises(PermissionDenied):
+            Author.objects.using(portal).filter(pk=author.pk).delete()
+
+    def test_portal_cannot_update_books(self, deployment):
+        author = Author.objects.using(deployment.portal).create(name="A")
+        Book.objects.using(deployment.portal).create(
+            author=author, title="t")
+        with pytest.raises(PermissionDenied):
+            Book.objects.using(deployment.portal).all().update(pages=5)
+
+    def test_daemon_cannot_write_authors(self, deployment):
+        Author.objects.using(deployment.portal).create(name="A")
+        with pytest.raises(PermissionDenied):
+            Author.objects.using(deployment.daemon).create(name="B")
+
+    def test_daemon_sees_portal_writes(self, deployment):
+        """The asynchronous DB-mediated coupling of portal and daemon."""
+        Author.objects.using(deployment.portal).create(name="Shared")
+        assert Author.objects.using(
+            deployment.daemon).filter(name="Shared").exists()
+
+    def test_daemon_update_visible_to_portal(self, deployment):
+        author = Author.objects.using(deployment.portal).create(name="A")
+        Book.objects.using(deployment.portal).create(author=author,
+                                                     title="sim")
+        Book.objects.using(deployment.daemon).filter(
+            title="sim").update(pages=99)
+        assert Book.objects.using(
+            deployment.portal).get(title="sim").pages == 99
+
+    def test_portal_cannot_create_tables(self, deployment):
+        with pytest.raises(PermissionDenied):
+            create_all(MODELS, deployment.portal)
+
+    def test_portal_cannot_run_raw_sql(self, deployment):
+        with pytest.raises(PermissionDenied):
+            deployment.portal.executescript("DROP TABLE ws_author")
+
+    def test_admin_has_full_access(self, deployment):
+        author = Author.objects.using(deployment.admin).create(name="A")
+        Author.objects.using(deployment.admin).filter(pk=author.pk).delete()
+
+    def test_statement_log_records_operations(self, deployment):
+        deployment.portal.log_statements = True
+        Author.objects.using(deployment.portal).create(name="Logged")
+        Author.objects.using(deployment.portal).count()
+        ops = deployment.portal.statement_log
+        assert ("insert", "ws_author") in ops
+        assert ("select", "ws_author") in ops
+
+
+class TestSharedMemoryUri:
+    def test_unique_by_default(self):
+        assert shared_memory_uri() != shared_memory_uri()
+
+    def test_named_is_stable(self):
+        assert shared_memory_uri("x") == shared_memory_uri("x")
+
+    def test_sanitises_name(self):
+        assert "?" not in shared_memory_uri("a?b c").split("?mode")[0]

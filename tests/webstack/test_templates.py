@@ -1,0 +1,255 @@
+"""Template engine: lexing, tags, filters, inheritance, escaping."""
+
+import pytest
+
+from repro.webstack.templates import (Context, Engine, Template,
+                                      TemplateSyntaxError, mark_safe)
+
+
+def render(source, data=None, **engine_kwargs):
+    return Template(source, **engine_kwargs).render(data or {})
+
+
+class TestVariables:
+    def test_simple(self):
+        assert render("Hi {{ name }}", {"name": "AMP"}) == "Hi AMP"
+
+    def test_dotted_dict(self):
+        assert render("{{ star.name }}", {"star": {"name": "Sun"}}) == "Sun"
+
+    def test_dotted_attribute(self):
+        class Star:
+            name = "Vega"
+        assert render("{{ s.name }}", {"s": Star()}) == "Vega"
+
+    def test_dotted_index(self):
+        assert render("{{ xs.1 }}", {"xs": ["a", "b"]}) == "b"
+
+    def test_callable_is_called(self):
+        assert render("{{ f }}", {"f": lambda: "called"}) == "called"
+
+    def test_method_call(self):
+        class Counter:
+            def count(self):
+                return 7
+        assert render("{{ c.count }}", {"c": Counter()}) == "7"
+
+    def test_missing_renders_empty(self):
+        assert render("[{{ nothing }}]") == "[]"
+
+    def test_none_renders_empty(self):
+        assert render("[{{ x }}]", {"x": None}) == "[]"
+
+
+class TestEscaping:
+    def test_autoescape_on_by_default(self):
+        out = render("{{ x }}", {"x": "<b>&</b>"})
+        assert out == "&lt;b&gt;&amp;&lt;/b&gt;"
+
+    def test_safe_filter_bypasses(self):
+        assert render("{{ x|safe }}", {"x": "<b>"}) == "<b>"
+
+    def test_mark_safe_bypasses(self):
+        assert render("{{ x }}", {"x": mark_safe("<i>")}) == "<i>"
+
+    def test_autoescape_off_block(self):
+        out = render("{% autoescape off %}{{ x }}{% endautoescape %}",
+                     {"x": "<b>"})
+        assert out == "<b>"
+
+    def test_quotes_escaped(self):
+        assert "&quot;" in render("{{ x }}", {"x": '"'})
+
+
+class TestFilters:
+    @pytest.mark.parametrize("source,data,expected", [
+        ("{{ x|upper }}", {"x": "amp"}, "AMP"),
+        ("{{ x|lower }}", {"x": "AMP"}, "amp"),
+        ("{{ x|length }}", {"x": [1, 2, 3]}, "3"),
+        ("{{ x|default:'n/a' }}", {"x": ""}, "n/a"),
+        ("{{ x|default:'n/a' }}", {"x": "v"}, "v"),
+        ("{{ x|join:', ' }}", {"x": ["a", "b"]}, "a, b"),
+        ("{{ x|floatformat:2 }}", {"x": 3.14159}, "3.14"),
+        ("{{ x|floatformat:0 }}", {"x": 61.9}, "62"),
+        ("{{ x|intcomma }}", {"x": 150187}, "150,187"),
+        ("{{ x|truncatechars:5 }}", {"x": "abcdefgh"}, "abcd…"),
+        ("{{ x|yesno:'up,down' }}", {"x": True}, "up"),
+        ("{{ x|yesno:'up,down' }}", {"x": False}, "down"),
+        ("{{ n }} job{{ n|pluralize }}", {"n": 1}, "1 job"),
+        ("{{ n }} job{{ n|pluralize }}", {"n": 4}, "4 jobs"),
+        ("{{ x|capfirst }}", {"x": "queued"}, "Queued"),
+        ("{{ x|first }}", {"x": ["a", "b"]}, "a"),
+        ("{{ x|last }}", {"x": ["a", "b"]}, "b"),
+    ])
+    def test_filter(self, source, data, expected):
+        assert render(source, data) == expected
+
+    def test_chained_filters(self):
+        assert render("{{ x|lower|capfirst }}", {"x": "KEPLER"}) == "Kepler"
+
+    def test_unknown_filter_raises(self):
+        with pytest.raises(ValueError):
+            Template("{{ x|nonexistent }}")
+
+
+class TestIfTag:
+    def test_if_else(self):
+        t = "{% if ok %}Y{% else %}N{% endif %}"
+        assert render(t, {"ok": True}) == "Y"
+        assert render(t, {"ok": False}) == "N"
+
+    def test_elif(self):
+        t = ("{% if n == 1 %}one{% elif n == 2 %}two{% else %}many"
+             "{% endif %}")
+        assert render(t, {"n": 2}) == "two"
+        assert render(t, {"n": 9}) == "many"
+
+    def test_comparisons(self):
+        assert render("{% if a >= 3 %}Y{% endif %}", {"a": 3}) == "Y"
+        assert render("{% if a != 'x' %}Y{% endif %}", {"a": "y"}) == "Y"
+
+    def test_boolean_operators(self):
+        t = "{% if a and b or c %}Y{% endif %}"
+        assert render(t, {"a": 1, "b": 0, "c": 1}) == "Y"
+        assert render(t, {"a": 1, "b": 0, "c": 0}) == ""
+
+    def test_not(self):
+        assert render("{% if not a %}Y{% endif %}", {"a": False}) == "Y"
+
+    def test_in_operator(self):
+        t = "{% if x in xs %}Y{% endif %}"
+        assert render(t, {"x": "a", "xs": ["a"]}) == "Y"
+
+    def test_not_in_operator(self):
+        t = "{% if x not in xs %}Y{% endif %}"
+        assert render(t, {"x": "z", "xs": ["a"]}) == "Y"
+
+    def test_missing_variable_is_falsy(self):
+        assert render("{% if ghost %}Y{% else %}N{% endif %}") == "N"
+
+    def test_unclosed_if_raises(self):
+        with pytest.raises(TemplateSyntaxError):
+            Template("{% if x %}oops")
+
+
+class TestForTag:
+    def test_basic_loop(self):
+        out = render("{% for x in xs %}{{ x }},{% endfor %}",
+                     {"xs": [1, 2, 3]})
+        assert out == "1,2,3,"
+
+    def test_empty_clause(self):
+        t = "{% for x in xs %}{{ x }}{% empty %}none{% endfor %}"
+        assert render(t, {"xs": []}) == "none"
+
+    def test_forloop_counters(self):
+        t = ("{% for x in xs %}{{ forloop.counter }}:{{ forloop.counter0 }}"
+             "{% if forloop.last %}!{% endif %} {% endfor %}")
+        assert render(t, {"xs": "ab"}) == "1:0 2:1! "
+
+    def test_forloop_first(self):
+        t = "{% for x in xs %}{% if forloop.first %}>{% endif %}{{ x }}{% endfor %}"
+        assert render(t, {"xs": "ab"}) == ">ab"
+
+    def test_tuple_unpacking(self):
+        t = "{% for k, v in items %}{{ k }}={{ v }};{% endfor %}"
+        assert render(t, {"items": [("a", 1), ("b", 2)]}) == "a=1;b=2;"
+
+    def test_loop_variable_scoped(self):
+        out = render("{% for x in xs %}{% endfor %}[{{ x }}]",
+                     {"xs": [1]})
+        assert out == "[]"
+
+    def test_nested_loops(self):
+        t = ("{% for row in grid %}{% for c in row %}{{ c }}{% endfor %}|"
+             "{% endfor %}")
+        assert render(t, {"grid": [[1, 2], [3]]}) == "12|3|"
+
+
+class TestInheritance:
+    def make_engine(self):
+        return Engine(templates={
+            "base.html": ("<t>{% block title %}Base{% endblock %}</t>"
+                          "<c>{% block content %}none{% endblock %}</c>"),
+            "mid.html": ('{% extends "base.html" %}'
+                         "{% block title %}Mid{% endblock %}"),
+            "leaf.html": ('{% extends "mid.html" %}'
+                          "{% block content %}Leaf{% endblock %}"),
+            "super.html": ('{% extends "base.html" %}'
+                           "{% block title %}{{ block.super }}+"
+                           "{% endblock %}"),
+        })
+
+    def test_single_level(self):
+        eng = self.make_engine()
+        assert eng.render_to_string("mid.html") == "<t>Mid</t><c>none</c>"
+
+    def test_two_levels(self):
+        eng = self.make_engine()
+        assert eng.render_to_string("leaf.html") == "<t>Mid</t><c>Leaf</c>"
+
+    def test_block_super(self):
+        eng = self.make_engine()
+        assert eng.render_to_string("super.html") == \
+            "<t>Base+</t><c>none</c>"
+
+    def test_include(self):
+        eng = Engine(templates={
+            "a.html": 'pre {% include "b.html" with who=name %} post',
+            "b.html": "[{{ who }}]",
+        })
+        assert eng.render_to_string("a.html", {"name": "AMP"}) == \
+            "pre [AMP] post"
+
+    def test_missing_template_raises(self):
+        with pytest.raises(TemplateSyntaxError):
+            Engine().get_template("ghost.html")
+
+    def test_template_cache(self):
+        eng = Engine(templates={"a.html": "x"})
+        assert eng.get_template("a.html") is eng.get_template("a.html")
+
+
+class TestComments:
+    def test_inline_comment_removed(self):
+        assert render("a{# hidden #}b") == "ab"
+
+    def test_block_comment_removed(self):
+        assert render("a{% comment %}x {{ y }} z{% endcomment %}b") == "ab"
+
+
+class TestContext:
+    def test_scope_push_pop(self):
+        ctx = Context({"a": 1})
+        ctx.push({"a": 2})
+        assert ctx["a"] == 2
+        ctx.pop()
+        assert ctx["a"] == 1
+
+    def test_cannot_pop_root(self):
+        with pytest.raises(RuntimeError):
+            Context().pop()
+
+    def test_flatten_merges_scopes(self):
+        ctx = Context({"a": 1})
+        ctx.push({"b": 2})
+        assert ctx.flatten() == {"a": 1, "b": 2}
+
+
+class TestErrors:
+    def test_unknown_tag(self):
+        with pytest.raises(TemplateSyntaxError):
+            Template("{% bogus %}")
+
+    def test_malformed_for(self):
+        with pytest.raises(TemplateSyntaxError):
+            Template("{% for x %}{% endfor %}")
+
+    def test_duplicate_block(self):
+        with pytest.raises(TemplateSyntaxError):
+            Template("{% block a %}{% endblock %}{% block a %}"
+                     "{% endblock %}")
+
+    def test_unclosed_var(self):
+        with pytest.raises(TemplateSyntaxError):
+            Template("{{ x ")
