@@ -66,18 +66,30 @@ class StarCatalog:
 
     # ------------------------------------------------------------------
     def seed(self):
-        """Load the bright-target and Kepler catalogs (deploy step)."""
+        """Load the bright-target and Kepler catalogs (deploy step).
+
+        Set-oriented: one query finds which names already exist, one
+        batched INSERT creates the rest — instead of a get-or-create
+        pair per star.
+        """
+        qs = Star.objects.using(self.db)
+        wanted = {}
         for name, entry in BRIGHT_TARGETS.items():
-            Star.objects.using(self.db).get_or_create(
-                name=name, defaults={"hd_number": entry["hd"],
-                                     "source": "local"})
+            wanted[name] = Star(name=name, hd_number=entry["hd"],
+                                source="local")
         for kic_name in sorted(self._kepler_names):
             number = int(kic_name.split()[1])
-            Star.objects.using(self.db).get_or_create(
-                name=kic_name,
-                defaults={"kic_number": number, "in_kepler_catalog": True,
-                          "source": "local"})
-        return Star.objects.using(self.db).count()
+            wanted.setdefault(
+                kic_name, Star(name=kic_name, kic_number=number,
+                               in_kepler_catalog=True, source="local"))
+        existing = set(
+            qs.filter(name__in=sorted(wanted)).only("name")
+            .values_list("name", flat=True))
+        missing = [star for name, star in sorted(wanted.items())
+                   if name not in existing]
+        if missing:
+            qs.bulk_create(missing)
+        return qs.count()
 
     # ------------------------------------------------------------------
     def suggest(self, prefix, limit=10):
@@ -88,7 +100,8 @@ class StarCatalog:
         prefix = prefix.strip()
         if not prefix:
             return []
-        qs = Star.objects.using(self.db)
+        qs = Star.objects.using(self.db).only(
+            "name", "hd_number", "kic_number", "in_kepler_catalog")
         condition = Q(name__istartswith=prefix)
         hd_match = _HD_RE.match(prefix) or re.match(r"^\s*(\d+)\s*$",
                                                     prefix)
@@ -114,21 +127,22 @@ class StarCatalog:
         if not text:
             return None, False
         qs = Star.objects.using(self.db)
-        # Local catalog first.
-        try:
-            return qs.get(name__iexact=text), False
-        except Star.DoesNotExist:
-            pass
+        # Local catalog first: one query covering every identifier form
+        # (exact name, "HD n", "KIC n") instead of up to three round
+        # trips; an exact name match wins over identifier matches.
+        condition = Q(name__iexact=text)
         hd_match = _HD_RE.match(text)
         if hd_match:
-            star = qs.filter(hd_number=int(hd_match.group(1))).first()
-            if star is not None:
-                return star, False
+            condition = condition | Q(hd_number=int(hd_match.group(1)))
         kic_match = _KIC_RE.match(text)
         if kic_match:
-            star = qs.filter(kic_number=int(kic_match.group(1))).first()
-            if star is not None:
+            condition = condition | Q(kic_number=int(kic_match.group(1)))
+        matches = list(qs.filter(condition)[:10])
+        for star in matches:
+            if star.name.lower() == text.lower():
                 return star, False
+        if matches:
+            return matches[0], False
         # Fall back to SIMBAD and import on success.
         entry = self.simbad.query(text)
         if entry is None:

@@ -16,15 +16,20 @@ The poll cycle implements the paper's two-level status management:
    "simply retrieves the last-known status of the appropriate job and
    waits or proceeds accordingly."
 
+Database access is *set-oriented* end to end: each phase loads its
+working set in one JOIN-backed query (``select_related``/
+``prefetch_related``) and writes accumulated state changes back with one
+``bulk_update``, so a steady-state poll costs a bounded number of round
+trips regardless of how many jobs and simulations are in flight.
+
 Daemon failures are detected *externally*: :class:`ExternalMonitor`
 watches the heartbeat the poll loop stamps.
 """
 
 from __future__ import annotations
 
-from ..webstack.orm import Q
-from .models import (GridJobRecord, KIND_DIRECT, KIND_OPTIMIZATION,
-                     SIM_ACTIVE_STATES, Simulation)
+from .models import (GRAM_STATES, GridJobRecord, KIND_DIRECT,
+                     KIND_OPTIMIZATION, SIM_ACTIVE_STATES, Simulation)
 from .notifications import NotificationPolicy
 from .workflow import DirectRunWorkflow, OptimizationWorkflow
 
@@ -50,9 +55,16 @@ class GridAMPDaemon:
 
     # ------------------------------------------------------------------
     def update_grid_jobs(self):
-        """Level 1: refresh every in-flight grid job's GRAM state."""
-        active = GridJobRecord.objects.using(self.db).filter(
-            Q(state="UNSUBMITTED") | Q(state="PENDING") | Q(state="ACTIVE"))
+        """Level 1: refresh every in-flight grid job's GRAM state.
+
+        One JOIN-backed SELECT loads every record with its simulation
+        and owner; state changes accumulate and flush in one
+        ``bulk_update`` — two round trips however many jobs are active.
+        """
+        active = (GridJobRecord.objects.using(self.db)
+                  .filter(state__in=["UNSUBMITTED", "PENDING", "ACTIVE"])
+                  .select_related("simulation__owner"))
+        changed = []
         for record in active:
             if record.gram_job_id is None:
                 continue
@@ -65,11 +77,18 @@ class GridAMPDaemon:
                 # administrators can read the command log.
                 continue
             state, _, reason = result.stdout.partition(" ")
+            if state not in GRAM_STATES:
+                # Garbage from the status client is a transient too:
+                # keep the last-known state and retry next cycle.
+                continue
             if state != record.state or reason:
                 record.state = state
                 if reason:
                     record.failure_reason = reason
-                record.save(db=self.db)
+                changed.append(record)
+        if changed:
+            GridJobRecord.objects.using(self.db).bulk_update(
+                changed, ["state", "failure_reason"])
 
     def advance_simulations(self):
         """Level 2: run each active simulation's workflow.
@@ -82,8 +101,11 @@ class GridAMPDaemon:
         """
         import traceback
         transitions = 0
-        active = Simulation.objects.using(self.db).filter(
-            state__in=list(SIM_ACTIVE_STATES)).order_by("id")
+        active = (Simulation.objects.using(self.db)
+                  .filter(state__in=list(SIM_ACTIVE_STATES))
+                  .select_related("owner", "observation")
+                  .prefetch_related("grid_jobs")
+                  .order_by("id"))
         for simulation in active:
             workflow = self.workflows[simulation.kind]
             try:
@@ -105,21 +127,37 @@ class GridAMPDaemon:
 
         This is the only channel through which the grid-blind portal
         learns about congestion — the daemon measures (qstat over the
-        fork service) and writes; the portal reads.
+        fork service) and writes; the portal reads.  Unparsable qstat
+        output is treated exactly like an unreachable machine: the
+        stale-but-sane values stay until a clean sample arrives.  All
+        sampled machines flush in one ``bulk_update``.
         """
         import datetime as _dt
         from .models import MachineRecord
         self.clients.ensure_proxy("amp-operations")
+        now = _dt.datetime.now(_dt.timezone.utc)
+        changed = []
         for record in MachineRecord.objects.using(self.db).all():
             result = self.clients.queue_status(record.name)
             if not result.ok:
                 continue              # transient: keep stale telemetry
             depth_text, _, utilisation_text = \
                 result.stdout.partition(" ")
-            record.queue_depth = int(depth_text)
-            record.utilisation = min(float(utilisation_text), 1.0)
-            record.telemetry_updated = _dt.datetime.utcnow()
-            record.save(db=self.db)
+            try:
+                depth = int(depth_text)
+                utilisation = float(utilisation_text)
+            except ValueError:
+                continue              # malformed output: keep stale values
+            if depth < 0 or utilisation != utilisation:
+                continue              # negative depth / NaN: same story
+            record.queue_depth = depth
+            record.utilisation = min(max(utilisation, 0.0), 1.0)
+            record.telemetry_updated = now
+            changed.append(record)
+        if changed:
+            MachineRecord.objects.using(self.db).bulk_update(
+                changed,
+                ["queue_depth", "utilisation", "telemetry_updated"])
 
     def poll_once(self):
         self.update_grid_jobs()

@@ -231,6 +231,9 @@ class Simulation(orm.Model):
     class Meta:
         table_name = "amp_simulation"
         ordering = ["-id"]
+        # The daemon's poll filters on state (active set) and the portal
+        # statistics/list pages slice by kind+state and by star.
+        indexes = [("kind", "state"), ("star_id", "kind", "state")]
 
     @property
     def is_active(self):
@@ -272,6 +275,9 @@ class GridJobRecord(orm.Model):
     class Meta:
         table_name = "amp_gridjob"
         ordering = ["id"]
+        # Workflow job lookups are always per-simulation, filtered by
+        # purpose; the prefetch path batches on simulation_id.
+        indexes = [("simulation_id", "purpose")]
 
     @property
     def is_terminal(self):

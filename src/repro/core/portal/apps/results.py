@@ -17,7 +17,13 @@ def build_routes(ctx):
             raise Http404(f"No simulation #{pk}")
 
     def sim_list(request):
-        qs = Simulation.objects.using(request.db).order_by("-id")
+        # The listing renders each row's star name: select_related
+        # JOIN-loads it (one query for the page instead of one per
+        # simulation), and the wide JSON columns are deferred since the
+        # table shows only identity/state/status columns.
+        qs = (Simulation.objects.using(request.db).order_by("-id")
+              .select_related("star")
+              .defer("results", "parameters", "config"))
         if getattr(request.user, "is_authenticated", False):
             mine = qs.filter(owner_id=request.user.pk)
             simulations = list(mine[:50]) or list(qs[:50])
@@ -120,7 +126,8 @@ def build_routes(ctx):
         by_machine = sims.values_count("machine_name")
         totals = sims.aggregate(total=Count("*"))
         allocations = []
-        for record in AllocationRecord.objects.using(request.db).all():
+        for record in AllocationRecord.objects.using(
+                request.db).select_related("machine"):
             allocations.append({
                 "project": record.project,
                 "machine": record.machine.display_name

@@ -12,8 +12,12 @@ def build_routes(ctx):
     catalog = ctx.catalog
 
     def star_list(request):
+        # prefetch_related primes each star's reverse ``simulations``
+        # accessor, so the template's per-row simulation count reads the
+        # prefetched set instead of issuing one COUNT per star.
         paginator = Paginator(
-            Star.objects.using(request.db).order_by("name"),
+            Star.objects.using(request.db).order_by("name")
+            .prefetch_related("simulations"),
             per_page=25)
         page = paginator.get_page(request.GET.get("page", 1))
         return render(request, "star_list.html",
@@ -26,8 +30,14 @@ def build_routes(ctx):
             raise Http404(f"No star #{pk}")
         observations = list(ObservationSet.objects.using(
             request.db).filter(star_id=pk))
-        simulations = list(Simulation.objects.using(
-            request.db).filter(star_id=pk).order_by("-id")[:20])
+        # The detail template renders describe()/state only — defer the
+        # wide JSON payloads (results, parameters, config) so a star
+        # with 20 finished optimizations doesn't ship megabytes of JSON
+        # through the row parser just to print a state badge.
+        simulations = list(Simulation.objects.using(request.db)
+                           .filter(star_id=pk)
+                           .defer("results", "parameters", "config")
+                           .order_by("-id")[:20])
         return render(request, "star_detail.html", {
             "star": star, "observations": observations,
             "simulations": simulations})
@@ -41,7 +51,8 @@ def build_routes(ctx):
         if star is not None:
             return HttpResponseRedirect(f"/stars/{star.pk}/")
         stars = Star.objects.using(request.db).filter(
-            name__icontains=query).order_by("name")[:50]
+            name__icontains=query).order_by("name").prefetch_related(
+            "simulations")[:50]
         return render(request, "star_list.html", {
             "stars": list(stars), "query": query,
             "not_found": not list(stars)})

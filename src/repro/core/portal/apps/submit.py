@@ -78,7 +78,8 @@ def build_routes(ctx):
 
     def _user_authorized(request, machine_name):
         for auth in SubmitAuthorization.objects.using(request.db).filter(
-                user_id=request.user.pk, active=True):
+                user_id=request.user.pk, active=True).select_related(
+                "machine"):
             if auth.machine.name == machine_name:
                 return True
         return False
@@ -88,7 +89,8 @@ def build_routes(ctx):
         without repetition" — an identical completed direct run is
         reused instead of recomputed."""
         for sim in Simulation.objects.using(request.db).filter(
-                star_id=star.pk, kind=KIND_DIRECT, state="DONE"):
+                star_id=star.pk, kind=KIND_DIRECT, state="DONE").only(
+                "parameters"):
             if sim.parameters == parameters:
                 return sim
         return None

@@ -29,6 +29,11 @@ def generate_input_files(simulation, observation=None):
     the database rows cannot produce a valid input set — which, given
     the field constraints, indicates an internal bug rather than bad
     user input.
+
+    Callers that have the observation loaded (the optimization workflow
+    reads it through the simulation's FK, a cache hit under the daemon's
+    ``select_related("observation")``) pass it explicitly; ``None``
+    means "no observation set", never "please fetch it".
     """
     if simulation.kind == KIND_DIRECT:
         params = simulation.parameters or {}

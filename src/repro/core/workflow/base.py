@@ -169,6 +169,20 @@ class WorkflowManager:
     # Job-record helpers
     # ------------------------------------------------------------------
     def _jobs(self, simulation, purpose, ga_index=None):
+        """Job records for *simulation*, ordered (sequence, id).
+
+        When the daemon loaded the simulation with
+        ``prefetch_related("grid_jobs")`` the prefetched set is filtered
+        in memory — the poll cycle's per-simulation job checks then cost
+        zero round trips.  Returns a list (prefetched) or queryset.
+        """
+        prefetched = simulation.__dict__.get("_prefetched_objects")
+        if prefetched is not None and "grid_jobs" in prefetched:
+            jobs = [job for job in prefetched["grid_jobs"]
+                    if job.purpose == purpose
+                    and (ga_index is None or job.ga_index == ga_index)]
+            jobs.sort(key=lambda job: (job.sequence, job.pk))
+            return jobs
         qs = GridJobRecord.objects.using(self.db).filter(
             simulation_id=simulation.pk, purpose=purpose)
         if ga_index is not None:
@@ -178,6 +192,13 @@ class WorkflowManager:
     def _latest_job(self, simulation, purpose, ga_index=None):
         jobs = list(self._jobs(simulation, purpose, ga_index))
         return jobs[-1] if jobs else None
+
+    @staticmethod
+    def _remember_job(simulation, record):
+        """Keep a prefetched grid_jobs set coherent with a new submit."""
+        prefetched = simulation.__dict__.get("_prefetched_objects")
+        if prefetched is not None and "grid_jobs" in prefetched:
+            prefetched["grid_jobs"].append(record)
 
     def _submit_fork(self, simulation, purpose, executable, arguments=()):
         """Submit a fork-service script and record it."""
@@ -196,6 +217,7 @@ class WorkflowManager:
             gram_job_id=int(result.stdout), rsl=format_rsl(spec),
             state="PENDING")
         record.save(db=self.db)
+        self._remember_job(simulation, record)
         return record
 
     def _submit_batch(self, simulation, purpose, spec, *, ga_index=0,
@@ -213,6 +235,7 @@ class WorkflowManager:
             gram_job_id=int(result.stdout), rsl=format_rsl(spec),
             state="PENDING")
         record.save(db=self.db)
+        self._remember_job(simulation, record)
         return record
 
     def _check_job(self, simulation, record, *, label):
@@ -263,7 +286,8 @@ class WorkflowManager:
         """Verify the owner may run on this machine with SUs remaining."""
         self.machine_spec(simulation)
         auths = SubmitAuthorization.objects.using(self.db).filter(
-            user_id=simulation.owner_id, active=True)
+            user_id=simulation.owner_id, active=True).select_related(
+            "machine", "allocation")
         for auth in auths:
             if auth.machine.name == simulation.machine_name:
                 if auth.allocation.su_remaining <= 0:
@@ -329,7 +353,8 @@ class WorkflowManager:
             return
         sus = cpu_hours(1, core_seconds) * spec.su_charge_factor
         for auth in SubmitAuthorization.objects.using(self.db).filter(
-                user_id=simulation.owner_id, active=True):
+                user_id=simulation.owner_id, active=True).select_related(
+                "machine", "allocation"):
             if auth.machine.name == simulation.machine_name:
                 allocation = auth.allocation
                 allocation.su_used = allocation.su_used + sus

@@ -109,6 +109,11 @@ class Database:
         # audit in tests/benches to prove what each role actually did.
         self.statement_log = []
         self.log_statements = False
+        # Cheap per-connection round-trip counter: one increment per
+        # statement the ORM executes.  ``count_queries()`` snapshots it
+        # so tests and benches can assert round-trip budgets.
+        self.queries_executed = 0
+        self.queries_by_operation = {}
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +153,9 @@ class Database:
         compiler, not a SQL parser, is the source of truth.
         """
         self.check_permission(operation, table)
+        self.queries_executed += 1
+        self.queries_by_operation[operation] = \
+            self.queries_by_operation.get(operation, 0) + 1
         if self.log_statements:
             self.statement_log.append((operation, table))
         with self._lock:
@@ -174,6 +182,23 @@ class Database:
     def atomic(self):
         """Context manager for a transaction (BEGIN ... COMMIT/ROLLBACK)."""
         return _Atomic(self)
+
+    def count_queries(self):
+        """Context manager counting statements executed in its scope.
+
+        Usage::
+
+            with db.count_queries() as counter:
+                daemon.poll_once()
+            assert counter.count <= 10
+            assert counter.by_operation.get("update", 0) <= 2
+
+        The counter is the testing surface for the batch query layer:
+        set-oriented call sites assert a *fixed* round-trip budget
+        regardless of row count, so an accidental reintroduction of a
+        per-row loop fails loudly.
+        """
+        return QueryCounter(self)
 
     def table_names(self):
         self.check_permission("select", "sqlite_master")
@@ -213,6 +238,48 @@ class _Atomic:
         finally:
             self.db._lock.release()
         return False
+
+
+class QueryCounter:
+    """Live view of queries executed on one connection since ``__enter__``.
+
+    ``count`` and ``by_operation`` stay readable after the scope closes
+    (they freeze at exit time).
+    """
+
+    def __init__(self, db):
+        self.db = db
+        self._start_total = 0
+        self._start_ops = {}
+        self._final_total = None
+        self._final_ops = None
+
+    def __enter__(self):
+        self._start_total = self.db.queries_executed
+        self._start_ops = dict(self.db.queries_by_operation)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._final_total = self.count
+        self._final_ops = self.by_operation
+        return False
+
+    @property
+    def count(self):
+        if self._final_total is not None:
+            return self._final_total
+        return self.db.queries_executed - self._start_total
+
+    @property
+    def by_operation(self):
+        if self._final_ops is not None:
+            return dict(self._final_ops)
+        return {op: total - self._start_ops.get(op, 0)
+                for op, total in self.db.queries_by_operation.items()
+                if total - self._start_ops.get(op, 0)}
+
+    def __repr__(self):  # pragma: no cover
+        return f"<QueryCounter count={self.count} {self.by_operation}>"
 
 
 def shared_memory_uri(name=None):

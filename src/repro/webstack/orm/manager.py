@@ -53,6 +53,18 @@ class Manager:
     def order_by(self, *names):
         return self.get_queryset().order_by(*names)
 
+    def select_related(self, *names):
+        return self.get_queryset().select_related(*names)
+
+    def prefetch_related(self, *names):
+        return self.get_queryset().prefetch_related(*names)
+
+    def only(self, *names):
+        return self.get_queryset().only(*names)
+
+    def defer(self, *names):
+        return self.get_queryset().defer(*names)
+
     def none(self):
         return self.get_queryset().none()
 
@@ -88,7 +100,32 @@ class Manager:
             params.update(defaults or {})
             return self.create(**params), True
 
-    def bulk_create(self, objects):
-        for obj in objects:
-            obj.save(force_insert=True)
-        return objects
+    def update_or_create(self, defaults=None, **lookups):
+        """Return ``(object, created)``, updating an existing match."""
+        return self.get_queryset().update_or_create(defaults, **lookups)
+
+    def bulk_update(self, objs, fields, batch_size=None):
+        """One CASE-WHEN UPDATE per batch; see QuerySet.bulk_update."""
+        return self.get_queryset().bulk_update(objs, fields,
+                                               batch_size=batch_size)
+
+    def last(self):
+        return self.get_queryset().last()
+
+    def aggregate(self, **named_aggregates):
+        return self.get_queryset().aggregate(**named_aggregates)
+
+    def values_count(self, field_name):
+        return self.get_queryset().values_count(field_name)
+
+    def bulk_create(self, objects, batch_size=None):
+        """INSERT *objects* with multi-row VALUES batches.
+
+        Objects with a preset primary key fall back to per-row inserts
+        (they bypass rowid assignment); the common no-pk path costs one
+        round trip per batch, with pks recovered from the statement's
+        ``lastrowid`` (SQLite assigns consecutive rowids within a single
+        multi-row INSERT).
+        """
+        return self.get_queryset().bulk_create(objects,
+                                               batch_size=batch_size)

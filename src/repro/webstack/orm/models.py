@@ -48,6 +48,14 @@ class Options:
         self.ordering = list(getattr(meta_cls, "ordering", []) or [])
         self.unique_together = [tuple(g) for g in
                                 getattr(meta_cls, "unique_together", [])]
+        # Declarative secondary indexes: a list of field-name tuples
+        # (single names accepted), emitted by schema.create_table_sql.
+        self.indexes = [(g,) if isinstance(g, str) else tuple(g)
+                        for g in getattr(meta_cls, "indexes", []) or []]
+        # Reverse relations: related_name -> (referencing model, FK
+        # field).  Filled by _install_reverse_accessor; drives
+        # prefetch_related for reverse FK sets.
+        self.related_objects = {}
         self.verbose_name = getattr(meta_cls, "verbose_name",
                                     model_name.lower())
         self.abstract = bool(getattr(meta_cls, "abstract", False))
@@ -146,19 +154,30 @@ def _copy_field(field):
 
 
 def _install_reverse_accessor(model, fk):
-    """Add ``target.<related_name>`` returning referencing rows."""
+    """Add ``target.<related_name>`` returning referencing rows.
+
+    The accessor returns a queryset; when the instance was loaded via
+    ``prefetch_related``, the queryset's result cache is primed from the
+    prefetched rows so iterating or counting it issues no query.
+    """
     related_name = fk.related_name or model.__name__.lower() + "_set"
 
-    def accessor(self, _model=model, _fk=fk):
-        return _model.objects.using(self._state_db).filter(
+    def accessor(self, _model=model, _fk=fk, _name=related_name):
+        qs = _model.objects.using(self._state_db).filter(
             **{_fk.attname: self.pk})
+        prefetched = self.__dict__.get("_prefetched_objects")
+        if prefetched is not None and _name in prefetched:
+            qs._result_cache = list(prefetched[_name])
+            qs._sticky_cache = True
+        return qs
 
     target = fk.to
     if isinstance(target, str):
         # Deferred: install once the target registers.
         _pending_reverse.setdefault(target, []).append(
-            (related_name, accessor))
+            (related_name, accessor, model, fk))
     else:
+        target._meta.related_objects[related_name] = (model, fk)
         setattr(target, related_name, property(accessor))
 
 
@@ -171,7 +190,8 @@ def resolve_pending_relations():
         target = _model_registry.get(target_name)
         if target is None:
             continue
-        for related_name, accessor in accessors:
+        for related_name, accessor, model, fk in accessors:
+            target._meta.related_objects[related_name] = (model, fk)
             setattr(target, related_name, property(accessor))
         del _pending_reverse[target_name]
 
@@ -216,14 +236,50 @@ class Model(metaclass=ModelMeta):
         setattr(self, self._meta.pk.attname, value)
 
     @classmethod
-    def _from_db_row(cls, row, db):
+    def _from_db_row(cls, row, db, fields=None):
+        """Build an instance from a row dict.
+
+        *fields* restricts hydration to a projection (``only()``/
+        ``defer()``); the rest become deferred attributes that load
+        lazily on first access.
+        """
         obj = cls.__new__(cls)
         obj._state_db = db
         obj._state_adding = False
-        for field in cls._meta.fields:
+        loaded = fields if fields is not None else cls._meta.fields
+        if fields is not None:
+            deferred = ({f.attname for f in cls._meta.fields}
+                        - {f.attname for f in loaded})
+            if deferred:
+                object.__setattr__(obj, "_deferred_fields", deferred)
+        for field in loaded:
             raw = row.get(field.column)
             object.__setattr__(obj, field.attname, field.from_db(raw))
         return obj
+
+    def __getattr__(self, name):
+        # Only reached when normal lookup fails: deferred columns
+        # (only()/defer() projections) load lazily, one column fetch.
+        deferred = self.__dict__.get("_deferred_fields")
+        if deferred and name in deferred:
+            self._load_deferred(name)
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def _load_deferred(self, name):
+        meta = self._meta
+        field = meta.field_by_any_name(name)
+        db = self._db_for_write()
+        cur = db.execute(
+            f'SELECT "{field.column}" FROM "{meta.table_name}" '
+            f'WHERE "{meta.pk.column}" = ?',
+            [meta.pk.to_db(self.pk)], operation="select",
+            table=meta.table_name)
+        row = cur.fetchone()
+        value = field.from_db(row[0]) if row is not None else None
+        self.__dict__["_deferred_fields"].discard(name)
+        object.__setattr__(self, field.attname, value)
 
     def _db_for_write(self):
         db = self._state_db or self._meta.database
@@ -317,6 +373,8 @@ class Model(metaclass=ModelMeta):
         for field in self._meta.fields:
             setattr(self, field.attname, getattr(fresh, field.attname))
         self.__dict__.pop("_fk_cache", None)
+        self.__dict__.pop("_prefetched_objects", None)
+        self.__dict__.pop("_deferred_fields", None)
         self._state_adding = False
         return self
 

@@ -8,26 +8,39 @@ for OR'd conditions (the daemon's "jobs in any active state" poll).
 
 QuerySets are lazy and immutable: every refinement returns a clone, and
 SQL executes only on iteration or a terminal method.
+
+Batch-oriented access (the set-oriented idiom grid gateways need — see
+SDSS/SkyServer, "When Database Systems Meet the Grid"):
+
+- ``select_related("fk__nested_fk")`` — LEFT JOINs eager-load forward
+  foreign keys in the same round trip as the base rows;
+- ``prefetch_related(name)`` — one batched ``IN``-query per relation
+  loads forward FKs or reverse FK sets for *every* fetched row;
+- ``only()``/``defer()`` — column projection (unloaded columns load
+  lazily on first access);
+- ``bulk_update(objs, fields)`` — one CASE-WHEN UPDATE per batch instead
+  of one UPDATE per object.
 """
 
 from __future__ import annotations
 
 from .exceptions import FieldError
 
-#: lookup name -> SQL template fragment (``{col}`` substituted, one param).
+#: lookup name -> SQL template fragment (``{col}`` is the quoted —
+#: possibly table-qualified — column reference; one param).
 _LOOKUPS = {
-    "exact": '"{col}" = ?',
-    "iexact": 'LOWER("{col}") = LOWER(?)',
-    "ne": '"{col}" != ?',
-    "gt": '"{col}" > ?',
-    "gte": '"{col}" >= ?',
-    "lt": '"{col}" < ?',
-    "lte": '"{col}" <= ?',
-    "contains": '"{col}" LIKE ? ESCAPE \'\\\'',
-    "icontains": 'LOWER("{col}") LIKE LOWER(?) ESCAPE \'\\\'',
-    "startswith": '"{col}" LIKE ? ESCAPE \'\\\'',
-    "istartswith": 'LOWER("{col}") LIKE LOWER(?) ESCAPE \'\\\'',
-    "endswith": '"{col}" LIKE ? ESCAPE \'\\\'',
+    "exact": '{col} = ?',
+    "iexact": 'LOWER({col}) = LOWER(?)',
+    "ne": '{col} != ?',
+    "gt": '{col} > ?',
+    "gte": '{col} >= ?',
+    "lt": '{col} < ?',
+    "lte": '{col} <= ?',
+    "contains": '{col} LIKE ? ESCAPE \'\\\'',
+    "icontains": 'LOWER({col}) LIKE LOWER(?) ESCAPE \'\\\'',
+    "startswith": '{col} LIKE ? ESCAPE \'\\\'',
+    "istartswith": 'LOWER({col}) LIKE LOWER(?) ESCAPE \'\\\'',
+    "endswith": '{col} LIKE ? ESCAPE \'\\\'',
 }
 
 
@@ -81,11 +94,23 @@ class Q:
 
 
 class QueryCompiler:
-    """Compiles Q trees and queryset state into SQL + parameters."""
+    """Compiles Q trees and queryset state into SQL + parameters.
 
-    def __init__(self, model):
+    When *base_alias* is set (a JOIN query), every base-table column
+    reference is qualified with it so joined tables sharing column names
+    (every table has ``id``) stay unambiguous.
+    """
+
+    def __init__(self, model, base_alias=None):
         self.model = model
         self.meta = model._meta
+        self.base_alias = base_alias
+
+    def qualify(self, column):
+        """Return the quoted (and qualified, under a JOIN) column ref."""
+        if self.base_alias:
+            return f'"{self.base_alias}"."{column}"'
+        return f'"{column}"'
 
     # -- condition compilation -----------------------------------------
     def resolve_column(self, name):
@@ -108,17 +133,18 @@ class QueryCompiler:
 
     def compile_lookup(self, key, value):
         col, field, lookup = self.resolve_column(key)
+        ref = self.qualify(col)
         if lookup == "isnull":
-            return (f'"{col}" IS NULL' if value else f'"{col}" IS NOT NULL'), []
+            return (f'{ref} IS NULL' if value else f'{ref} IS NOT NULL'), []
         if lookup == "in":
             values = [field.to_db(field.to_python(v)) for v in value]
             if not values:
                 return "0 = 1", []  # empty IN matches nothing
             marks = ", ".join("?" for _ in values)
-            return f'"{col}" IN ({marks})', values
+            return f'{ref} IN ({marks})', values
         if lookup == "range":
             lo, hi = value
-            return (f'"{col}" BETWEEN ? AND ?',
+            return (f'{ref} BETWEEN ? AND ?',
                     [field.to_db(field.to_python(lo)),
                      field.to_db(field.to_python(hi))])
         template = _LOOKUPS.get(lookup)
@@ -132,7 +158,7 @@ class QueryCompiler:
             param = f"%{_like_escape(value)}"
         else:
             param = field.to_db(field.to_python(value))
-        return template.format(col=col), [param]
+        return template.format(col=ref), [param]
 
     def compile_q(self, q):
         """Compile a Q tree; returns (sql, params)."""
@@ -179,12 +205,19 @@ class QueryCompiler:
         for name in order_by:
             desc = name.startswith("-")
             col, _, _ = self.resolve_column(name.lstrip("-"))
-            terms.append(f'"{col}" DESC' if desc else f'"{col}" ASC')
+            ref = self.qualify(col)
+            terms.append(f'{ref} DESC' if desc else f'{ref} ASC')
         return " ORDER BY " + ", ".join(terms)
 
 
 class QuerySet:
     """A lazy, chainable view over one model's table."""
+
+    #: Set on querysets returned by reverse-relation accessors whose
+    #: result cache was primed by ``prefetch_related`` — their ``all()``
+    #: serves the cache (the related-manager contract) instead of
+    #: cloning into a fresh round trip.
+    _sticky_cache = False
 
     def __init__(self, model, db=None):
         self.model = model
@@ -193,6 +226,10 @@ class QuerySet:
         self._order_by = []
         self._limit = None
         self._offset = None
+        self._select_related = ()   # FK paths to JOIN-load
+        self._prefetch_related = () # relation names to batch-load
+        self._only = None           # field-name allowlist (None = all)
+        self._defer = frozenset()   # field-name denylist
         self._result_cache = None
 
     # ------------------------------------------------------------------
@@ -211,6 +248,10 @@ class QuerySet:
         clone._order_by = list(self._order_by)
         clone._limit = self._limit
         clone._offset = self._offset
+        clone._select_related = self._select_related
+        clone._prefetch_related = self._prefetch_related
+        clone._only = None if self._only is None else set(self._only)
+        clone._defer = self._defer
         return clone
 
     def using(self, db):
@@ -247,6 +288,8 @@ class QuerySet:
         return clone
 
     def all(self):
+        if self._sticky_cache and self._result_cache is not None:
+            return self
         return self._clone()
 
     def none(self):
@@ -254,27 +297,250 @@ class QuerySet:
         clone._conditions.append(Q(pk__in=[]))
         return clone
 
+    # -- batch-oriented refinement ---------------------------------------
+    def select_related(self, *names):
+        """Eager-load forward FK paths with LEFT JOINs (one round trip).
+
+        Paths may be nested (``"simulation__owner"``).  Each named
+        relation — and every intermediate hop — is hydrated into the
+        per-instance FK cache, so attribute traversal afterwards issues
+        no queries.
+        """
+        clone = self._clone()
+        merged = dict.fromkeys(self._select_related)
+        for name in names:
+            self._validate_related_path(name)
+            merged[name] = None
+        clone._select_related = tuple(merged)
+        return clone
+
+    def prefetch_related(self, *names):
+        """Batch-load relations with one ``IN``-query per relation name.
+
+        Accepts forward FK names (primes each instance's FK cache) and
+        reverse relation names declared via ``related_name`` (primes the
+        reverse accessor's result cache, so ``obj.things`` iterates and
+        counts without touching the database).
+        """
+        from .fields import ForeignKey
+        clone = self._clone()
+        merged = dict.fromkeys(self._prefetch_related)
+        meta = self.model._meta
+        for name in names:
+            field = meta.field_by_any_name(name)
+            if not isinstance(field, ForeignKey) \
+                    and name not in meta.related_objects:
+                raise FieldError(
+                    f"Cannot prefetch {name!r} on {self.model.__name__}; "
+                    f"choices are "
+                    f"{sorted([f.name for f in meta.foreign_keys()] + list(meta.related_objects))}")
+            merged[name] = None
+        clone._prefetch_related = tuple(merged)
+        return clone
+
+    def only(self, *names):
+        """Load just *names* (plus pk and JOINed FK columns) from SQL.
+
+        Unloaded columns are deferred: touching one later triggers a
+        single-column fetch for that instance.  Use for listings that
+        render a few columns of wide rows (e.g. ``Simulation.results``).
+        """
+        clone = self._clone()
+        for name in names:
+            self._validate_field_name(name, "only()")
+        clone._only = set(names)
+        return clone
+
+    def defer(self, *names):
+        """Complement of :meth:`only`: load everything except *names*."""
+        clone = self._clone()
+        for name in names:
+            self._validate_field_name(name, "defer()")
+        clone._defer = self._defer | frozenset(names)
+        return clone
+
+    def _validate_field_name(self, name, where):
+        if self.model._meta.field_by_any_name(name) is None:
+            raise FieldError(
+                f"Unknown field {name!r} in {where} for "
+                f"{self.model.__name__}")
+
+    def _validate_related_path(self, path):
+        from .fields import ForeignKey
+        model = self.model
+        for part in path.split("__"):
+            field = model._meta.field_by_any_name(part)
+            if not isinstance(field, ForeignKey):
+                raise FieldError(
+                    f"select_related path {path!r}: {part!r} is not a "
+                    f"foreign key on {model.__name__}")
+            model = field.resolve_target()
+
     # -- execution ---------------------------------------------------------
-    def _select_sql(self, columns="*"):
-        compiler = QueryCompiler(self.model)
+    def _join_plan(self):
+        """Expand select_related paths into an ordered list of joins.
+
+        Each node: path, alias, parent alias/path, FK field, target model.
+        Shared prefixes join once (``"a__b"`` and ``"a__c"`` produce
+        three joins, not four).
+        """
+        plan, by_path = [], {}
+        for raw in self._select_related:
+            parent_model, parent_alias, walked = self.model, "t0", []
+            for part in raw.split("__"):
+                walked.append(part)
+                key = "__".join(walked)
+                node = by_path.get(key)
+                if node is None:
+                    field = parent_model._meta.field_by_any_name(part)
+                    node = {
+                        "path": key,
+                        "parent_path": "__".join(walked[:-1]) or None,
+                        "alias": f"sr{len(plan) + 1}",
+                        "parent_alias": parent_alias,
+                        "field": field,
+                        "target": field.resolve_target(),
+                    }
+                    by_path[key] = node
+                    plan.append(node)
+                parent_model, parent_alias = node["target"], node["alias"]
+        return plan
+
+    def _projected_fields(self):
+        """Fields to SELECT for the base model; None means all of them."""
+        meta = self.model._meta
+        if self._only is None and not self._defer:
+            return None
+        deferred = {meta.field_by_any_name(n) for n in self._defer}
+        if self._only is not None:
+            wanted = {meta.field_by_any_name(n)
+                      for n in self._only} - deferred
+        else:
+            wanted = set(meta.fields) - deferred
+        join_fks = {meta.field_by_any_name(p.split("__")[0])
+                    for p in self._select_related}
+        return [field for field in meta.fields
+                if field.primary_key or field in wanted
+                or field in join_fks]
+
+    def _build_select(self):
+        """Compile this queryset; returns (sql, params, plan, fields).
+
+        *fields* is the base-model projection (None = every column).
+        """
+        meta = self.model._meta
+        plan = self._join_plan()
+        base_alias = "t0" if plan else None
+        compiler = QueryCompiler(self.model, base_alias=base_alias)
+        fields = self._projected_fields()
+        base_fields = fields if fields is not None else meta.fields
+        if plan:
+            cols = [f'"t0"."{f.column}" AS "{f.column}"'
+                    for f in base_fields]
+            for node in plan:
+                prefix = node["path"]
+                for f in node["target"]._meta.fields:
+                    cols.append(f'"{node["alias"]}"."{f.column}" '
+                                f'AS "{prefix}__{f.column}"')
+            sql = (f'SELECT {", ".join(cols)} '
+                   f'FROM "{meta.table_name}" "t0"')
+            for node in plan:
+                tmeta = node["target"]._meta
+                sql += (f' LEFT JOIN "{tmeta.table_name}" '
+                        f'"{node["alias"]}" ON '
+                        f'"{node["parent_alias"]}".'
+                        f'"{node["field"].column}" = '
+                        f'"{node["alias"]}"."{tmeta.pk.column}"')
+        else:
+            if fields is not None:
+                col_sql = ", ".join(f'"{f.column}"' for f in base_fields)
+            else:
+                col_sql = "*"
+            sql = f'SELECT {col_sql} FROM "{meta.table_name}"'
         where, params = compiler.compile_where(self._conditions)
-        sql = f'SELECT {columns} FROM "{self.model._meta.table_name}"' + where
-        sql += compiler.compile_order(self._order_by)
+        sql += where + compiler.compile_order(self._order_by)
         if self._limit is not None or self._offset is not None:
             sql += f" LIMIT {self._limit if self._limit is not None else -1}"
             if self._offset:
                 sql += f" OFFSET {self._offset}"
+        return sql, params, plan, fields
+
+    def _select_sql(self, columns="*"):
+        """Back-compat shim: (sql, params) of the compiled SELECT."""
+        sql, params, _, _ = self._build_select()
         return sql, params
 
     def _fetch(self):
-        if self._result_cache is None:
-            sql, params = self._select_sql()
-            cur = self.db.execute(sql, params, operation="select",
-                                  table=self.model._meta.table_name)
-            self._result_cache = [
-                self.model._from_db_row(dict(row), self.db)
-                for row in cur.fetchall()]
+        if self._result_cache is not None:
+            return self._result_cache
+        sql, params, plan, fields = self._build_select()
+        # A JOIN reads the joined tables too: the role must hold SELECT
+        # on every one of them, not just the base table.
+        for node in plan:
+            self.db.check_permission("select",
+                                     node["target"]._meta.table_name)
+        cur = self.db.execute(sql, params, operation="select",
+                              table=self.model._meta.table_name)
+        rows = [dict(row) for row in cur.fetchall()]
+        instances = []
+        for row in rows:
+            obj = self.model._from_db_row(row, self.db, fields=fields)
+            hydrated = {None: obj}
+            for node in plan:
+                parent = hydrated.get(node["parent_path"])
+                if parent is None:
+                    hydrated[node["path"]] = None
+                    continue
+                cache = parent.__dict__.setdefault("_fk_cache", {})
+                fk_id = getattr(parent, node["field"].attname)
+                if fk_id is None:
+                    cache[node["field"].name] = None
+                    hydrated[node["path"]] = None
+                    continue
+                prefix = node["path"] + "__"
+                sub = {key[len(prefix):]: value
+                       for key, value in row.items()
+                       if key.startswith(prefix)}
+                related = node["target"]._from_db_row(sub, self.db)
+                cache[node["field"].name] = related
+                hydrated[node["path"]] = related
+            instances.append(obj)
+        if self._prefetch_related and instances:
+            self._do_prefetch(instances)
+        self._result_cache = instances
         return self._result_cache
+
+    def _do_prefetch(self, instances):
+        """One IN-query per prefetch name, priming per-instance caches."""
+        from .fields import ForeignKey
+        meta = self.model._meta
+        for name in self._prefetch_related:
+            field = meta.field_by_any_name(name)
+            if isinstance(field, ForeignKey):
+                target = field.resolve_target()
+                ids = sorted({getattr(obj, field.attname)
+                              for obj in instances} - {None})
+                related = {}
+                if ids:
+                    related = {obj.pk: obj for obj in
+                               target.objects.using(self.db).filter(
+                                   pk__in=ids)}
+                for obj in instances:
+                    cache = obj.__dict__.setdefault("_fk_cache", {})
+                    cache[field.name] = related.get(
+                        getattr(obj, field.attname))
+            else:
+                related_model, fk = meta.related_objects[name]
+                pks = [obj.pk for obj in instances if obj.pk is not None]
+                groups = {}
+                for rel in related_model.objects.using(self.db).filter(
+                        **{fk.attname + "__in": pks}):
+                    groups.setdefault(getattr(rel, fk.attname),
+                                      []).append(rel)
+                for obj in instances:
+                    store = obj.__dict__.setdefault(
+                        "_prefetched_objects", {})
+                    store[name] = groups.get(obj.pk, [])
 
     def __iter__(self):
         return iter(self._fetch())
@@ -320,6 +586,8 @@ class QuerySet:
         return self.order_by(*flipped).first()
 
     def count(self):
+        if self._result_cache is not None:
+            return len(self._result_cache)
         compiler = QueryCompiler(self.model)
         where, params = compiler.compile_where(self._conditions)
         sql = (f'SELECT COUNT(*) FROM "{self.model._meta.table_name}"'
@@ -329,6 +597,8 @@ class QuerySet:
         return cur.fetchone()[0]
 
     def exists(self):
+        if self._result_cache is not None:
+            return bool(self._result_cache)
         return bool(list(self[:1]))
 
     def delete(self):
@@ -363,6 +633,123 @@ class QuerySet:
         cur = self.db.execute(sql, params + wparams, operation="update",
                               table=meta.table_name)
         return cur.rowcount
+
+    #: Keep one statement comfortably inside SQLite's bound-parameter
+    #: ceiling (999 on the oldest deployments still in the wild).
+    _BULK_PARAM_BUDGET = 900
+
+    def bulk_update(self, objs, fields, batch_size=None):
+        """Write *fields* of *objs* back in one UPDATE per batch.
+
+        Compiles ``SET col = CASE pk WHEN ? THEN ? ... END`` so a poll
+        cycle's accumulated state changes cost one round trip instead of
+        one per row.  Values pass through ``clean()`` exactly as
+        ``save()`` would, and ``auto_now`` timestamp columns are
+        re-stamped automatically (matching ``save()`` semantics).
+        Returns the number of rows matched.
+        """
+        from .fields import DateTimeField
+        meta = self.model._meta
+        objs = [obj for obj in objs if obj.pk is not None]
+        if not objs:
+            return 0
+        field_list = []
+        for name in fields:
+            field = meta.field_by_any_name(name)
+            if field is None:
+                raise FieldError(
+                    f"Unknown field {name!r} in bulk_update()")
+            if field.primary_key:
+                raise FieldError("bulk_update() cannot write the primary key")
+            if field not in field_list:
+                field_list.append(field)
+        for field in meta.fields:
+            if isinstance(field, DateTimeField) and field.auto_now \
+                    and field not in field_list:
+                field_list.append(field)
+        if not field_list:
+            return 0
+        if batch_size is None:
+            per_row = 2 * len(field_list) + 1
+            batch_size = max(1, self._BULK_PARAM_BUDGET // per_row)
+        total = 0
+        for start in range(0, len(objs), batch_size):
+            chunk = objs[start:start + batch_size]
+            sets, params = [], []
+            for field in field_list:
+                whens = []
+                for obj in chunk:
+                    if isinstance(field, DateTimeField) and field.auto_now:
+                        value = field.pre_save(obj, False)
+                    else:
+                        value = field.clean(getattr(obj, field.attname))
+                        setattr(obj, field.attname, value)
+                    whens.append("WHEN ? THEN ?")
+                    params.extend([meta.pk.to_db(obj.pk),
+                                   field.to_db(value)])
+                sets.append(
+                    f'"{field.column}" = CASE "{meta.pk.column}" '
+                    + " ".join(whens) + f' ELSE "{field.column}" END')
+            marks = ", ".join("?" for _ in chunk)
+            sql = (f'UPDATE "{meta.table_name}" SET ' + ", ".join(sets)
+                   + f' WHERE "{meta.pk.column}" IN ({marks})')
+            params.extend(meta.pk.to_db(obj.pk) for obj in chunk)
+            cur = self.db.execute(sql, params, operation="update",
+                                  table=meta.table_name)
+            total += cur.rowcount
+        return total
+
+    def bulk_create(self, objects, batch_size=None):
+        """Create *objects* with multi-row INSERT batches."""
+        return self._bulk_insert(list(objects), batch_size=batch_size)
+
+    def _bulk_insert(self, objs, batch_size=None):
+        """Multi-row INSERT backing ``bulk_create``.
+
+        Every object passes ``full_clean()`` first — the strict
+        marshaling guarantee is identical to ``save()``.  Objects with a
+        preset pk are saved row-at-a-time (explicit rowids don't compose
+        with multi-row assignment); the rest insert in batches and
+        recover their pks from ``lastrowid``.
+        """
+        from .fields import AutoField, DateTimeField
+        meta = self.model._meta
+        if not objs:
+            return objs
+        columns = [f for f in meta.fields if not isinstance(f, AutoField)]
+        fresh = []
+        for obj in objs:
+            if obj.pk is not None or not columns:
+                obj.save(db=self.db, force_insert=True)
+            else:
+                fresh.append(obj)
+        if not fresh:
+            return objs
+        if batch_size is None:
+            batch_size = max(1, self._BULK_PARAM_BUDGET
+                             // max(len(columns), 1))
+        col_sql = ", ".join(f'"{f.column}"' for f in columns)
+        row_marks = "(" + ", ".join("?" for _ in columns) + ")"
+        for start in range(0, len(fresh), batch_size):
+            chunk = fresh[start:start + batch_size]
+            params = []
+            for obj in chunk:
+                obj.full_clean()
+                for field in columns:
+                    if isinstance(field, DateTimeField):
+                        value = field.pre_save(obj, True)
+                    else:
+                        value = getattr(obj, field.attname)
+                    params.append(field.to_db(value))
+            sql = (f'INSERT INTO "{meta.table_name}" ({col_sql}) VALUES '
+                   + ", ".join([row_marks] * len(chunk)))
+            cur = self.db.execute(sql, params, operation="insert",
+                                  table=meta.table_name)
+            for offset, obj in enumerate(chunk):
+                obj.pk = cur.lastrowid - len(chunk) + 1 + offset
+                obj._state_adding = False
+                obj._state_db = self.db
+        return objs
 
     def values(self, *names):
         """Return a list of dicts restricted to *names* (or all fields)."""

@@ -34,6 +34,21 @@ def create_table_sql(model):
                 f'CREATE INDEX IF NOT EXISTS '
                 f'"idx_{meta.table_name}_{field.column}" '
                 f'ON "{meta.table_name}" ("{field.column}")')
+    # Declarative composite/secondary indexes from Meta.indexes.
+    for group in meta.indexes:
+        columns = []
+        for name in group:
+            field = meta.field_by_any_name(name)
+            if field is None:
+                raise FieldError(
+                    f"Meta.indexes names unknown field {name!r} on "
+                    f"{model.__name__}")
+            columns.append(field.column)
+        index_name = f'idx_{meta.table_name}_' + "_".join(columns)
+        cols_sql = ", ".join(f'"{c}"' for c in columns)
+        statements.append(
+            f'CREATE INDEX IF NOT EXISTS "{index_name}" '
+            f'ON "{meta.table_name}" ({cols_sql})')
     return statements
 
 

@@ -31,6 +31,7 @@ class Book(Model):
 
     class Meta:
         table_name = "ws_book"
+        indexes = [("status",), ("author_id", "status")]
 
 
 MODELS = [Author, Book]
