@@ -10,7 +10,8 @@ from .bootstrap import AMPDeployment, DEFAULT_PROJECT
 from .catalog import SimbadService, StarCatalog
 from .daemon import ExternalMonitor, GridAMPDaemon
 from .models import (ALL_MODELS, CORE_MODELS, AllocationRecord,
-                     GridJobRecord, KIND_DIRECT, KIND_OPTIMIZATION,
+                     GridJobRecord, HOLD_MODEL, HOLD_RESOURCE,
+                     KIND_DIRECT, KIND_OPTIMIZATION,
                      MachineRecord, ObservationSet, SIM_ACTIVE_STATES,
                      SIM_CANCELLED, SIM_CLEANUP, SIM_DONE, SIM_HOLD,
                      SIM_POSTJOB, SIM_PREJOB, SIM_QUEUED, SIM_RUNNING,
@@ -27,7 +28,8 @@ __all__ = [
     "ALL_MODELS", "AMPDeployment", "AUDIENCE_ADMIN", "AUDIENCE_USER",
     "AllocationRecord", "CORE_MODELS", "DEFAULT_PROJECT",
     "DirectRunWorkflow", "ExternalMonitor", "GridAMPDaemon",
-    "GridJobRecord", "JargonLeak", "KIND_DIRECT", "KIND_OPTIMIZATION",
+    "GridJobRecord", "HOLD_MODEL", "HOLD_RESOURCE", "JargonLeak",
+    "KIND_DIRECT", "KIND_OPTIMIZATION",
     "MachineRecord", "Mailer", "ModelFailure", "NotificationPolicy",
     "ObservationSet", "OptimizationWorkflow", "SIM_ACTIVE_STATES",
     "SIM_CANCELLED", "SIM_CLEANUP", "SIM_DONE", "SIM_HOLD", "SIM_POSTJOB",

@@ -18,6 +18,7 @@ weeks of gateway operation in milliseconds.
 
 from __future__ import annotations
 
+from ..grid.breaker import BreakerRegistry
 from ..grid.clients import GridClients
 from ..grid.fabric import build_fabric
 from ..hpc.machines import TABLE1_MACHINES, DISPLAY_NAMES
@@ -52,8 +53,12 @@ class AMPDeployment:
         for name in self.fabric.resource_names():
             deploy_amp(self.fabric.resource(name))
 
-        # The daemon host: clients + credential live here only.
-        self.clients = GridClients(self.fabric, gateway_name="AMP")
+        # The daemon host: clients + credential live here only.  The
+        # breaker registry rides with the clients so every command the
+        # daemon shells out is health-checked per resource.
+        self.breakers = BreakerRegistry(self.clock)
+        self.clients = GridClients(self.fabric, gateway_name="AMP",
+                                   breakers=self.breakers)
         self.mailer = Mailer(self.clock)
         self.daemon = GridAMPDaemon(self.databases.daemon, self.clients,
                                     self.clock, self.mailer,

@@ -28,8 +28,11 @@ watches the heartbeat the poll loop stamps.
 
 from __future__ import annotations
 
-from .models import (GRAM_STATES, GridJobRecord, KIND_DIRECT,
-                     KIND_OPTIMIZATION, SIM_ACTIVE_STATES, Simulation)
+from ..grid.breaker import CLOSED
+from ..grid.retry import RetryPolicy, RetryTracker
+from .models import (GRAM_STATES, GridJobRecord, HOLD_RESOURCE,
+                     KIND_DIRECT, KIND_OPTIMIZATION, SIM_ACTIVE_STATES,
+                     SIM_HOLD, Simulation)
 from .notifications import NotificationPolicy
 from .workflow import DirectRunWorkflow, OptimizationWorkflow
 
@@ -37,21 +40,28 @@ DEFAULT_POLL_INTERVAL_S = 300.0
 
 
 class GridAMPDaemon:
-    def __init__(self, db, clients, clock, mailer, machine_specs):
+    def __init__(self, db, clients, clock, mailer, machine_specs,
+                 retry_policy=None):
         self.db = db
         self.clients = clients
         self.clock = clock
         self.mailer = mailer
         self.policy = NotificationPolicy(mailer, db)
+        #: One retry tracker (budget policy + backoff event log) shared
+        #: by both workflow kinds, so operator tooling sees one timeline.
+        self.retry = RetryTracker(retry_policy or RetryPolicy(), clock)
         self.workflows = {
             KIND_DIRECT: DirectRunWorkflow(db, clients, self.policy,
-                                           machine_specs),
+                                           machine_specs,
+                                           retry=self.retry),
             KIND_OPTIMIZATION: OptimizationWorkflow(db, clients,
                                                     self.policy,
-                                                    machine_specs),
+                                                    machine_specs,
+                                                    retry=self.retry),
         }
         self.heartbeat = clock.now
         self.poll_count = 0
+        self._breaker_events_reported = 0
 
     # ------------------------------------------------------------------
     def update_grid_jobs(self):
@@ -126,42 +136,102 @@ class GridAMPDaemon:
         """Publish per-machine queue depth/utilisation into the DB.
 
         This is the only channel through which the grid-blind portal
-        learns about congestion — the daemon measures (qstat over the
-        fork service) and writes; the portal reads.  Unparsable qstat
-        output is treated exactly like an unreachable machine: the
+        learns about congestion *and resource health* — the daemon
+        measures (qstat over the fork service, breaker snapshots from
+        the client toolkit) and writes; the portal reads.  Unparsable
+        qstat output is treated exactly like an unreachable machine: the
         stale-but-sane values stay until a clean sample arrives.  All
         sampled machines flush in one ``bulk_update``.
+
+        The qstat probe doubles as the circuit breaker's health check:
+        while a breaker is open the client suppresses the command, and
+        once the cooldown elapses this per-poll sample is the natural
+        half-open probe that closes the breaker after recovery.
         """
         import datetime as _dt
         from .models import MachineRecord
         self.clients.ensure_proxy("amp-operations")
+        breakers = self.clients.breakers
         now = _dt.datetime.now(_dt.timezone.utc)
         changed = []
         for record in MachineRecord.objects.using(self.db).all():
             result = self.clients.queue_status(record.name)
-            if not result.ok:
-                continue              # transient: keep stale telemetry
-            depth_text, _, utilisation_text = \
-                result.stdout.partition(" ")
-            try:
-                depth = int(depth_text)
-                utilisation = float(utilisation_text)
-            except ValueError:
-                continue              # malformed output: keep stale values
-            if depth < 0 or utilisation != utilisation:
-                continue              # negative depth / NaN: same story
-            record.queue_depth = depth
-            record.utilisation = min(max(utilisation, 0.0), 1.0)
-            record.telemetry_updated = now
-            changed.append(record)
+            dirty = self._refresh_breaker_columns(record)
+            if result.ok:
+                depth_text, _, utilisation_text = \
+                    result.stdout.partition(" ")
+                try:
+                    depth = int(depth_text)
+                    utilisation = float(utilisation_text)
+                except ValueError:
+                    depth = None      # malformed output: keep stale values
+                if depth is not None and depth >= 0 \
+                        and utilisation == utilisation:
+                    record.queue_depth = depth
+                    record.utilisation = min(max(utilisation, 0.0), 1.0)
+                    record.telemetry_updated = now
+                    dirty = True
+            if dirty:
+                changed.append(record)
         if changed:
             MachineRecord.objects.using(self.db).bulk_update(
                 changed,
-                ["queue_depth", "utilisation", "telemetry_updated"])
+                ["queue_depth", "utilisation", "telemetry_updated",
+                 "breaker_state", "breaker_failures",
+                 "breaker_opened_at"])
+        if breakers is not None:
+            self._report_breaker_transitions(breakers)
+
+    def _refresh_breaker_columns(self, record):
+        """Sync one machine row with its breaker snapshot; True when the
+        row changed."""
+        breakers = self.clients.breakers
+        if breakers is None:
+            return False
+        state, failures, opened_at = breakers.snapshot(record.name)
+        if (record.breaker_state, record.breaker_failures,
+                record.breaker_opened_at) == (state, failures, opened_at):
+            return False
+        record.breaker_state = state
+        record.breaker_failures = failures
+        record.breaker_opened_at = opened_at
+        return True
+
+    def _report_breaker_transitions(self, breakers):
+        """Mail administrators each breaker transition exactly once."""
+        events = breakers.all_events()
+        for event in events[self._breaker_events_reported:]:
+            self.policy.on_breaker_transition(event)
+        self._breaker_events_reported = len(events)
+
+    def recover_resource_holds(self):
+        """Auto-resume simulations held for an exhausted retry budget
+        once their machine's breaker closes again.
+
+        A *model* hold still needs an administrator (§4.4); a *resource*
+        hold only ever needed the machine back.  Recovery flows through
+        ``resume()``, so the simulation re-enters the stage it held in
+        with a fresh retry budget.
+        """
+        breakers = self.clients.breakers
+        held = (Simulation.objects.using(self.db)
+                .filter(state=SIM_HOLD, hold_category=HOLD_RESOURCE)
+                .select_related("owner", "observation"))
+        resumed = 0
+        for simulation in held:
+            if breakers is not None \
+                    and breakers.state_of(simulation.machine_name) \
+                    != CLOSED:
+                continue
+            self.workflows[simulation.kind].resume(simulation)
+            self.policy.on_auto_resume(simulation)
+            resumed += 1
+        return resumed
 
     def poll_once(self):
         self.update_grid_jobs()
         self.update_machine_telemetry()
+        self.recover_resource_holds()
         transitions = self.advance_simulations()
         self.heartbeat = self.clock.now
         self.poll_count += 1
@@ -172,18 +242,29 @@ class GridAMPDaemon:
         return Simulation.objects.using(self.db).filter(
             state__in=list(SIM_ACTIVE_STATES)).count()
 
+    def recoverable_hold_count(self):
+        """Resource holds the daemon itself will resume on recovery."""
+        return Simulation.objects.using(self.db).filter(
+            state=SIM_HOLD, hold_category=HOLD_RESOURCE).count()
+
+    def pending_count(self):
+        """Simulations the daemon still owes progress to: the active
+        set plus auto-resumable resource holds (a permanent hold —
+        model failure — genuinely waits for an administrator)."""
+        return self.active_count() + self.recoverable_hold_count()
+
     def run(self, *, poll_interval_s=DEFAULT_POLL_INTERVAL_S,
             max_polls=100_000, until_idle=True):
         """Drive the daemon in virtual time.
 
         Repeatedly: advance the clock one poll interval (processing all
-        due grid/scheduler events), then poll.  Stops when no active
-        simulations remain (``until_idle``) or after *max_polls*.
-        Returns the number of polls performed.
+        due grid/scheduler events), then poll.  Stops when nothing the
+        daemon can make progress on remains (``until_idle``) or after
+        *max_polls*.  Returns the number of polls performed.
         """
         polls = 0
         while polls < max_polls:
-            if until_idle and self.active_count() == 0:
+            if until_idle and self.pending_count() == 0:
                 break
             self.clock.advance(poll_interval_s)
             self.poll_once()

@@ -38,6 +38,10 @@ SIM_ACTIVE_STATES = (SIM_QUEUED, SIM_PREJOB, SIM_RUNNING, SIM_POSTJOB,
 KIND_DIRECT = "direct"
 KIND_OPTIMIZATION = "optimization"
 
+# Hold categories: why a simulation sits in SIM_HOLD.
+HOLD_MODEL = "model"          # model failure — administrator attention
+HOLD_RESOURCE = "resource"    # retry budget exhausted — auto-resumable
+
 # Grid-job purposes within a simulation.
 JOB_PREJOB = "prejob"
 JOB_GA = "ga"
@@ -140,6 +144,16 @@ class MachineRecord(orm.Model):
     utilisation = orm.FloatField(default=0.0, min_value=0.0,
                                  max_value=1.0)
     telemetry_updated = orm.DateTimeField(null=True)
+    # Circuit-breaker telemetry, published by the daemon each poll: the
+    # portal routes new submissions away from open-breaker machines and
+    # the statistics page shows facility health — without the portal
+    # ever touching the grid.
+    breaker_state = orm.CharField(max_length=10, default="closed",
+                                  choices=[("closed", "closed"),
+                                           ("open", "open"),
+                                           ("half-open", "half-open")])
+    breaker_failures = orm.IntegerField(default=0, min_value=0)
+    breaker_opened_at = orm.FloatField(null=True)   # sim-clock seconds
 
     class Meta:
         table_name = "amp_machine"
@@ -148,6 +162,11 @@ class MachineRecord(orm.Model):
     @property
     def is_busy(self):
         return self.queue_depth > 0 or self.utilisation > 0.95
+
+    @property
+    def is_available(self):
+        """Healthy enough to accept new submissions."""
+        return self.enabled and self.breaker_state != "open"
 
 
 class AllocationRecord(orm.Model):
@@ -225,6 +244,19 @@ class Simulation(orm.Model):
     status_message = orm.TextField(default="")
     hold_reason = orm.TextField(default="")
     state_before_hold = orm.CharField(max_length=12, default="")
+    # Why the simulation held: "model" needs an administrator; a
+    # "resource" hold (retry budget exhausted against a sick machine) is
+    # auto-resumed by the daemon once the machine's breaker closes.
+    hold_category = orm.CharField(max_length=12, default="",
+                                  choices=[("", "none"),
+                                           (HOLD_MODEL, HOLD_MODEL),
+                                           (HOLD_RESOURCE,
+                                            HOLD_RESOURCE)])
+    # Retry-budget bookkeeping (grid.retry): consecutive transient
+    # failures per operation class, and the earliest virtual time the
+    # daemon may retry this simulation (exponential backoff).
+    retry_counts = orm.JSONField(null=True)
+    retry_not_before = orm.FloatField(default=0.0, min_value=0.0)
     created = orm.DateTimeField(auto_now_add=True)
     updated = orm.DateTimeField(auto_now=True)
 

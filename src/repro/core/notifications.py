@@ -113,7 +113,32 @@ class NotificationPolicy:
             f"Transient on simulation #{simulation.pk}",
             detail)
 
-    def on_hold(self, simulation, reason):
+    def on_budget_exhausted(self, simulation, operation, attempts,
+                            detail):
+        """A transient stopped being silent: the retry budget is spent.
+
+        Administrators get the full grid detail (including the
+        copy-pasteable command line); the user-facing surface is the
+        hold notification that follows, which carries no jargon.
+        """
+        self.mailer.notify_admin(
+            f"Retry budget exhausted on simulation #{simulation.pk} "
+            f"({operation} × {attempts})", detail)
+
+    def on_hold(self, simulation, reason, category="model"):
+        if category == "resource":
+            self.mailer.notify_admin(
+                f"Simulation #{simulation.pk} HELD: resource "
+                f"unavailable", reason)
+            self.mailer.notify_user(
+                simulation.owner.email,
+                f"AMP simulation #{simulation.pk} is paused",
+                "The computing facility running your simulation has "
+                "been unavailable for an extended period.  Your "
+                "simulation is paused and will resume automatically "
+                "once the facility recovers; no action is needed from "
+                "you.")
+            return
         self.mailer.notify_admin(
             f"Simulation #{simulation.pk} HELD: model failure", reason)
         self.mailer.notify_user(
@@ -122,3 +147,15 @@ class NotificationPolicy:
             "Your simulation encountered a problem during model "
             "processing.  The gateway administrators have been notified "
             "and will resume it shortly; no action is needed from you.")
+
+    def on_breaker_transition(self, event):
+        """Administrators track resource health transitions."""
+        self.mailer.notify_admin(
+            f"Resource {event.resource} circuit {event.to_state} "
+            f"(was {event.from_state})", event.reason)
+
+    def on_auto_resume(self, simulation):
+        self.mailer.notify_admin(
+            f"Simulation #{simulation.pk} auto-resumed",
+            f"{simulation.machine_name} recovered; the paused "
+            f"simulation re-entered {simulation.state}.")

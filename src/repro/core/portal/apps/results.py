@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from ....webstack import Http404, JsonResponse, path, render
 from ....webstack.orm import Count
-from ...models import (AllocationRecord, SIM_DONE, Simulation, Star)
+from ...models import (AllocationRecord, MachineRecord, SIM_DONE,
+                       Simulation, Star)
 
 
 def build_routes(ctx):
@@ -119,7 +120,9 @@ def build_routes(ctx):
         return HttpResponseRedirect(f"/simulations/{sim.pk}/")
 
     def statistics(request):
-        """Gateway statistics: simulations by state/kind, SU usage."""
+        """Gateway statistics: simulations by state/kind, SU usage,
+        and facility health (queue depth + breaker state, as published
+        by the daemon's telemetry channel)."""
         sims = Simulation.objects.using(request.db)
         by_state = sims.values_count("state")
         by_kind = sims.values_count("kind")
@@ -135,6 +138,21 @@ def build_routes(ctx):
                 "su_used": record.su_used,
                 "su_granted": record.su_granted,
             })
+        facilities = []
+        for record in MachineRecord.objects.using(
+                request.db).order_by("name"):
+            if record.breaker_state == "closed":
+                health = "available"
+            elif record.breaker_state == "open":
+                health = "unavailable"
+            else:
+                health = "recovering"
+            facilities.append({
+                "name": record.display_name or record.name,
+                "health": health,
+                "queue_depth": record.queue_depth,
+                "utilisation": record.utilisation,
+            })
         return render(request, "statistics.html", {
             "by_state": sorted(by_state.items()),
             "by_kind": sorted(by_kind.items()),
@@ -142,6 +160,7 @@ def build_routes(ctx):
             "total": totals["total"],
             "star_count": Star.objects.using(request.db).count(),
             "allocations": allocations,
+            "facilities": facilities,
         })
 
     return [

@@ -59,22 +59,41 @@ def build_routes(ctx):
             raise Http404(f"No star #{pk}")
 
     def _machine_choices(request):
-        """Enabled machines, least congested first, flagged when busy.
+        """Enabled, healthy machines, least congested first, flagged
+        when busy.
 
-        The congestion data is the daemon's published telemetry — the
-        portal itself never touches the grid.
-        """
+        The congestion *and health* data is the daemon's published
+        telemetry — the portal itself never touches the grid.  Machines
+        whose circuit breaker is open are routed away from entirely
+        (offered only if every machine is sick, flagged as unavailable,
+        so the form never goes empty)."""
         records = [r for r in ctx.machine_records(request.db)
                    if r.enabled]
         records.sort(key=lambda r: (r.queue_depth, r.utilisation,
                                     r.name))
+        healthy = [r for r in records if r.is_available]
+        sick = [r for r in records if not r.is_available]
         choices = []
-        for record in records:
+        for record in healthy:
             label = record.display_name or record.name
             if record.is_busy:
                 label += " (queue busy)"
             choices.append((record.name, label))
+        if not choices:
+            for record in sick:
+                label = (record.display_name or record.name) \
+                    + " (temporarily unavailable)"
+                choices.append((record.name, label))
         return choices
+
+    def _default_machine(request):
+        """Direct runs: the configured production machine, unless its
+        breaker is open — then the healthiest alternative."""
+        choices = _machine_choices(request)
+        names = [name for name, _ in choices]
+        if ctx.default_machine_name in names:
+            return ctx.default_machine_name
+        return names[0] if names else ctx.default_machine_name
 
     def _user_authorized(request, machine_name):
         for auth in SubmitAuthorization.objects.using(request.db).filter(
@@ -106,7 +125,7 @@ def build_routes(ctx):
                 if existing is not None:
                     return HttpResponseRedirect(
                         f"/simulations/{existing.pk}/?reused=1")
-                machine = ctx.default_machine_name
+                machine = _default_machine(request)
                 sim = Simulation(
                     star_id=star.pk, owner_id=request.user.pk,
                     kind=KIND_DIRECT, machine_name=machine,

@@ -246,6 +246,15 @@ STATISTICS = """{% extends "base.html" %}
 <h3>Simulations by computing facility</h3>
 <ul>{% for name, n in by_machine %}<li>{{ name }}: {{ n }}</li>
 {% endfor %}</ul>
+<h3>Facility health</h3>
+<table><tr><th>Facility</th><th>Status</th><th>Queued jobs</th>
+<th>Utilisation</th></tr>
+{% for f in facilities %}
+<tr><td>{{ f.name }}</td><td>{{ f.health }}</td>
+<td>{{ f.queue_depth }}</td>
+<td>{{ f.utilisation|floatformat:2 }}</td></tr>
+{% endfor %}
+</table>
 <h3>Allocation usage</h3>
 <table><tr><th>Project</th><th>Facility</th><th>Used</th>
 <th>Granted</th></tr>

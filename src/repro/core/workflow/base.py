@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import posixpath
 
+from ...grid.retry import RetryPolicy, RetryTracker, classify_operation
 from ...grid.rsl import fork_spec, format_rsl
 from ...hpc.accounting import cpu_hours
-from ..models import (GridJobRecord, JOB_CLEANUP, JOB_POSTJOB, JOB_PREJOB,
-                      SIM_DONE, SIM_HOLD, SubmitAuthorization)
+from ..models import (GridJobRecord, HOLD_MODEL, HOLD_RESOURCE,
+                      JOB_CLEANUP, JOB_POSTJOB, JOB_PREJOB, SIM_DONE,
+                      SIM_HOLD, SubmitAuthorization)
 from ..remote import CLEANUP_SH, POSTJOB_SH, PREJOB_SH, output_tarball_path
 from ..staging import StagingError
 
@@ -38,6 +40,13 @@ from ..staging import StagingError
 #: jargon is forbidden here (the mailer enforces the same rule).
 TRANSIENT_MESSAGE = ("The computing facility is temporarily unavailable; "
                      "processing will resume automatically.")
+
+#: User-visible message when the retry budget is exhausted: still no
+#: grid jargon, and no implication the user must act.
+BUDGET_EXHAUSTED_MESSAGE = (
+    "The computing facility has been unavailable for an extended "
+    "period.  Your simulation is paused and will resume automatically "
+    "once the facility recovers.")
 
 
 class ModelFailure(Exception):
@@ -57,13 +66,19 @@ class WorkflowManager:
         A :class:`~repro.core.notifications.NotificationPolicy`.
     machine_specs:
         ``{name: MachineSpec}`` for walltime and SU arithmetic.
+    retry:
+        A :class:`~repro.grid.retry.RetryTracker` (shared across the
+        daemon's workflows so one policy and one event log cover every
+        simulation).  Built privately when omitted.
     """
 
-    def __init__(self, db, clients, policy, machine_specs):
+    def __init__(self, db, clients, policy, machine_specs, retry=None):
         self.db = db
         self.clients = clients
         self.policy = policy
         self.machine_specs = machine_specs
+        self.retry = retry or RetryTracker(RetryPolicy(),
+                                           clients.fabric.clock)
         self.workflow = {
             "QUEUED": ([self.check_queued_sim, self.submit_pre_job],
                        "PREJOB"),
@@ -87,6 +102,8 @@ class WorkflowManager:
         """
         if simulation.state not in self.workflow:
             return False
+        if not self.retry_due(simulation):
+            return False            # backing off after a transient
         functions, next_state = self.workflow[simulation.state]
         try:
             # Every cycle acts under a fresh SAML-attributed proxy for
@@ -118,21 +135,26 @@ class WorkflowManager:
         return simulation.state
 
     # ------------------------------------------------------------------
-    # Hold / resume (model failures)
+    # Hold / resume (model failures and exhausted retry budgets)
     # ------------------------------------------------------------------
-    def hold(self, simulation, reason):
+    def hold(self, simulation, reason, category=HOLD_MODEL):
         simulation.state_before_hold = simulation.state
         simulation.state = SIM_HOLD
         simulation.hold_reason = reason
+        simulation.hold_category = category
         simulation.save(db=self.db)
-        self.policy.on_hold(simulation, reason)
+        self.policy.on_hold(simulation, reason, category=category)
 
     def resume(self, simulation):
-        """Administrator action: release a held simulation.
+        """Release a held simulation (administrator action, or the
+        daemon's automatic recovery of resource holds).
 
         "Once the problem has been resolved, the workflow resumes
         automatically" — the state returns to where it held and the next
-        daemon poll retries the failed step.
+        daemon poll retries the failed step.  The retry bookkeeping is
+        cleared too: a resumed simulation starts with a *fresh* budget,
+        otherwise one attempt after resume would immediately re-exhaust
+        it.
         """
         if simulation.state != SIM_HOLD:
             raise ValueError(
@@ -140,30 +162,74 @@ class WorkflowManager:
         simulation.state = simulation.state_before_hold or "QUEUED"
         simulation.state_before_hold = ""
         simulation.hold_reason = ""
+        simulation.hold_category = ""
+        simulation.retry_counts = None
+        simulation.retry_not_before = 0.0
         simulation.save(db=self.db)
 
     # ------------------------------------------------------------------
-    # Grid-call plumbing: transient vs permanent classification
+    # Grid-call plumbing: transient vs permanent classification, retry
+    # budgets, and backoff
     # ------------------------------------------------------------------
+    def retry_due(self, simulation):
+        """False while the simulation is inside its backoff window."""
+        not_before = simulation.retry_not_before or 0.0
+        return self.retry.clock.now + 1e-9 >= not_before
+
     def _grid_call(self, simulation, result):
         """Interpret a command-line result.
 
-        OK → the result.  Transient → record the plain-text status, tell
+        OK → the result (and the operation's consecutive-failure count
+        resets).  Transient → burn one unit of the per-simulation retry
+        budget, schedule the next attempt with exponential backoff, tell
         the administrators (with the copy-pasteable command line), and
-        return None so the caller retries on the next poll.  Permanent →
-        ModelFailure (→ HOLD; administrators debug interactively).
+        return None so the caller retries once the backoff elapses; an
+        exhausted budget escalates to HOLD with a user-readable reason.
+        Permanent → ModelFailure (→ HOLD; administrators debug
+        interactively).
         """
+        operation = classify_operation(result.argv)
         if result.ok:
+            self._clear_retries(simulation, operation)
             return result
         if result.transient:
-            simulation.status_message = TRANSIENT_MESSAGE
-            simulation.save(db=self.db)
-            self.policy.on_transient(
-                simulation,
-                f"retryable: {result.command_line}\n{result.stderr}")
+            self._record_transient(simulation, operation, result)
             return None
         raise ModelFailure(
             f"command failed: {result.command_line}: {result.stderr}")
+
+    def _clear_retries(self, simulation, operation):
+        counts = simulation.retry_counts
+        if counts and operation in counts:
+            counts = dict(counts)
+            del counts[operation]
+            simulation.retry_counts = counts or None
+            simulation.retry_not_before = 0.0
+            simulation.save(db=self.db)
+
+    def _record_transient(self, simulation, operation, result):
+        counts = dict(simulation.retry_counts or {})
+        attempt = counts.get(operation, 0) + 1
+        counts[operation] = attempt
+        simulation.retry_counts = counts
+        if self.retry.exhausted(attempt):
+            # The budget is spent: this is no longer a silent transient.
+            self.policy.on_budget_exhausted(
+                simulation, operation, attempt,
+                f"budget exhausted after {attempt} attempts: "
+                f"{result.command_line}\n{result.stderr}")
+            self.hold(simulation, BUDGET_EXHAUSTED_MESSAGE,
+                      category=HOLD_RESOURCE)
+            return
+        simulation.retry_not_before = self.retry.next_retry(
+            simulation.pk, operation, attempt)
+        simulation.status_message = TRANSIENT_MESSAGE
+        simulation.save(db=self.db)
+        self.policy.on_transient(
+            simulation,
+            f"retryable (attempt {attempt}/"
+            f"{self.retry.policy.max_attempts}): "
+            f"{result.command_line}\n{result.stderr}")
 
     # ------------------------------------------------------------------
     # Job-record helpers

@@ -7,32 +7,42 @@ client wrappers the daemon shells through.
 """
 
 from .audit import AuditLog, AuditRecord
+from .breaker import (BREAKER_STATES, BreakerEvent, BreakerPolicy,
+                      BreakerRegistry, CircuitBreaker)
 from .certificates import (CertificateInvalid, CommunityCredential,
                            ProxyCertificate, ProxyFactory, SAMLAssertion)
 from .clients import (EXIT_OK, EXIT_PERMANENT, EXIT_TRANSIENT,
                       CommandResult, GridClients)
 from .ctss import (REQUIRED_CAPABILITIES, DeploymentError, SoftwareStack,
                    advertised_stack, verify_deployment)
-from .errors import (CredentialError, GridError, PermanentGridError,
-                     ServiceUnreachable, TransferFault, TransientGridError,
-                     UnknownResourceError)
+from .errors import (CredentialError, GridError, OperationTimeout,
+                     PermanentGridError, ServiceUnreachable,
+                     SubmitRejected, TransferFault, TransientGridError,
+                     TruncatedTransfer, UnknownResourceError)
 from .fabric import GridFabric, build_fabric
-from .faults import FaultInjector
+from .faults import FaultInjector, LatencyWindow, OutageRecord
 from .gram import (ACTIVE, DONE, FAILED, PENDING, UNSUBMITTED, AppExecution,
                    GramJob, GramService)
 from .gridftp import GridFTPService, checksum
+from .retry import (RetryEvent, RetryPolicy, RetryTracker,
+                    classify_operation, deterministic_jitter)
 from .rsl import RSLError, batch_spec, fork_spec, format_rsl, parse_rsl
 
 __all__ = [
     "ACTIVE", "AppExecution", "AuditLog", "AuditRecord",
-    "CertificateInvalid", "CommandResult", "CommunityCredential",
-    "CredentialError", "DONE", "DeploymentError", "EXIT_OK",
-    "EXIT_PERMANENT", "EXIT_TRANSIENT", "FAILED", "FaultInjector",
-    "GramJob", "GramService", "GridClients", "GridError", "GridFTPService",
-    "GridFabric", "PENDING", "PermanentGridError", "ProxyCertificate",
-    "ProxyFactory", "REQUIRED_CAPABILITIES", "RSLError", "SAMLAssertion",
-    "ServiceUnreachable", "SoftwareStack", "TransferFault",
-    "TransientGridError", "UNSUBMITTED", "UnknownResourceError",
-    "advertised_stack", "batch_spec", "build_fabric", "checksum",
-    "fork_spec", "format_rsl", "parse_rsl", "verify_deployment",
+    "BREAKER_STATES", "BreakerEvent", "BreakerPolicy", "BreakerRegistry",
+    "CertificateInvalid", "CircuitBreaker", "CommandResult",
+    "CommunityCredential", "CredentialError", "DONE", "DeploymentError",
+    "EXIT_OK", "EXIT_PERMANENT", "EXIT_TRANSIENT", "FAILED",
+    "FaultInjector", "GramJob", "GramService", "GridClients", "GridError",
+    "GridFTPService", "GridFabric", "LatencyWindow", "OperationTimeout",
+    "OutageRecord", "PENDING", "PermanentGridError", "ProxyCertificate",
+    "ProxyFactory", "REQUIRED_CAPABILITIES", "RSLError", "RetryEvent",
+    "RetryPolicy", "RetryTracker", "SAMLAssertion", "ServiceUnreachable",
+    "SoftwareStack", "SubmitRejected", "TransferFault",
+    "TransientGridError", "TruncatedTransfer", "UNSUBMITTED",
+    "UnknownResourceError", "advertised_stack", "batch_spec",
+    "build_fabric", "checksum", "classify_operation",
+    "deterministic_jitter", "fork_spec", "format_rsl", "parse_rsl",
+    "verify_deployment",
 ]

@@ -1,0 +1,166 @@
+"""Per-resource circuit breakers for the daemon's grid traffic.
+
+The retry budget (``grid.retry``) bounds how long one *simulation*
+chases one failing operation; the circuit breaker bounds how much grid
+traffic the *daemon as a whole* throws at a resource that is plainly
+down.  Standard three-state machine, driven by the shared sim clock:
+
+- **closed** — normal operation; consecutive transient failures count
+  up, any success resets.
+- **open** — after ``failure_threshold`` consecutive failures; every
+  call to the resource is suppressed client-side (a synthetic transient,
+  no grid traffic) until ``open_for_s`` of virtual time elapses.
+- **half-open** — one probe is let through; success closes the breaker,
+  failure re-opens it for another cooldown.
+
+Suppressed calls never feed the failure counter — only traffic that
+actually reached the fabric counts, otherwise an open breaker could
+keep itself open forever.
+
+Every transition is recorded with its virtual timestamp; the soak tests
+assert the open/close event log matches the injected outage windows, and
+the daemon publishes breaker state into machine telemetry so the portal
+(statistics page, submission routing) can steer users away from sick
+resources without ever touching the grid itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+BREAKER_STATES = (CLOSED, OPEN, HALF_OPEN)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    failure_threshold: int = 3
+    open_for_s: float = 3600.0
+
+
+@dataclass(frozen=True)
+class BreakerEvent:
+    """One state transition, virtual-time stamped."""
+
+    time: float
+    resource: str
+    from_state: str
+    to_state: str
+    reason: str
+
+
+class CircuitBreaker:
+    """Health tracking for one resource."""
+
+    def __init__(self, resource, clock, policy=None):
+        self.resource = resource
+        self.clock = clock
+        self.policy = policy or BreakerPolicy()
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self.events = []
+
+    # ------------------------------------------------------------------
+    def _transition(self, to_state, reason):
+        self.events.append(BreakerEvent(self.clock.now, self.resource,
+                                        self.state, to_state, reason))
+        self.state = to_state
+        if to_state == OPEN:
+            self.opened_at = self.clock.now
+        elif to_state == CLOSED:
+            self.opened_at = None
+            self.consecutive_failures = 0
+
+    # ------------------------------------------------------------------
+    def allow(self):
+        """May a call to this resource proceed right now?
+
+        While open, returns False until the cooldown elapses; the first
+        call after that flips to half-open and is admitted as the probe.
+        Further calls during the probe stay suppressed.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if (self.clock.now - self.opened_at
+                    >= self.policy.open_for_s - 1e-9):
+                self._transition(HALF_OPEN, "cooldown elapsed; probing")
+                return True
+            return False
+        return False          # half-open: probe already in flight
+
+    def record_success(self):
+        self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self._transition(CLOSED, "probe succeeded")
+        elif self.state == OPEN:
+            # A success that raced past an opening breaker: recovery.
+            self._transition(CLOSED, "success while open")
+
+    def record_failure(self):
+        if self.state == HALF_OPEN:
+            self._transition(OPEN, "probe failed")
+            return
+        self.consecutive_failures += 1
+        if (self.state == CLOSED and self.consecutive_failures
+                >= self.policy.failure_threshold):
+            self._transition(
+                OPEN, f"{self.consecutive_failures} consecutive failures")
+
+
+class BreakerRegistry:
+    """Lazy per-resource breakers sharing one clock and policy."""
+
+    def __init__(self, clock, policy=None):
+        self.clock = clock
+        self.policy = policy or BreakerPolicy()
+        self._breakers = {}
+
+    def breaker(self, resource):
+        breaker = self._breakers.get(resource)
+        if breaker is None:
+            breaker = CircuitBreaker(resource, self.clock, self.policy)
+            self._breakers[resource] = breaker
+        return breaker
+
+    # -- the GridClients-facing surface --------------------------------
+    def allow(self, resource):
+        return self.breaker(resource).allow()
+
+    def record_success(self, resource):
+        self.breaker(resource).record_success()
+
+    def record_failure(self, resource):
+        self.breaker(resource).record_failure()
+
+    # -- observability -------------------------------------------------
+    def state_of(self, resource):
+        breaker = self._breakers.get(resource)
+        return breaker.state if breaker is not None else CLOSED
+
+    def snapshot(self, resource):
+        """(state, consecutive_failures, opened_at) for telemetry rows."""
+        breaker = self._breakers.get(resource)
+        if breaker is None:
+            return CLOSED, 0, None
+        return (breaker.state, breaker.consecutive_failures,
+                breaker.opened_at)
+
+    def events_for(self, resource):
+        breaker = self._breakers.get(resource)
+        return list(breaker.events) if breaker is not None else []
+
+    def all_events(self):
+        """Every transition across resources, in time order."""
+        events = [event for breaker in self._breakers.values()
+                  for event in breaker.events]
+        events.sort(key=lambda e: e.time)
+        return events
+
+    def open_resources(self):
+        return sorted(name for name, b in self._breakers.items()
+                      if b.state != CLOSED)

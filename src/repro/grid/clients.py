@@ -59,15 +59,35 @@ class GridClients:
         SAML gateway identity attached to every derived proxy.
     """
 
-    def __init__(self, fabric, gateway_name="AMP"):
+    def __init__(self, fabric, gateway_name="AMP", breakers=None):
         self.fabric = fabric
         self.gateway_name = gateway_name
         self.current_proxy = None
         self.command_log = []
+        #: Optional :class:`~repro.grid.breaker.BreakerRegistry`: when a
+        #: resource's breaker is open, commands against it are suppressed
+        #: client-side (synthetic transient, zero grid traffic).
+        self.breakers = breakers
+        self.suppressed_count = 0
 
     # ------------------------------------------------------------------
-    def _run(self, argv, fn):
-        """Execute *fn*, mapping the error taxonomy to exit codes."""
+    def _run(self, argv, fn, resource=None):
+        """Execute *fn*, mapping the error taxonomy to exit codes.
+
+        When the command targets a resource whose circuit breaker is
+        open, the command never reaches the grid: a synthetic transient
+        result is logged instead.  Only commands that actually executed
+        feed the breaker's failure/success counters.
+        """
+        if resource is not None and self.breakers is not None \
+                and not self.breakers.allow(resource):
+            result = CommandResult(
+                argv, EXIT_TRANSIENT,
+                stderr=(f"{resource}: suppressed while resource "
+                        f"circuit is open"))
+            self.suppressed_count += 1
+            self.command_log.append(result)
+            return result
         try:
             stdout = fn()
             result = CommandResult(argv, EXIT_OK, stdout=stdout or "")
@@ -75,6 +95,11 @@ class GridClients:
             result = CommandResult(argv, EXIT_TRANSIENT, stderr=str(exc))
         except (PermanentGridError, GridError, KeyError) as exc:
             result = CommandResult(argv, EXIT_PERMANENT, stderr=str(exc))
+        if resource is not None and self.breakers is not None:
+            if result.ok:
+                self.breakers.record_success(resource)
+            elif result.transient:
+                self.breakers.record_failure(resource)
         self.command_log.append(result)
         return result
 
@@ -128,16 +153,28 @@ class GridClients:
 
         The daemon calls this before acting on behalf of a user: proxies
         are short-lived by design, and every request must be SAML-
-        attributed to the *right* gateway user.
+        attributed to the *right* gateway user.  A proxy that expired or
+        was damaged mid-run (fault injection, clock skew) is detected
+        here and silently replaced — credential trouble must self-heal
+        before it can surface as a permanent failure.
         """
         proxy = self.current_proxy
         now = self.fabric.clock.now
         if (proxy is not None
                 and proxy.saml.gateway_user == gateway_user
-                and proxy.expires_at - now >= min_remaining_s):
+                and proxy.expires_at - now >= min_remaining_s
+                and self._proxy_verifies(proxy)):
             return CommandResult(["grid-proxy-info"], EXIT_OK,
                                  stdout="proxy still valid")
         return self.grid_proxy_init(gateway_user, email)
+
+    def _proxy_verifies(self, proxy):
+        from .certificates import CertificateInvalid
+        try:
+            self.fabric.proxy_factory.verify(proxy)
+        except CertificateInvalid:
+            return False
+        return True
 
     def _require_proxy(self):
         if self.current_proxy is None:
@@ -178,7 +215,7 @@ class GridClients:
                 spec["arguments"] = spec["arguments"].split()
             job_id = gram.submit(proxy, spec, service=service)
             return str(job_id)
-        return self._run(argv, action)
+        return self._run(argv, action, resource=resource_name)
 
     def _dispatch_globusrun(self, argv):
         flag = "-F" if "-F" in argv else "-r"
@@ -214,7 +251,7 @@ class GridClients:
             scheduler = resource.scheduler
             return (f"{scheduler.queue_depth()} "
                     f"{scheduler.utilisation:.4f}")
-        return self._run(argv, action)
+        return self._run(argv, action, resource=resource_name)
 
     # ------------------------------------------------------------------
     # globus-job-status (poll)
@@ -231,7 +268,7 @@ class GridClients:
                 reason = gram.failure_reason(int(gram_job_id))
                 return f"{state} {reason}".strip()
             return state
-        return self._run(argv, action)
+        return self._run(argv, action, resource=resource_name)
 
     def _dispatch_job_status(self, argv):
         return self.globus_job_status(argv[argv.index("-r") + 1], argv[-1])
@@ -243,7 +280,7 @@ class GridClients:
             proxy = self._require_proxy()
             self.fabric.gram(resource_name).cancel(proxy, int(gram_job_id))
             return "cancelled"
-        return self._run(argv, action)
+        return self._run(argv, action, resource=resource_name)
 
     def _dispatch_job_cancel(self, argv):
         return self.globus_job_cancel(argv[argv.index("-r") + 1], argv[-1])
@@ -261,7 +298,7 @@ class GridClients:
             digest = self.fabric.gridftp(resource_name).put(
                 proxy, remote_path, data)
             return digest
-        return self._run(argv, action)
+        return self._run(argv, action, resource=resource_name)
 
     def stage_out(self, resource_name, remote_path):
         """remote → local; payload returned on ``result.data``."""
@@ -275,7 +312,7 @@ class GridClients:
             holder["data"] = self.fabric.gridftp(resource_name).get(
                 proxy, remote_path)
             return f"{len(holder['data'])} bytes"
-        result = self._run(argv, action)
+        result = self._run(argv, action, resource=resource_name)
         result.data = holder.get("data")
         return result
 

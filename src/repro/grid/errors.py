@@ -41,3 +41,18 @@ class ServiceUnreachable(TransientGridError):
 
 class TransferFault(TransientGridError):
     """A GridFTP transfer aborted mid-stream."""
+
+
+class TruncatedTransfer(TransferFault):
+    """A GridFTP transfer delivered fewer bytes than the source holds
+    (partial transfer; the checksum step catches it — retryable)."""
+
+
+class SubmitRejected(TransientGridError):
+    """The gatekeeper refused a GRAM submission (load shedding,
+    transient middleware hiccough) — retryable."""
+
+
+class OperationTimeout(TransientGridError):
+    """An operation exceeded its client-side deadline during a latency
+    spike — retryable."""

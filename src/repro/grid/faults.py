@@ -1,16 +1,33 @@
-"""Fault injection for failure-handling experiments (bench C4).
+"""Composable fault injection for failure-handling experiments.
 
-Reproduces the §4.4 failure classes on demand:
+Reproduces the §4.4 failure classes on demand, and extends them into a
+harness every robustness policy (retry budgets, backoff, circuit
+breakers) can be exercised against.  All shapes are driven by the shared
+sim clock, so a fault *schedule* is deterministic and replayable:
 
-- outages: a resource becomes unreachable for a window of virtual time
-  (GRAM and GridFTP both fail transiently),
-- transfer aborts: the next N GridFTP transfers on a resource abort,
-- model failures: a staged output file is corrupted so result parsing
-  fails (handled at the workflow layer, which holds the simulation).
+- **outages** — a resource becomes unreachable for a window of virtual
+  time (GRAM and GridFTP both fail transiently); ``permanent_outage``
+  never ends until explicitly ``restore()``-d,
+- **flapping** — a resource that cycles down/up repeatedly (grid
+  weather), composed from outage windows,
+- **latency spikes** — a window during which every *n*-th operation on
+  the resource times out client-side,
+- **transfer aborts** — the next N GridFTP transfers abort mid-stream,
+- **partial transfers** — the next N GridFTP transfers truncate
+  (checksum catches them; transient),
+- **submit rejections** — the gatekeeper refuses the next N GRAM
+  submissions (transient),
+- **proxy faults** — the daemon's current proxy expires or is tampered
+  with mid-run (the toolkit must self-heal by re-issuing),
+- **model failures** — a staged output file is corrupted so result
+  parsing fails (handled at the workflow layer, which holds the
+  simulation).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass
 
 
@@ -20,6 +37,69 @@ class OutageRecord:
     start: float
     end: float
 
+    def overlaps(self, time):
+        return self.start <= time <= self.end
+
+
+class PermanentOutage:
+    """Handle for an outage with no scheduled recovery."""
+
+    def __init__(self, injector, resource_name, record):
+        self._injector = injector
+        self.resource_name = resource_name
+        self.record = record
+        self.restored = False
+
+    def restore(self):
+        """Bring the resource back (the operator fixed it)."""
+        if self.restored:
+            return
+        resource = self._injector.fabric.resource(self.resource_name)
+        resource.reachable = True
+        self.record.end = self._injector.clock.now
+        self.restored = True
+
+
+class LatencyWindow:
+    """Client-side timeouts during a congestion window.
+
+    While active, every ``timeout_every``-th operation on the resource
+    raises :class:`~repro.grid.errors.OperationTimeout` (1 = all of
+    them).  The counter is deterministic — no randomness — so schedules
+    replay identically.
+    """
+
+    def __init__(self, start, end, timeout_every=2):
+        if timeout_every < 1:
+            raise ValueError("timeout_every must be >= 1")
+        self.start = start
+        self.end = end
+        self.timeout_every = int(timeout_every)
+        self.operations_seen = 0
+        self.timeouts_raised = 0
+
+    def active(self, now):
+        return self.start <= now < self.end
+
+    def should_timeout(self):
+        """Count one operation; True when it should time out."""
+        self.operations_seen += 1
+        if self.operations_seen % self.timeout_every == 0:
+            self.timeouts_raised += 1
+            return True
+        return False
+
+
+def check_latency(resource, now):
+    """Service-side hook: raise if the resource's latency window says
+    this operation times out.  Installed by ``latency_spike``."""
+    window = getattr(resource, "latency_window", None)
+    if window is not None and window.active(now) \
+            and window.should_timeout():
+        from .errors import OperationTimeout
+        raise OperationTimeout(
+            f"{resource.name}: operation timed out under load")
+
 
 class FaultInjector:
     def __init__(self, fabric, clock):
@@ -27,6 +107,9 @@ class FaultInjector:
         self.clock = clock
         self.outages = []
 
+    # ------------------------------------------------------------------
+    # Reachability faults
+    # ------------------------------------------------------------------
     def outage(self, resource_name, *, start_in_s, duration_s):
         """Schedule an unreachability window for one resource."""
         resource = self.fabric.resource(resource_name)
@@ -44,10 +127,94 @@ class FaultInjector:
         self.outages.append(record)
         return record
 
+    def permanent_outage(self, resource_name, *, start_in_s=0.0):
+        """The resource goes down and stays down until ``restore()``."""
+        resource = self.fabric.resource(resource_name)
+
+        def go_down():
+            resource.reachable = False
+
+        if start_in_s <= 0:
+            go_down()
+        else:
+            self.clock.schedule(start_in_s, go_down)
+        record = OutageRecord(resource_name, self.clock.now + start_in_s,
+                              math.inf)
+        self.outages.append(record)
+        return PermanentOutage(self, resource_name, record)
+
+    def flapping(self, resource_name, *, start_in_s, period_s,
+                 down_s, cycles):
+        """A resource that cycles down/up: *cycles* outages of
+        ``down_s`` seconds, one every ``period_s`` seconds."""
+        if down_s >= period_s:
+            raise ValueError("down_s must be shorter than period_s")
+        return [self.outage(resource_name,
+                            start_in_s=start_in_s + i * period_s,
+                            duration_s=down_s)
+                for i in range(int(cycles))]
+
+    def latency_spike(self, resource_name, *, start_in_s, duration_s,
+                      timeout_every=2):
+        """During the window, every ``timeout_every``-th operation on
+        the resource times out client-side."""
+        resource = self.fabric.resource(resource_name)
+        window = LatencyWindow(self.clock.now + start_in_s,
+                               self.clock.now + start_in_s + duration_s,
+                               timeout_every=timeout_every)
+        resource.latency_window = window
+        return window
+
+    def outage_windows(self, resource_name=None):
+        """Injected outage windows, for asserting breaker event timing."""
+        return [r for r in self.outages
+                if resource_name is None or r.resource == resource_name]
+
+    # ------------------------------------------------------------------
+    # Transfer and submission faults
+    # ------------------------------------------------------------------
     def abort_transfers(self, resource_name, n=1):
         """Make the next *n* GridFTP transfers abort mid-stream."""
         self.fabric.gridftp(resource_name).inject_transfer_faults(n)
 
+    def truncate_transfers(self, resource_name, n=1):
+        """Make the next *n* GridFTP transfers deliver partial data."""
+        self.fabric.gridftp(resource_name).inject_partial_transfers(n)
+
+    def reject_submissions(self, resource_name, n=1):
+        """Make the gatekeeper refuse the next *n* GRAM submissions."""
+        self.fabric.gram(resource_name).inject_submit_rejections(n)
+
+    # ------------------------------------------------------------------
+    # Credential faults (the toolkit must self-heal: ensure_proxy
+    # detects the bad proxy and re-issues)
+    # ------------------------------------------------------------------
+    def expire_proxy(self, clients):
+        """Force the daemon's current proxy to expire mid-run."""
+        proxy = clients.current_proxy
+        if proxy is None:
+            return None
+        elapsed = max(0.0, self.clock.now - proxy.issued_at)
+        draft = dataclasses.replace(proxy, lifetime_s=elapsed,
+                                    signature="")
+        signature = self.fabric.proxy_factory.credential.sign(
+            draft.payload())
+        expired = dataclasses.replace(draft, signature=signature)
+        clients.current_proxy = expired
+        return expired
+
+    def tamper_proxy(self, clients):
+        """Break the signature chain of the daemon's current proxy."""
+        proxy = clients.current_proxy
+        if proxy is None:
+            return None
+        tampered = dataclasses.replace(proxy, signature="tampered")
+        clients.current_proxy = tampered
+        return tampered
+
+    # ------------------------------------------------------------------
+    # Model failures
+    # ------------------------------------------------------------------
     def corrupt_file(self, resource_name, remote_path,
                      garbage=b"NaN NaN garbage !!\n"):
         """Overwrite a staged file so output parsing fails (model

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 from ..hpc import scheduler as sched
 from .certificates import CertificateInvalid
 from .errors import (CredentialError, PermanentGridError,
-                     ServiceUnreachable)
+                     ServiceUnreachable, SubmitRejected)
+from .faults import check_latency
 
 # GRAM job states.
 UNSUBMITTED = "UNSUBMITTED"
@@ -85,6 +86,11 @@ class GramService:
         self.clock = clock
         self.audit = audit
         self.jobs = {}
+        #: Fault injection: refuse the next N submissions.
+        self._submit_rejections = 0
+
+    def inject_submit_rejections(self, n):
+        self._submit_rejections += int(n)
 
     # ------------------------------------------------------------------
     def _check_access(self, proxy, operation):
@@ -94,6 +100,7 @@ class GramService:
                               detail="unreachable", success=False)
             raise ServiceUnreachable(
                 f"{self.resource.name}: gatekeeper did not respond")
+        check_latency(self.resource, self.clock.now)
         try:
             self.proxy_factory.verify(proxy)
         except CertificateInvalid as exc:
@@ -106,6 +113,15 @@ class GramService:
     def submit(self, proxy, rsl_spec, *, service="batch"):
         """Submit a job; returns the GRAM job id."""
         self._check_access(proxy, "gram-submit")
+        if self._submit_rejections > 0:
+            self._submit_rejections -= 1
+            self.audit.record(self.clock, "gram-submit",
+                              self.resource.name,
+                              proxy.saml.gateway_user,
+                              detail="rejected", success=False)
+            raise SubmitRejected(
+                f"{self.resource.name}: gatekeeper rejected the "
+                f"submission")
         gram_job = GramJob(id=next(_gram_ids), service=service,
                            rsl=dict(rsl_spec),
                            gateway_user=proxy.saml.gateway_user)

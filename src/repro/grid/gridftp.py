@@ -11,7 +11,9 @@ from __future__ import annotations
 import hashlib
 
 from .certificates import CertificateInvalid
-from .errors import CredentialError, ServiceUnreachable, TransferFault
+from .errors import (CredentialError, ServiceUnreachable, TransferFault,
+                     TruncatedTransfer)
+from .faults import check_latency
 
 
 class GridFTPService:
@@ -20,12 +22,17 @@ class GridFTPService:
         self.proxy_factory = proxy_factory
         self.clock = clock
         self.audit = audit
-        #: Fault injection: abort the next N transfers.
+        #: Fault injection: abort the next N transfers / truncate the
+        #: next N transfers (checksum verification catches the latter).
         self._faults_pending = 0
+        self._truncations_pending = 0
         self.transfer_count = 0
 
     def inject_transfer_faults(self, n):
         self._faults_pending += int(n)
+
+    def inject_partial_transfers(self, n):
+        self._truncations_pending += int(n)
 
     # ------------------------------------------------------------------
     def _check_access(self, proxy, operation, detail=""):
@@ -35,6 +42,7 @@ class GridFTPService:
                               detail="unreachable", success=False)
             raise ServiceUnreachable(
                 f"{self.resource.name}: GridFTP endpoint did not respond")
+        check_latency(self.resource, self.clock.now)
         try:
             self.proxy_factory.verify(proxy)
         except CertificateInvalid as exc:
@@ -47,6 +55,21 @@ class GridFTPService:
             raise TransferFault(
                 f"{self.resource.name}: transfer aborted mid-stream")
 
+    def _check_complete(self, proxy, operation, remote_path, data):
+        """Partial-transfer injection: the byte stream ends early and
+        the post-transfer size/checksum comparison fails."""
+        if self._truncations_pending > 0:
+            self._truncations_pending -= 1
+            delivered = len(data) // 2
+            self.audit.record(self.clock, operation, self.resource.name,
+                              proxy.saml.gateway_user,
+                              detail=(f"{remote_path} truncated after "
+                                      f"{delivered} bytes"),
+                              success=False)
+            raise TruncatedTransfer(
+                f"{self.resource.name}: transfer truncated after "
+                f"{delivered} of {len(data)} bytes")
+
     # ------------------------------------------------------------------
     def put(self, proxy, remote_path, data):
         """Upload bytes/str to the resource filesystem."""
@@ -55,6 +78,7 @@ class GridFTPService:
         self._check_access(proxy, "gridftp-put", remote_path)
         if isinstance(data, str):
             data = data.encode("utf-8")
+        self._check_complete(proxy, "gridftp-put", remote_path, data)
         try:
             self.resource.filesystem.write(remote_path, data)
         except FilesystemError as exc:
@@ -75,6 +99,7 @@ class GridFTPService:
             data = self.resource.filesystem.read(remote_path)
         except FilesystemError as exc:
             raise PermanentGridError(str(exc))
+        self._check_complete(proxy, "gridftp-get", remote_path, data)
         self.transfer_count += 1
         self.audit.record(self.clock, "gridftp-get", self.resource.name,
                           proxy.saml.gateway_user,

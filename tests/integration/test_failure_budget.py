@@ -1,0 +1,253 @@
+"""The failure-budget acceptance path, end to end and deterministic.
+
+The tentpole guarantee: a **permanent outage** must not spin the daemon
+forever.  Every affected simulation burns its retry budget (exponential
+backoff between attempts), escalates to a *resource* HOLD with a
+user-readable reason, and the per-resource circuit breaker opens so the
+daemon stops hammering the dead machine.  When the resource returns,
+the telemetry probe (half-open) closes the breaker and the daemon
+resumes the held simulations automatically — each with a fresh budget —
+all the way to DONE.  No administrator in the loop at any point.
+
+Also here: the backoff-determinism regression (same schedule + seed →
+identical retry timestamps) and the resume-grants-fresh-budget fix.
+"""
+
+import pytest
+
+from repro.core import (AMPDeployment, HOLD_RESOURCE, SIM_DONE,
+                        Simulation, Star)
+from repro.core.models import SIM_HOLD
+from repro.core.notifications import GRID_JARGON
+from repro.grid import FaultInjector
+from repro.grid.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.hpc import HOUR
+
+pytestmark = pytest.mark.faults
+
+
+def make_deployment():
+    return AMPDeployment(seed_catalog=False)
+
+
+def close_deployment(deployment):
+    from repro.core.models import ALL_MODELS
+    from repro.webstack.orm import bind
+    bind(ALL_MODELS, None)
+    deployment.close()
+
+
+def submit_direct_sims(deployment, user, count, machine="kraken"):
+    star = Star(name="Budget Star", hd_number=186427)
+    star.save(db=deployment.databases.admin)
+    simulations = []
+    for index in range(count):
+        simulation = Simulation(
+            star_id=star.pk, owner_id=user.pk, kind="direct",
+            machine_name=machine,
+            parameters={"mass": 1.0 + 0.01 * index, "z": 0.018,
+                        "y": 0.27, "alpha": 2.1, "age": 4.6})
+        simulation.save(db=deployment.databases.portal)
+        simulations.append(simulation)
+    return simulations
+
+
+def poll(deployment, polls, interval_s=1800.0):
+    for _ in range(polls):
+        deployment.clock.advance(interval_s)
+        deployment.daemon.poll_once()
+
+
+class TestPermanentOutageEscalatesAndRecovers:
+    """The deterministic acceptance scenario from the issue."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        deployment = make_deployment()
+        user = deployment.create_astronomer("budget")
+        simulations = submit_direct_sims(deployment, user, 2)
+        injector = FaultInjector(deployment.fabric, deployment.clock)
+        outage = injector.permanent_outage("kraken")
+
+        # Phase 1 — the outage holds: drive enough polls for every
+        # simulation to exhaust its 6-attempt budget (backoff sums to
+        # roughly 10000s of virtual time, plus poll quantisation).
+        poll(deployment, 16)
+        held = [Simulation.objects.using(deployment.databases.admin)
+                .get(pk=s.pk) for s in simulations]
+
+        # Phase 2 — the machine comes back; the daemon recovers alone.
+        outage.restore()
+        deployment.run_daemon_until_idle(poll_interval_s=1800.0,
+                                         max_polls=400)
+        done = [Simulation.objects.using(deployment.databases.admin)
+                .get(pk=s.pk) for s in simulations]
+        yield deployment, user, held, done
+        close_deployment(deployment)
+
+    # -- phase 1: escalation -------------------------------------------
+    def test_every_affected_simulation_holds(self, scenario):
+        _, _, held, _ = scenario
+        assert [s.state for s in held] == [SIM_HOLD, SIM_HOLD]
+        assert all(s.hold_category == HOLD_RESOURCE for s in held)
+
+    def test_hold_reason_is_user_readable(self, scenario):
+        _, _, held, _ = scenario
+        for simulation in held:
+            reason = simulation.hold_reason.lower()
+            assert "unavailable" in reason
+            assert all(word not in reason for word in GRID_JARGON)
+
+    def test_budget_respected_per_operation(self, scenario):
+        deployment, _, held, _ = scenario
+        policy = deployment.daemon.retry.policy
+        for simulation in held:
+            events = deployment.daemon.retry.events_for(simulation.pk)
+            assert events, "no backoff events recorded"
+            by_op = {}
+            for event in events:
+                by_op.setdefault(event.operation, []).append(event)
+            for op_events in by_op.values():
+                attempts = [e.attempt for e in op_events]
+                assert attempts == sorted(attempts)
+                assert max(attempts) < policy.max_attempts
+
+    def test_backoff_grew_between_attempts(self, scenario):
+        deployment, _, held, _ = scenario
+        events = deployment.daemon.retry.events_for(held[0].pk)
+        delays = [e.not_before - e.failed_at for e in events
+                  if e.operation == "submit"]
+        assert delays == sorted(delays)
+        assert len(delays) >= 2 and delays[-1] > delays[0]
+
+    def test_breaker_opened_and_suppressed_traffic(self, scenario):
+        deployment, _, _, _ = scenario
+        events = deployment.breakers.events_for("kraken")
+        assert (events[0].from_state, events[0].to_state) \
+            == (CLOSED, OPEN)
+        assert deployment.clients.suppressed_count > 0
+
+    # -- phase 2: recovery ---------------------------------------------
+    def test_half_open_probe_closed_the_breaker(self, scenario):
+        deployment, _, _, _ = scenario
+        assert deployment.breakers.state_of("kraken") == CLOSED
+        transitions = [(e.from_state, e.to_state) for e in
+                       deployment.breakers.events_for("kraken")]
+        assert (OPEN, HALF_OPEN) in transitions
+        assert (HALF_OPEN, CLOSED) in transitions
+
+    def test_every_simulation_resumed_to_done(self, scenario):
+        _, _, _, done = scenario
+        assert [s.state for s in done] == [SIM_DONE, SIM_DONE]
+        for simulation in done:
+            assert simulation.results and "scalars" in simulation.results
+            assert simulation.hold_category == ""
+            assert simulation.retry_counts is None
+            assert simulation.retry_not_before == 0.0
+
+    def test_telemetry_published_breaker_state(self, scenario):
+        deployment, _, _, _ = scenario
+        from repro.core.models import MachineRecord
+        record = MachineRecord.objects.using(
+            deployment.databases.admin).get(name="kraken")
+        assert record.breaker_state == "closed"
+        assert record.is_available
+
+    def test_user_saw_pause_then_completion_without_jargon(self,
+                                                           scenario):
+        deployment, user, _, _ = scenario
+        mail = deployment.mailer.to_user(user.email)
+        paused = [m for m in mail if "paused" in m.subject]
+        complete = [m for m in mail if "complete" in m.subject]
+        assert len(paused) == 2 and len(complete) == 2
+        assert len(mail) == 4
+
+    def test_admins_heard_about_budget_and_breaker(self, scenario):
+        deployment, _, _, _ = scenario
+        subjects = [m.subject for m in deployment.mailer.to_admin()]
+        assert any("budget" in s.lower() for s in subjects)
+        assert any("breaker" in s.lower() or "circuit" in s.lower()
+                   for s in subjects)
+
+
+class TestBackoffDeterminism:
+    """Satellite: same fault schedule + seed → identical retry
+    timestamps, because jitter is hash-derived and every timestamp is
+    sim-clock virtual time."""
+
+    def run_schedule(self):
+        deployment = make_deployment()
+        try:
+            user = deployment.create_astronomer("replay")
+            submit_direct_sims(deployment, user, 3)
+            injector = FaultInjector(deployment.fabric,
+                                     deployment.clock)
+            injector.outage("kraken", start_in_s=0.5 * HOUR,
+                            duration_s=3 * HOUR)
+            injector.flapping("kraken", start_in_s=6 * HOUR,
+                              period_s=2 * HOUR, down_s=0.75 * HOUR,
+                              cycles=2)
+            injector.truncate_transfers("kraken", 2)
+            injector.reject_submissions("kraken", 1)
+            deployment.run_daemon_until_idle(poll_interval_s=1800.0,
+                                             max_polls=400)
+            events = [(e.simulation_id, e.operation, e.attempt,
+                       e.failed_at, e.not_before)
+                      for e in deployment.daemon.retry.events]
+            states = sorted(
+                (s.pk, s.state) for s in
+                Simulation.objects.using(deployment.databases.admin))
+            return events, states
+        finally:
+            close_deployment(deployment)
+
+    def test_identical_retry_timelines(self):
+        first_events, first_states = self.run_schedule()
+        second_events, second_states = self.run_schedule()
+        assert first_events, "schedule produced no retries"
+        assert first_events == second_events
+        assert first_states == second_states
+        assert all(state == SIM_DONE for _, state in first_states)
+
+
+class TestResumeGrantsFreshBudget:
+    """Satellite: the ``WorkflowManager.resume()`` fix — a resumed
+    simulation must not inherit the spent budget that held it."""
+
+    def test_resume_clears_retry_bookkeeping(self):
+        deployment = make_deployment()
+        try:
+            user = deployment.create_astronomer("fresh")
+            (simulation,) = submit_direct_sims(deployment, user, 1)
+            workflow = deployment.daemon.workflows["direct"]
+            simulation.retry_counts = {"submit": 5}
+            simulation.retry_not_before = deployment.clock.now + 9999.0
+            workflow.hold(simulation, "The computing facility has been "
+                          "unavailable for an extended period.",
+                          category=HOLD_RESOURCE)
+            assert simulation.state == SIM_HOLD
+            workflow.resume(simulation)
+            assert simulation.state == "QUEUED"
+            assert simulation.retry_counts is None
+            assert simulation.retry_not_before == 0.0
+            assert simulation.hold_category == ""
+            assert workflow.retry_due(simulation)
+            # And the fresh budget is genuinely usable: the simulation
+            # completes once the daemon picks it back up.
+            deployment.run_daemon_until_idle(poll_interval_s=1800.0,
+                                             max_polls=200)
+            simulation.refresh_from_db()
+            assert simulation.state == SIM_DONE
+        finally:
+            close_deployment(deployment)
+
+    def test_resume_refuses_non_held_simulation(self):
+        deployment = make_deployment()
+        try:
+            user = deployment.create_astronomer("strict")
+            (simulation,) = submit_direct_sims(deployment, user, 1)
+            workflow = deployment.daemon.workflows["direct"]
+            with pytest.raises(ValueError):
+                workflow.resume(simulation)
+        finally:
+            close_deployment(deployment)

@@ -1,8 +1,11 @@
 """Property-based fault schedules: the gateway never wedges.
 
 For any schedule of transient outages and transfer aborts, a direct
-simulation must end DONE (transients are retryable by definition) and
-the user must receive exactly the completion notification.
+simulation must end DONE: short outages are absorbed silently by the
+retry budget, and a long enough outage escalates to a resource HOLD
+that the daemon resumes automatically once the machine recovers — so
+the user sees the completion notification (plus at most "paused"
+notices), never a dead simulation.
 """
 
 import numpy as np
@@ -11,8 +14,11 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import AMPDeployment, SIM_DONE, Simulation
+from repro.core.models import SIM_ACTIVE_STATES, SIM_HOLD
 from repro.grid import FaultInjector
 from repro.hpc import HOUR
+
+pytestmark = pytest.mark.faults
 
 outage_schedule = st.lists(
     st.tuples(st.floats(min_value=0.0, max_value=12.0),   # start (h)
@@ -47,7 +53,87 @@ def test_direct_run_always_completes_under_transients(outages, aborts):
         simulation.refresh_from_db()
         assert simulation.state == SIM_DONE
         mail = deployment.mailer.to_user(user.email)
-        assert len(mail) == 1 and "complete" in mail[0].subject
+        # Exactly one completion notice; a budget-exhausting outage may
+        # additionally have produced "paused" notices — nothing else.
+        complete = [m for m in mail if "complete" in m.subject]
+        assert len(complete) == 1
+        assert all("complete" in m.subject or "paused" in m.subject
+                   for m in mail)
+    finally:
+        from repro.webstack.orm import bind
+        from repro.core.models import ALL_MODELS
+        bind(ALL_MODELS, None)
+        deployment.close()
+
+
+#: One entry per composable fault shape the harness supports; drawn
+#: together they form an arbitrary schedule.
+composed_faults = st.fixed_dictionaries({
+    "flap_cycles": st.integers(min_value=0, max_value=3),
+    "flap_down_h": st.floats(min_value=0.25, max_value=1.5),
+    "truncations": st.integers(min_value=0, max_value=2),
+    "rejections": st.integers(min_value=0, max_value=2),
+    "aborts": st.integers(min_value=0, max_value=2),
+    "latency": st.booleans(),
+    "proxy_fault": st.sampled_from(["none", "expire", "tamper"]),
+})
+
+
+@given(faults=composed_faults)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_never_wedged_under_composed_fault_schedules(faults):
+    """Satellite property: under ANY composition of the harness's fault
+    shapes — flapping outages, truncated transfers, submit rejections,
+    latency spikes, transfer aborts, credential faults — every
+    simulation ends DONE or HOLD.  Never stuck in an active state, and
+    the daemon itself always reaches quiescence.
+    """
+    deployment = AMPDeployment(seed_catalog=False)
+    try:
+        user = deployment.create_astronomer("compose")
+        from repro.core import Star
+        star = Star(name="Compose Star", hd_number=2)
+        star.save(db=deployment.databases.admin)
+        simulations = []
+        for index in range(2):
+            simulation = Simulation(
+                star_id=star.pk, owner_id=user.pk, kind="direct",
+                machine_name="kraken",
+                parameters={"mass": 1.0 + 0.02 * index, "z": 0.018,
+                            "y": 0.27, "alpha": 2.1, "age": 4.6})
+            simulation.save(db=deployment.databases.portal)
+            simulations.append(simulation)
+
+        injector = FaultInjector(deployment.fabric, deployment.clock)
+        if faults["flap_cycles"]:
+            injector.flapping("kraken", start_in_s=1 * HOUR,
+                              period_s=4 * HOUR,
+                              down_s=faults["flap_down_h"] * HOUR,
+                              cycles=faults["flap_cycles"])
+        injector.truncate_transfers("kraken", faults["truncations"])
+        injector.reject_submissions("kraken", faults["rejections"])
+        injector.abort_transfers("kraken", faults["aborts"])
+        if faults["latency"]:
+            injector.latency_spike("kraken", start_in_s=2 * HOUR,
+                                   duration_s=3 * HOUR,
+                                   timeout_every=2)
+        if faults["proxy_fault"] == "expire":
+            injector.expire_proxy(deployment.clients)
+        elif faults["proxy_fault"] == "tamper":
+            injector.tamper_proxy(deployment.clients)
+
+        polls = deployment.run_daemon_until_idle(poll_interval_s=1800,
+                                                 max_polls=600)
+        assert polls < 600, "daemon never reached quiescence"
+        for simulation in simulations:
+            simulation.refresh_from_db()
+            assert simulation.state in (SIM_DONE, SIM_HOLD), \
+                simulation.state
+            assert simulation.state not in SIM_ACTIVE_STATES
+        # These fault shapes are all finite/transient, so with budgets,
+        # breaker recovery, and auto-resume the end state is DONE.
+        assert all(s.state == SIM_DONE for s in simulations)
     finally:
         from repro.webstack.orm import bind
         from repro.core.models import ALL_MODELS

@@ -1,0 +1,145 @@
+"""Robustness soak: 200 simulations through a flapping resource.
+
+Half the fleet targets a machine whose grid weather is terrible — it
+cycles down and up three times — while the other half runs undisturbed.
+The claims pinned here:
+
+- the daemon's poll stays a *bounded* number of database round trips
+  with 200 simulations in flight (``count_queries``),
+- the circuit breaker's open/close event log lines up with the injected
+  outage windows: it only ever opens during an outage and only ever
+  closes (probe success) once the window has passed,
+- every simulation still reaches DONE without an administrator.
+"""
+
+import pytest
+
+from repro.core import SIM_DONE, AMPDeployment, Simulation, Star
+from repro.grid import FaultInjector
+from repro.grid.breaker import CLOSED, OPEN
+from repro.hpc import HOUR
+
+pytestmark = pytest.mark.faults
+
+SIM_COUNT = 200
+#: Three outages spread across the fleet's active hours.  The window
+#: length is deliberately not a multiple of the 1800 s poll interval,
+#: so breaker probes never land exactly on a window boundary (the
+#: overlap tests below stay unambiguous), while each window still
+#: contains the three failing polls the breaker threshold needs.
+FLAP = dict(start_in_s=2 * HOUR, period_s=3 * HOUR,
+            down_s=1.3 * HOUR, cycles=3)
+
+
+@pytest.fixture(scope="module")
+def flapped():
+    deployment = AMPDeployment(seed_catalog=False)
+    users = [deployment.create_astronomer(f"soak{i}") for i in range(5)]
+    star = Star(name="Flap Star", hd_number=3)
+    star.save(db=deployment.databases.admin)
+    simulations = []
+    for index in range(SIM_COUNT):
+        machine = "frost" if index % 2 else "kraken"
+        simulation = Simulation(
+            star_id=star.pk, owner_id=users[index % len(users)].pk,
+            kind="direct", machine_name=machine,
+            parameters={"mass": 0.8 + 0.002 * index, "z": 0.02,
+                        "y": 0.27, "alpha": 2.0,
+                        "age": 1.0 + 0.02 * index})
+        simulation.save(db=deployment.databases.portal)
+        simulations.append(simulation)
+
+    injector = FaultInjector(deployment.fabric, deployment.clock)
+    injector.flapping("frost", **FLAP)
+
+    # Steady-state round-trip budget, measured before any fault fires:
+    # warm-up polls absorb the submission writes, then one quiescent
+    # poll (no clock advance, so nothing transitions) must cost the
+    # same bounded count the 50-simulation budget test pins.
+    for _ in range(3):
+        deployment.daemon.poll_once()
+    db = deployment.databases.daemon
+    with db.count_queries() as counter:
+        deployment.daemon.poll_once()
+    steady_state_queries = counter.count
+
+    polls = deployment.run_daemon_until_idle(poll_interval_s=1800,
+                                             max_polls=3000)
+    for simulation in simulations:
+        simulation.refresh_from_db()
+    yield deployment, simulations, injector, steady_state_queries, polls
+    from repro.core.models import ALL_MODELS
+    from repro.webstack.orm import bind
+    bind(ALL_MODELS, None)
+    deployment.close()
+
+
+class TestFlappingSoak:
+    def test_poll_queries_bounded_at_200_simulations(self, flapped):
+        _, _, _, steady_state_queries, _ = flapped
+        assert steady_state_queries <= 10, steady_state_queries
+
+    def test_daemon_reached_quiescence(self, flapped):
+        _, _, _, _, polls = flapped
+        assert polls < 3000
+
+    def test_all_200_simulations_done(self, flapped):
+        _, simulations, _, _, _ = flapped
+        states = {}
+        for simulation in simulations:
+            states.setdefault(simulation.state, 0)
+            states[simulation.state] += 1
+        assert states == {SIM_DONE: SIM_COUNT}, states
+
+    def test_breaker_cycled_with_the_weather(self, flapped):
+        deployment, _, _, _, _ = flapped
+        events = deployment.breakers.events_for("frost")
+        opened = [e for e in events if e.to_state == OPEN]
+        closed = [e for e in events if e.to_state == CLOSED]
+        assert opened and closed
+        assert deployment.clients.suppressed_count > 0
+
+    def test_open_events_fall_inside_outage_windows(self, flapped):
+        deployment, _, injector, _, _ = flapped
+        windows = injector.outage_windows("frost")
+        assert len(windows) == FLAP["cycles"]
+        for event in deployment.breakers.events_for("frost"):
+            if event.to_state == OPEN:
+                assert any(w.overlaps(event.time) for w in windows), \
+                    (event, windows)
+
+    def test_close_events_fall_outside_outage_windows(self, flapped):
+        deployment, _, injector, _, _ = flapped
+        windows = injector.outage_windows("frost")
+        closes = [e for e in deployment.breakers.events_for("frost")
+                  if e.to_state == CLOSED]
+        for event in closes:
+            assert not any(w.overlaps(event.time) for w in windows), \
+                (event, windows)
+
+    def test_breakers_all_closed_at_the_end(self, flapped):
+        deployment, _, _, _, _ = flapped
+        assert deployment.breakers.open_resources() == []
+        assert deployment.breakers.state_of("frost") == CLOSED
+
+    def test_healthy_machine_never_tripped(self, flapped):
+        deployment, _, _, _, _ = flapped
+        assert deployment.breakers.events_for("kraken") == []
+
+    def test_admins_saw_each_transition_once(self, flapped):
+        deployment, _, _, _, _ = flapped
+        transitions = len(deployment.breakers.all_events())
+        breaker_mail = [m for m in deployment.mailer.to_admin()
+                        if "circuit" in m.subject.lower()]
+        assert len(breaker_mail) == transitions
+
+    def test_users_heard_nothing_but_progress(self, flapped):
+        deployment, simulations, _, _, _ = flapped
+        emails = {s.owner_id for s in simulations}
+        assert emails
+        for index in range(5):
+            mail = deployment.mailer.to_user(f"soak{index}@ucar.edu")
+            assert len([m for m in mail if "complete" in m.subject]) \
+                == SIM_COUNT // 5
+            assert all("complete" in m.subject or "paused" in m.subject
+                       for m in mail)
