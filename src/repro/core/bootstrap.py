@@ -23,6 +23,7 @@ from ..grid.clients import GridClients
 from ..grid.fabric import build_fabric
 from ..hpc.machines import TABLE1_MACHINES, DISPLAY_NAMES
 from ..hpc.simclock import SimClock
+from ..obs import Observability
 from ..webstack.auth import create_superuser, create_user
 from ..webstack.orm import DeploymentDatabases, bind, create_all
 from .catalog import SimbadService, StarCatalog
@@ -38,15 +39,23 @@ DEFAULT_PROJECT = "TG-AST090056"
 
 class AMPDeployment:
     def __init__(self, *, machines=None, su_grant=5_000_000.0,
-                 seed_catalog=True):
+                 seed_catalog=True, observability=True):
         self.machines = list(machines or TABLE1_MACHINES)
         self.machine_specs = {m.name: m for m in self.machines}
         self.clock = SimClock()
+
+        # One observability facade for every layer: metrics registry,
+        # tracer, and structured event log, all on the shared sim clock.
+        # ``observability=False`` swaps in the no-op variant (the
+        # overhead bench's uninstrumented baseline); event subscribers
+        # (breaker-transition notifications) run either way.
+        self.obs = Observability(self.clock, enabled=observability)
 
         # Shared database, role-scoped connections.
         self.databases = DeploymentDatabases(build_role_registry())
         create_all(ALL_MODELS, self.databases.admin)
         bind(ALL_MODELS, self.databases.admin)
+        self._observe_databases()
 
         # Grid fabric + AMP runtime on every resource.
         self.fabric = build_fabric(self.machines, self.clock)
@@ -56,14 +65,15 @@ class AMPDeployment:
         # The daemon host: clients + credential live here only.  The
         # breaker registry rides with the clients so every command the
         # daemon shells out is health-checked per resource.
-        self.breakers = BreakerRegistry(self.clock)
+        self.breakers = BreakerRegistry(self.clock, obs=self.obs)
         self.clients = GridClients(self.fabric, gateway_name="AMP",
-                                   breakers=self.breakers)
+                                   breakers=self.breakers, obs=self.obs)
         self.mailer = Mailer(self.clock)
         self.daemon = GridAMPDaemon(self.databases.daemon, self.clients,
                                     self.clock, self.mailer,
-                                    self.machine_specs)
-        self.monitor = ExternalMonitor(self.daemon, self.mailer)
+                                    self.machine_specs, obs=self.obs)
+        self.monitor = ExternalMonitor(self.daemon, self.mailer,
+                                       clock=self.clock, obs=self.obs)
 
         # Catalog (portal-side service, portal role).
         self.simbad = SimbadService()
@@ -75,6 +85,26 @@ class AMPDeployment:
         self._register_machines(su_grant)
 
         self.portal_app = None   # built lazily by build_portal()
+
+    # ------------------------------------------------------------------
+    def _observe_databases(self):
+        """Per-role query counters: the three "servers" become visible.
+
+        Each role connection reports every executed statement into
+        ``db_queries_total{role,operation}`` — the portal's and daemon's
+        round-trip budgets, continuously measured rather than only
+        asserted in tests.
+        """
+        if not self.obs.enabled:
+            return
+        family = self.obs.metrics.counter(
+            "db_queries_total",
+            help="ORM statements by connection role and operation")
+        for role in ("admin", "portal", "daemon"):
+            db = getattr(self.databases, role)
+            db.on_execute = (
+                lambda operation, table, _role=role:
+                family.labels(role=_role, operation=operation).inc())
 
     # ------------------------------------------------------------------
     def _register_machines(self, su_grant):

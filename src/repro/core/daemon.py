@@ -28,8 +28,11 @@ watches the heartbeat the poll loop stamps.
 
 from __future__ import annotations
 
-from ..grid.breaker import CLOSED
+from ..grid.breaker import CLOSED, BreakerEvent
 from ..grid.retry import RetryPolicy, RetryTracker
+from ..hpc.simclock import sim_datetime
+from ..obs import Observability
+from ..obs.registry import QUERY_COUNT_BUCKETS
 from .models import (GRAM_STATES, GridJobRecord, HOLD_RESOURCE,
                      KIND_DIRECT, KIND_OPTIMIZATION, SIM_ACTIVE_STATES,
                      SIM_HOLD, Simulation)
@@ -41,27 +44,46 @@ DEFAULT_POLL_INTERVAL_S = 300.0
 
 class GridAMPDaemon:
     def __init__(self, db, clients, clock, mailer, machine_specs,
-                 retry_policy=None):
+                 retry_policy=None, obs=None):
         self.db = db
         self.clients = clients
         self.clock = clock
         self.mailer = mailer
         self.policy = NotificationPolicy(mailer, db)
+        #: The observability facade every layer below shares.  Resolution
+        #: order: the one the deployment passed in, the one already
+        #: attached to the breaker registry, or a private instance — so a
+        #: bare daemon constructed in a test is still fully observable.
+        breakers = clients.breakers
+        if obs is None and breakers is not None \
+                and breakers.obs is not None:
+            obs = breakers.obs
+        self.obs = obs or Observability(clock)
+        if breakers is not None and breakers.obs is None:
+            breakers.attach_obs(self.obs)
+        if clients.obs is None:
+            clients.obs = self.obs
         #: One retry tracker (budget policy + backoff event log) shared
         #: by both workflow kinds, so operator tooling sees one timeline.
-        self.retry = RetryTracker(retry_policy or RetryPolicy(), clock)
+        self.retry = RetryTracker(retry_policy or RetryPolicy(), clock,
+                                  obs=self.obs)
         self.workflows = {
             KIND_DIRECT: DirectRunWorkflow(db, clients, self.policy,
                                            machine_specs,
-                                           retry=self.retry),
+                                           retry=self.retry,
+                                           obs=self.obs),
             KIND_OPTIMIZATION: OptimizationWorkflow(db, clients,
                                                     self.policy,
                                                     machine_specs,
-                                                    retry=self.retry),
+                                                    retry=self.retry,
+                                                    obs=self.obs),
         }
         self.heartbeat = clock.now
         self.poll_count = 0
-        self._breaker_events_reported = 0
+        # Breaker transitions reach the administrators through the event
+        # log — the breaker emits exactly once, notifications subscribe.
+        self.obs.events.subscribe("breaker.transition",
+                                  self._on_breaker_event)
 
     # ------------------------------------------------------------------
     def update_grid_jobs(self):
@@ -80,8 +102,16 @@ class GridAMPDaemon:
                 continue
             owner = record.simulation.owner
             self.clients.ensure_proxy(owner.username, owner.email)
-            result = self.clients.globus_job_status(record.resource,
-                                                    record.gram_job_id)
+            # The job poll runs inside a span carrying the simulation's
+            # correlation id, so the grid command it issues is traceable
+            # back to the portal submission that caused it.
+            with self.obs.tracer.span(
+                    "daemon.job_poll",
+                    trace_id=record.simulation.correlation_id,
+                    attrs={"job": record.pk,
+                           "resource": record.resource}):
+                result = self.clients.globus_job_status(
+                    record.resource, record.gram_job_id)
             if not result.ok:
                 # Transient poll failures are silent (retried next cycle);
                 # administrators can read the command log.
@@ -116,20 +146,37 @@ class GridAMPDaemon:
                   .select_related("owner", "observation")
                   .prefetch_related("grid_jobs")
                   .order_by("id"))
+        active_seen = 0
         for simulation in active:
+            active_seen += 1
             workflow = self.workflows[simulation.kind]
-            try:
-                if workflow.advance(simulation):
-                    transitions += 1
-            except Exception:  # noqa: BLE001 - daemon survival boundary
-                detail = traceback.format_exc()
+            # One span per advance, under the simulation's correlation
+            # id: the nested grid commands inherit the trace ambiently.
+            with self.obs.tracer.span(
+                    "sim.advance", trace_id=simulation.correlation_id,
+                    attrs={"simulation": simulation.pk,
+                           "state": simulation.state}) as span:
                 try:
-                    workflow.hold(simulation,
-                                  f"internal daemon error:\n{detail}")
-                except Exception:  # noqa: BLE001 - last resort
-                    self.mailer.notify_admin(
-                        f"Daemon error on simulation #{simulation.pk}",
-                        detail)
+                    if workflow.advance(simulation):
+                        transitions += 1
+                        span.set_attr("advanced_to", simulation.state)
+                except Exception:  # noqa: BLE001 - daemon survival boundary
+                    detail = traceback.format_exc()
+                    self.obs.events.emit(
+                        "daemon.error", simulation=simulation.pk,
+                        trace_id=simulation.correlation_id,
+                        error=detail.splitlines()[-1])
+                    try:
+                        workflow.hold(simulation,
+                                      f"internal daemon error:\n{detail}")
+                    except Exception:  # noqa: BLE001 - last resort
+                        self.mailer.notify_admin(
+                            f"Daemon error on simulation "
+                            f"#{simulation.pk}", detail)
+        self.obs.metrics.gauge(
+            "daemon_active_simulations",
+            help="Simulations in active workflow states").set(
+            active_seen)
         return transitions
 
     def update_machine_telemetry(self):
@@ -148,11 +195,13 @@ class GridAMPDaemon:
         once the cooldown elapses this per-poll sample is the natural
         half-open probe that closes the breaker after recovery.
         """
-        import datetime as _dt
         from .models import MachineRecord
         self.clients.ensure_proxy("amp-operations")
-        breakers = self.clients.breakers
-        now = _dt.datetime.now(_dt.timezone.utc)
+        # Telemetry rows are stamped from the *sim* clock (mapped onto
+        # the fixed epoch), never the host's wall clock: staleness logic
+        # and replayed fault schedules must agree on what "now" is.
+        now = sim_datetime(self.clock.now)
+        metrics = self.obs.metrics
         changed = []
         for record in MachineRecord.objects.using(self.db).all():
             result = self.clients.queue_status(record.name)
@@ -170,6 +219,14 @@ class GridAMPDaemon:
                     record.queue_depth = depth
                     record.utilisation = min(max(utilisation, 0.0), 1.0)
                     record.telemetry_updated = now
+                    metrics.gauge(
+                        "machine_queue_depth",
+                        help="Remote queue depth per facility").labels(
+                        machine=record.name).set(record.queue_depth)
+                    metrics.gauge(
+                        "machine_utilisation",
+                        help="Remote utilisation per facility").labels(
+                        machine=record.name).set(record.utilisation)
                     dirty = True
             if dirty:
                 changed.append(record)
@@ -179,8 +236,6 @@ class GridAMPDaemon:
                 ["queue_depth", "utilisation", "telemetry_updated",
                  "breaker_state", "breaker_failures",
                  "breaker_opened_at"])
-        if breakers is not None:
-            self._report_breaker_transitions(breakers)
 
     def _refresh_breaker_columns(self, record):
         """Sync one machine row with its breaker snapshot; True when the
@@ -197,12 +252,19 @@ class GridAMPDaemon:
         record.breaker_opened_at = opened_at
         return True
 
-    def _report_breaker_transitions(self, breakers):
-        """Mail administrators each breaker transition exactly once."""
-        events = breakers.all_events()
-        for event in events[self._breaker_events_reported:]:
-            self.policy.on_breaker_transition(event)
-        self._breaker_events_reported = len(events)
+    def _on_breaker_event(self, record):
+        """Event-log subscriber: one admin mail per breaker transition.
+
+        The breaker's ``_transition`` is the single emission point;
+        delivery happens here the moment the transition fires, so the
+        mail timeline matches the event log exactly (no poll-phase lag,
+        no double bookkeeping).
+        """
+        fields = record.fields
+        self.policy.on_breaker_transition(BreakerEvent(
+            time=record.time, resource=fields["resource"],
+            from_state=fields["from_state"],
+            to_state=fields["to_state"], reason=fields["reason"]))
 
     def recover_resource_holds(self):
         """Auto-resume simulations held for an exhausted retry budget
@@ -229,13 +291,45 @@ class GridAMPDaemon:
         return resumed
 
     def poll_once(self):
-        self.update_grid_jobs()
-        self.update_machine_telemetry()
-        self.recover_resource_holds()
-        transitions = self.advance_simulations()
+        """One poll cycle under a ``daemon.poll`` root span.
+
+        Each phase gets a child span annotated with the database round
+        trips it cost (the ORM's query counter read before/after), and
+        the whole poll feeds the ``daemon_poll_queries`` histogram — the
+        batch layer's bounded-budget claim, continuously measured.
+        """
+        tracer = self.obs.tracer
+        queries_before = self.db.queries_executed
+        with tracer.span("daemon.poll",
+                         attrs={"poll": self.poll_count}) as poll_span:
+            self._phase("update_grid_jobs", self.update_grid_jobs)
+            self._phase("update_machine_telemetry",
+                        self.update_machine_telemetry)
+            self._phase("recover_resource_holds",
+                        self.recover_resource_holds)
+            transitions = self._phase("advance_simulations",
+                                      self.advance_simulations)
+            poll_span.set_attr("transitions", transitions)
         self.heartbeat = self.clock.now
         self.poll_count += 1
+        metrics = self.obs.metrics
+        metrics.counter("daemon_polls_total",
+                        help="Completed daemon poll cycles").inc()
+        metrics.histogram(
+            "daemon_poll_queries",
+            help="Database round trips per poll cycle",
+            buckets=QUERY_COUNT_BUCKETS).observe(
+            self.db.queries_executed - queries_before)
         return transitions
+
+    def _phase(self, name, fn):
+        """Run one poll phase inside its span, annotating query cost."""
+        queries_before = self.db.queries_executed
+        with self.obs.tracer.span(f"daemon.{name}") as span:
+            result = fn()
+            span.set_attr("queries",
+                          self.db.queries_executed - queries_before)
+        return result
 
     # ------------------------------------------------------------------
     def active_count(self):
@@ -277,19 +371,38 @@ class ExternalMonitor:
 
     "failures of the GridAMP daemon itself are monitored externally and
     immediately brought to the attention of the gateway administrators."
+
+    The staleness reference is the *injected* clock — by default the
+    same sim clock the daemon stamps its heartbeat from, never any
+    wall-clock path — so monitoring behaves identically under replayed
+    fault schedules.  Every check also publishes the heartbeat age as a
+    gauge, and a stale heartbeat is a ``monitor.stale`` structured
+    event alongside the admin mail.
     """
 
-    def __init__(self, daemon, mailer, *, stale_after_s=1800.0):
+    def __init__(self, daemon, mailer, *, stale_after_s=1800.0,
+                 clock=None, obs=None):
         self.daemon = daemon
         self.mailer = mailer
         self.stale_after_s = stale_after_s
+        self.clock = clock if clock is not None else daemon.clock
+        self.obs = obs if obs is not None else daemon.obs
         self.alerts = []
+
+    def heartbeat_age(self):
+        """Virtual seconds since the daemon last completed a poll."""
+        return self.clock.now - self.daemon.heartbeat
 
     def check(self):
         """Alert when the daemon heartbeat is stale; returns health."""
-        age = self.daemon.clock.now - self.daemon.heartbeat
+        age = self.heartbeat_age()
         healthy = age <= self.stale_after_s
+        self.obs.metrics.gauge(
+            "daemon_heartbeat_age_seconds",
+            help="Monitor-observed age of the daemon heartbeat").set(age)
         if not healthy:
+            self.obs.events.emit("monitor.stale", age=age,
+                                 threshold=self.stale_after_s)
             message = self.mailer.notify_admin(
                 "GridAMP daemon heartbeat stale",
                 f"Last heartbeat {age:.0f}s ago "

@@ -272,6 +272,14 @@ class Simulation(orm.Model):
         return self.state in SIM_ACTIVE_STATES
 
     @property
+    def correlation_id(self):
+        """The simulation's trace id, threaded from portal submission
+        through every daemon span, state-transition event, and grid
+        command (see :mod:`repro.obs`)."""
+        from ..obs import correlation_id
+        return correlation_id(self.pk)
+
+    @property
     def remote_directory(self):
         return f"/scratch/amp/sim{self.pk}"
 

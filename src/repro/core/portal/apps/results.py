@@ -161,10 +161,26 @@ def build_routes(ctx):
             "star_count": Star.objects.using(request.db).count(),
             "allocations": allocations,
             "facilities": facilities,
+            "ops": ctx.obs.health_summary() if ctx.obs else None,
         })
+
+    def metrics_view(request):
+        """Prometheus text exposition of the whole gateway's metrics.
+
+        The portal only *reads* the registry — all instrumented layers
+        (daemon, grid clients, webstack) share the one deployment-wide
+        facade, so a single scrape covers the whole architecture.
+        """
+        from ....webstack import HttpResponse
+        if ctx.obs is None:
+            raise Http404("Observability not enabled")
+        return HttpResponse(
+            ctx.obs.metrics.render_prometheus(),
+            content_type="text/plain; version=0.0.4; charset=utf-8")
 
     return [
         path("statistics/", statistics, name="statistics"),
+        path("metrics", metrics_view, name="metrics"),
         path("simulations/<int:pk>/cancel/", cancel_simulation,
              name="sim-cancel"),
         path("simulations/", sim_list, name="sim-list"),

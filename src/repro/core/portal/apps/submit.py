@@ -103,6 +103,21 @@ def build_routes(ctx):
                 return True
         return False
 
+    def _record_submission(sim):
+        """The trace begins here: the portal stamps the submission with
+        the simulation's correlation id, which the daemon's spans and
+        events carry through every later state transition."""
+        if ctx.obs is None:
+            return
+        ctx.obs.metrics.counter(
+            "portal_submissions_total",
+            help="Simulations submitted through the portal").labels(
+                kind=sim.kind).inc()
+        ctx.obs.events.emit(
+            "portal.submission", simulation=sim.pk,
+            trace_id=sim.correlation_id, sim_kind=sim.kind,
+            machine=sim.machine_name)
+
     def _existing_equivalent(request, star, parameters):
         """§1: the gateway "disseminates model results to the community
         without repetition" — an identical completed direct run is
@@ -131,6 +146,7 @@ def build_routes(ctx):
                     kind=KIND_DIRECT, machine_name=machine,
                     parameters=form.cleaned_data)
                 sim.save(db=request.db)
+                _record_submission(sim)
                 return HttpResponseRedirect(f"/simulations/{sim.pk}/")
         else:
             form = DirectRunForm()
@@ -174,6 +190,7 @@ def build_routes(ctx):
                                 for _ in range(4)],
                         })
                     sim.save(db=request.db)
+                    _record_submission(sim)
                     return HttpResponseRedirect(
                         f"/simulations/{sim.pk}/")
         else:

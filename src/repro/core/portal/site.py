@@ -20,14 +20,16 @@ from .templates import TEMPLATES
 
 class PortalContext:
     """What the applications need from the deployment (no grid objects —
-    by construction, the portal cannot reach the grid)."""
+    by construction, the portal cannot reach the grid; the observability
+    facade is read/emit-only and carries no credentials)."""
 
     def __init__(self, catalog, machine_display_names,
-                 default_machine_name, question_bank=None):
+                 default_machine_name, question_bank=None, obs=None):
         self.catalog = catalog
         self.machine_display_names = dict(machine_display_names)
         self.default_machine_name = default_machine_name
         self.question_bank = question_bank or amp_question_bank()
+        self.obs = obs
 
     def machine_records(self, db):
         return list(MachineRecord.objects.using(db).order_by("name"))
@@ -52,7 +54,8 @@ def build_portal_app(deployment, *, debug=False):
         machine_display_names={
             name: record.display_name
             for name, record in deployment.machine_records.items()},
-        default_machine_name=_default_machine(deployment))
+        default_machine_name=_default_machine(deployment),
+        obs=getattr(deployment, "obs", None))
     urlpatterns = [path("", home_view, name="home")]
     urlpatterns += accounts.build_routes(ctx)
     urlpatterns += stars.build_routes(ctx)
@@ -60,11 +63,18 @@ def build_portal_app(deployment, *, debug=False):
     urlpatterns += submit.build_routes(ctx)
     urlpatterns += feeds.build_routes(ctx)
     engine = Engine(templates=dict(TEMPLATES))
-    from ...webstack.middleware import SSLRequiredMiddleware
+    from ...webstack.middleware import (ObservabilityMiddleware,
+                                        SSLRequiredMiddleware)
+    middleware = []
+    if ctx.obs is not None:
+        # First in the pipeline: request metrics see redirects and
+        # errors from the inner middleware/views too.
+        middleware.append(ObservabilityMiddleware(
+            ctx.obs, db=deployment.databases.portal))
+    middleware += [SSLRequiredMiddleware(),
+                   AuthMiddleware(deployment.databases.portal)]
     return WebApplication(
-        urlpatterns, engine=engine,
-        middleware=[SSLRequiredMiddleware(),
-                    AuthMiddleware(deployment.databases.portal)],
+        urlpatterns, engine=engine, middleware=middleware,
         db=deployment.databases.portal, debug=debug)
 
 

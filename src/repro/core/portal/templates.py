@@ -264,6 +264,21 @@ STATISTICS = """{% extends "base.html" %}
 <td>{{ a.su_granted|floatformat:0 }}</td></tr>
 {% endfor %}
 </table>
+{% if ops %}
+<h3>Gateway operations</h3>
+<table><tr><th>Indicator</th><th>Value</th></tr>
+<tr><td>Daemon polls</td><td>{{ ops.polls }}</td></tr>
+<tr><td>Grid commands issued</td><td>{{ ops.grid_commands }}</td></tr>
+<tr><td>Grid command failures</td><td>{{ ops.grid_failures }}</td></tr>
+<tr><td>Retries scheduled</td><td>{{ ops.retries }}</td></tr>
+<tr><td>Breaker transitions</td><td>{{ ops.breaker_transitions }}</td></tr>
+<tr><td>Workflow transitions</td><td>{{ ops.transitions }}</td></tr>
+<tr><td>Portal requests served</td><td>{{ ops.http_requests }}</td></tr>
+<tr><td>Events recorded</td><td>{{ ops.events }}</td></tr>
+<tr><td>Spans recorded</td><td>{{ ops.spans }}</td></tr>
+</table>
+<p>Full time-series exposition: <a href="/metrics">/metrics</a>.</p>
+{% endif %}
 {% endblock %}"""
 
 TEMPLATES = {

@@ -70,15 +70,25 @@ class WorkflowManager:
         A :class:`~repro.grid.retry.RetryTracker` (shared across the
         daemon's workflows so one policy and one event log cover every
         simulation).  Built privately when omitted.
+    obs:
+        An :class:`~repro.obs.Observability` facade; state transitions,
+        holds, and resumes are emitted as correlation-id-tagged
+        structured events and counted.  Built privately when omitted so
+        standalone workflow tests stay observable too.
     """
 
-    def __init__(self, db, clients, policy, machine_specs, retry=None):
+    def __init__(self, db, clients, policy, machine_specs, retry=None,
+                 obs=None):
         self.db = db
         self.clients = clients
         self.policy = policy
         self.machine_specs = machine_specs
         self.retry = retry or RetryTracker(RetryPolicy(),
                                            clients.fabric.clock)
+        if obs is None:
+            from ...obs import Observability
+            obs = Observability(clients.fabric.clock)
+        self.obs = obs
         self.workflow = {
             "QUEUED": ([self.check_queued_sim, self.submit_pre_job],
                        "PREJOB"),
@@ -124,6 +134,15 @@ class WorkflowManager:
         simulation.state = next_state
         simulation.status_message = ""
         simulation.save(db=self.db)
+        self.obs.events.emit(
+            "sim.transition", simulation=simulation.pk,
+            trace_id=simulation.correlation_id,
+            from_state=old_state, to_state=next_state,
+            machine=simulation.machine_name)
+        self.obs.metrics.counter(
+            "sim_transitions_total",
+            help="Workflow state transitions").labels(
+            to_state=next_state).inc()
         self.policy.on_transition(simulation, old_state, next_state)
         return True
 
@@ -143,6 +162,14 @@ class WorkflowManager:
         simulation.hold_reason = reason
         simulation.hold_category = category
         simulation.save(db=self.db)
+        self.obs.events.emit(
+            "sim.hold", simulation=simulation.pk,
+            trace_id=simulation.correlation_id,
+            from_state=simulation.state_before_hold, category=category,
+            reason=reason.splitlines()[0] if reason else "")
+        self.obs.metrics.counter(
+            "sim_holds_total", help="Simulations held by category"
+        ).labels(category=category).inc()
         self.policy.on_hold(simulation, reason, category=category)
 
     def resume(self, simulation):
@@ -166,6 +193,10 @@ class WorkflowManager:
         simulation.retry_counts = None
         simulation.retry_not_before = 0.0
         simulation.save(db=self.db)
+        self.obs.events.emit(
+            "sim.resume", simulation=simulation.pk,
+            trace_id=simulation.correlation_id,
+            to_state=simulation.state)
 
     # ------------------------------------------------------------------
     # Grid-call plumbing: transient vs permanent classification, retry

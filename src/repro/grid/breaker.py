@@ -55,10 +55,11 @@ class BreakerEvent:
 class CircuitBreaker:
     """Health tracking for one resource."""
 
-    def __init__(self, resource, clock, policy=None):
+    def __init__(self, resource, clock, policy=None, obs=None):
         self.resource = resource
         self.clock = clock
         self.policy = policy or BreakerPolicy()
+        self.obs = obs
         self.state = CLOSED
         self.consecutive_failures = 0
         self.opened_at = None
@@ -66,14 +67,31 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
     def _transition(self, to_state, reason):
-        self.events.append(BreakerEvent(self.clock.now, self.resource,
-                                        self.state, to_state, reason))
+        event = BreakerEvent(self.clock.now, self.resource,
+                             self.state, to_state, reason)
+        self.events.append(event)
         self.state = to_state
         if to_state == OPEN:
             self.opened_at = self.clock.now
         elif to_state == CLOSED:
             self.opened_at = None
             self.consecutive_failures = 0
+        if self.obs is not None:
+            # The single emission point for breaker transitions: admin
+            # notifications and the portal both ride on this event.
+            self.obs.metrics.counter(
+                "breaker_transitions_total",
+                help="Circuit-breaker state transitions").labels(
+                resource=self.resource, to_state=to_state).inc()
+            self.obs.metrics.gauge(
+                "breaker_open",
+                help="1 while the resource circuit is open or probing"
+            ).labels(resource=self.resource).set(
+                0.0 if to_state == CLOSED else 1.0)
+            self.obs.events.emit(
+                "breaker.transition", resource=self.resource,
+                from_state=event.from_state, to_state=to_state,
+                reason=reason)
 
     # ------------------------------------------------------------------
     def allow(self):
@@ -115,15 +133,23 @@ class CircuitBreaker:
 class BreakerRegistry:
     """Lazy per-resource breakers sharing one clock and policy."""
 
-    def __init__(self, clock, policy=None):
+    def __init__(self, clock, policy=None, obs=None):
         self.clock = clock
         self.policy = policy or BreakerPolicy()
+        self.obs = obs
         self._breakers = {}
+
+    def attach_obs(self, obs):
+        """Late-bind the observability facade (deployment wiring)."""
+        self.obs = obs
+        for breaker in self._breakers.values():
+            breaker.obs = obs
 
     def breaker(self, resource):
         breaker = self._breakers.get(resource)
         if breaker is None:
-            breaker = CircuitBreaker(resource, self.clock, self.policy)
+            breaker = CircuitBreaker(resource, self.clock, self.policy,
+                                     obs=self.obs)
             self._breakers[resource] = breaker
         return breaker
 

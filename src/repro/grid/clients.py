@@ -59,7 +59,8 @@ class GridClients:
         SAML gateway identity attached to every derived proxy.
     """
 
-    def __init__(self, fabric, gateway_name="AMP", breakers=None):
+    def __init__(self, fabric, gateway_name="AMP", breakers=None,
+                 obs=None):
         self.fabric = fabric
         self.gateway_name = gateway_name
         self.current_proxy = None
@@ -69,6 +70,11 @@ class GridClients:
         #: client-side (synthetic transient, zero grid traffic).
         self.breakers = breakers
         self.suppressed_count = 0
+        #: Optional :class:`~repro.obs.Observability`: every executed or
+        #: suppressed command is counted by program/outcome and logged as
+        #: a ``grid.command`` event carrying the ambient trace id, which
+        #: is how a simulation's correlation id reaches grid traffic.
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def _run(self, argv, fn, resource=None):
@@ -87,6 +93,7 @@ class GridClients:
                         f"circuit is open"))
             self.suppressed_count += 1
             self.command_log.append(result)
+            self._observe(result, resource, outcome="suppressed")
             return result
         try:
             stdout = fn()
@@ -101,7 +108,26 @@ class GridClients:
             elif result.transient:
                 self.breakers.record_failure(resource)
         self.command_log.append(result)
+        self._observe(result, resource)
         return result
+
+    def _observe(self, result, resource, outcome=None):
+        """Count and log one command against the observability layer."""
+        if self.obs is None:
+            return
+        if outcome is None:
+            outcome = "ok" if result.ok else (
+                "transient" if result.transient else "permanent")
+        program = str(result.argv[0]) if result.argv else "?"
+        self.obs.metrics.counter(
+            "grid_commands_total",
+            help="Grid client commands by program and outcome").labels(
+            program=program, outcome=outcome).inc()
+        self.obs.events.emit(
+            "grid.command", program=program, resource=resource or "",
+            outcome=outcome,
+            trace_id=self.obs.tracer.current_trace_id or "",
+            command=("" if result.ok else result.command_line))
 
     def rerun(self, result: CommandResult):
         """Re-execute a logged command verbatim (the copy-paste retry)."""

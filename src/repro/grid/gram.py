@@ -33,8 +33,6 @@ ACTIVE = "ACTIVE"
 DONE = "DONE"
 FAILED = "FAILED"
 
-_gram_ids = itertools.count(1)
-
 _BATCH_STATE_MAP = {
     sched.PENDING: PENDING,
     sched.RUNNING: ACTIVE,
@@ -86,6 +84,10 @@ class GramService:
         self.clock = clock
         self.audit = audit
         self.jobs = {}
+        # Per-service id sequence (job ids are only ever resolved
+        # against this service's table): a fresh fabric starts at 1, so
+        # replayed fault schedules log identical command lines.
+        self._gram_ids = itertools.count(1)
         #: Fault injection: refuse the next N submissions.
         self._submit_rejections = 0
 
@@ -122,7 +124,7 @@ class GramService:
             raise SubmitRejected(
                 f"{self.resource.name}: gatekeeper rejected the "
                 f"submission")
-        gram_job = GramJob(id=next(_gram_ids), service=service,
+        gram_job = GramJob(id=next(self._gram_ids), service=service,
                            rsl=dict(rsl_spec),
                            gateway_user=proxy.saml.gateway_user)
         self.jobs[gram_job.id] = gram_job

@@ -17,7 +17,8 @@ from .machines import (DISPLAY_NAMES, FROST, KRAKEN, LONESTAR, RANGER,
 from .scheduler import (CANCELLED, COMPLETED, FAILED, OK_STATES, PENDING,
                         RUNNING, TERMINAL_STATES, WALLTIME_EXCEEDED,
                         BatchJob, BatchScheduler)
-from .simclock import DAY, HOUR, MINUTE, Event, SimClock
+from .simclock import (DAY, HOUR, MINUTE, SIM_EPOCH, Event, SimClock,
+                       sim_datetime)
 from .workload import BackgroundWorkload, warm_up
 
 __all__ = [

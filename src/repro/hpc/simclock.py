@@ -124,3 +124,16 @@ class SimClock:
 MINUTE = 60.0
 HOUR = 3600.0
 DAY = 86400.0
+
+#: The wall-clock anchor of virtual t=0 (the paper's year).  Anything
+#: that must *store* a datetime derives it from the sim clock through
+#: :func:`sim_datetime`, never from the host's wall clock — replaying a
+#: fault schedule must reproduce timestamps byte-for-byte.
+import datetime as _dt  # noqa: E402  (kept with its sole consumer)
+
+SIM_EPOCH = _dt.datetime(2009, 1, 1, tzinfo=_dt.timezone.utc)
+
+
+def sim_datetime(virtual_seconds):
+    """Map virtual seconds since t=0 to an aware UTC datetime."""
+    return SIM_EPOCH + _dt.timedelta(seconds=float(virtual_seconds))

@@ -1,0 +1,108 @@
+"""The structured event log: JSON-lines records plus subscriptions.
+
+Replaces ad-hoc logging across the reproduction: anything operationally
+interesting — a workflow state transition, a breaker opening, a retry
+being scheduled, a portal submission — is one :class:`EventRecord` with
+a virtual timestamp, a monotone sequence number, a ``kind``, and flat
+JSON-serialisable fields.  ``to_jsonl()`` renders the whole log with
+sorted keys, so two deterministic runs produce byte-identical output.
+
+The log is also the gateway's internal bus: components *subscribe* to
+kinds instead of being called directly.  That is what deduplicates the
+breaker-notification path — the breaker emits its transition exactly
+once, here, and the admin-mail policy is just one subscriber.
+
+Subscriber delivery happens even when recording is disabled
+(``enabled=False``): turning off observability must not silently turn
+off notifications that ride on the bus.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+
+class EventRecord:
+    """One structured event."""
+
+    __slots__ = ("seq", "time", "kind", "fields")
+
+    def __init__(self, seq, time, kind, fields):
+        self.seq = seq
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def as_dict(self):
+        out = {"seq": self.seq, "time": self.time, "kind": self.kind}
+        out.update(self.fields)
+        return out
+
+    def to_json(self):
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          default=str, separators=(",", ":"))
+
+    def __repr__(self):  # pragma: no cover
+        return f"<Event #{self.seq} {self.kind} t={self.time:.1f}>"
+
+
+class EventLog:
+    """Append-only structured log with kind-keyed subscriptions."""
+
+    def __init__(self, clock, enabled=True):
+        self.clock = clock
+        self.enabled = enabled
+        self.records = []
+        self._seq = itertools.count(1)
+        self._subscribers = {}
+        self._all_subscribers = []
+
+    # ------------------------------------------------------------------
+    def emit(self, kind, /, **fields):
+        """Record (when enabled) and deliver one event.
+
+        Reserved keys (``seq``/``time``/``kind``) may not appear in
+        *fields*; everything else must be JSON-serialisable (non-native
+        values fall back to ``str``).
+        """
+        for reserved in ("seq", "time", "kind"):
+            if reserved in fields:
+                raise ValueError(f"Reserved event field {reserved!r}")
+        record = EventRecord(next(self._seq), self.clock.now, kind,
+                             fields)
+        if self.enabled:
+            self.records.append(record)
+        for subscriber in self._subscribers.get(kind, ()):
+            subscriber(record)
+        for subscriber in self._all_subscribers:
+            subscriber(record)
+        return record
+
+    def subscribe(self, kind, fn):
+        self._subscribers.setdefault(kind, []).append(fn)
+        return fn
+
+    def subscribe_all(self, fn):
+        self._all_subscribers.append(fn)
+        return fn
+
+    # -- read side ------------------------------------------------------
+    def of_kind(self, kind):
+        return [r for r in self.records if r.kind == kind]
+
+    def counts_by_kind(self):
+        counts = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def tail(self, n=20):
+        return self.records[-n:]
+
+    def to_jsonl(self, kind=None):
+        records = self.records if kind is None else self.of_kind(kind)
+        return "\n".join(r.to_json() for r in records)
+
+    def __len__(self):
+        return len(self.records)

@@ -81,8 +81,11 @@ class WebApplication:
                 short_circuit = mw.process_request(request)
                 if short_circuit is not None:
                     return short_circuit
-        view, kwargs = self.resolver.resolve(request.path)
+        route, route_name, kwargs = self.resolver.resolve_route(
+            request.path)
         request.resolver_kwargs = kwargs
+        request.route_name = route_name
+        view = route.view
         response = view(request, **kwargs)
         if not isinstance(response, HttpResponse):
             raise TypeError(

@@ -7,6 +7,11 @@ Anonymous browsing of public pages over plain HTTP is permitted, but any
 request that carries (or would establish) a session is redirected to the
 HTTPS origin, and session cookies are only ever set with the Secure flag
 over HTTPS.
+
+:class:`ObservabilityMiddleware` is the webstack's instrumentation
+boundary: installed first in the pipeline, it records per-route request
+counters and latency/DB-round-trip histograms into an
+:class:`~repro.obs.Observability` registry.
 """
 
 from __future__ import annotations
@@ -43,4 +48,61 @@ class SSLRequiredMiddleware:
             secure_url += f"?{query}"
         response = HttpResponseRedirect(secure_url)
         response.status_code = 301   # permanent: clients should learn
+        return response
+
+
+class ObservabilityMiddleware:
+    """Per-route request metrics: count, latency, and query round trips.
+
+    Routes are labelled by resolver name (``request.route_name``), not
+    raw path, to keep metric cardinality bounded; requests that never
+    reached the resolver (middleware short-circuits, 404s) fall under
+    ``<unrouted>``.  Latency reads the injected clock — under the sim
+    clock a request that performs no virtual work measures 0.0s, which
+    is exactly right for deterministic replay.  Query counts come from
+    the connection's ``queries_executed`` counter, the batch layer's
+    round-trip budget made continuously visible.
+
+    Parameters
+    ----------
+    obs:
+        The :class:`~repro.obs.Observability` facade.
+    db:
+        Optional role-scoped :class:`~repro.webstack.orm.Database` whose
+        query counter the per-request histogram reads.
+    """
+
+    def __init__(self, obs, db=None):
+        self.obs = obs
+        self.db = db
+
+    def process_request(self, request):
+        request._obs_started_at = self.obs.clock.now
+        if self.db is not None:
+            request._obs_queries_before = self.db.queries_executed
+        return None
+
+    def process_response(self, request, response):
+        from ..obs.registry import QUERY_COUNT_BUCKETS
+        route = getattr(request, "route_name", None) or "<unrouted>"
+        status = str(response.status_code)
+        metrics = self.obs.metrics
+        metrics.counter(
+            "http_requests_total",
+            help="Requests by route and status").labels(
+            route=route, status=status).inc()
+        started = getattr(request, "_obs_started_at", None)
+        if started is not None:
+            metrics.histogram(
+                "http_request_seconds",
+                help="Request latency (virtual seconds)").labels(
+                route=route).observe(self.obs.clock.now - started)
+        queries_before = getattr(request, "_obs_queries_before", None)
+        if queries_before is not None:
+            metrics.histogram(
+                "http_request_queries",
+                help="Database round trips per request",
+                buckets=QUERY_COUNT_BUCKETS).labels(
+                route=route).observe(
+                self.db.queries_executed - queries_before)
         return response

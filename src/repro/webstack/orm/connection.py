@@ -114,6 +114,10 @@ class Database:
         # so tests and benches can assert round-trip budgets.
         self.queries_executed = 0
         self.queries_by_operation = {}
+        # Optional ``(operation, table)`` callback fired per statement;
+        # the observability layer attaches one to feed per-role query
+        # counters without the ORM importing it.
+        self.on_execute = None
 
     # ------------------------------------------------------------------
     @property
@@ -156,6 +160,8 @@ class Database:
         self.queries_executed += 1
         self.queries_by_operation[operation] = \
             self.queries_by_operation.get(operation, 0) + 1
+        if self.on_execute is not None:
+            self.on_execute(operation, table)
         if self.log_statements:
             self.statement_log.append((operation, table))
         with self._lock:

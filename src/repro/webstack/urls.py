@@ -119,11 +119,21 @@ class URLResolver:
 
     def resolve(self, request_path):
         """Return ``(view, kwargs)`` for a path or raise :class:`Http404`."""
+        route, _, kwargs = self.resolve_route(request_path)
+        return route.view, kwargs
+
+    def resolve_route(self, request_path):
+        """Return ``(route, qualified_name, kwargs)`` for a path.
+
+        The qualified name (or, for anonymous routes, the pattern) is
+        what request metrics label by — a bounded route cardinality where
+        raw paths would explode the label space.
+        """
         path_ = request_path.lstrip("/")
-        for route, _ in self.routes:
+        for route, qualname in self.routes:
             kwargs = route.match(path_)
             if kwargs is not None:
-                return route.view, kwargs
+                return route, qualname or route.pattern, kwargs
         raise Http404(f"No URL pattern matches {request_path!r}")
 
     def reverse(self, name, **kwargs):

@@ -93,6 +93,7 @@ class TestTelemetryRobustness:
 
     def test_telemetry_timestamp_is_timezone_aware(self, deployment):
         from repro.core.models import MachineRecord
+        from repro.hpc import sim_datetime
         deployment.daemon.poll_once()
         record = MachineRecord.objects.using(
             deployment.databases.admin).get(name="kraken")
@@ -100,5 +101,8 @@ class TestTelemetryRobustness:
         assert stamp is not None
         assert stamp.tzinfo is not None
         assert stamp.utcoffset() == datetime.timedelta(0)
-        age = datetime.datetime.now(datetime.timezone.utc) - stamp
+        # Stamped from the injected sim clock (not wall clock), so
+        # replays are deterministic: the timestamp maps the virtual
+        # "now" onto the simulation epoch.
+        age = sim_datetime(deployment.clock.now) - stamp
         assert datetime.timedelta(0) <= age < datetime.timedelta(minutes=5)

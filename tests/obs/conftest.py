@@ -1,0 +1,20 @@
+"""Fixtures: a full in-process AMP deployment (observability on)."""
+
+import pytest
+
+from repro.core import AMPDeployment
+
+
+@pytest.fixture()
+def deployment():
+    dep = AMPDeployment()
+    yield dep
+    from repro.webstack.orm import bind
+    from repro.core.models import ALL_MODELS
+    bind(ALL_MODELS, None)
+    dep.close()
+
+
+@pytest.fixture()
+def astronomer(deployment):
+    return deployment.create_astronomer("metcalfe", password="pw12345")
