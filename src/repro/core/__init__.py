@@ -11,12 +11,14 @@ from .catalog import SimbadService, StarCatalog
 from .daemon import ExternalMonitor, GridAMPDaemon
 from .models import (ALL_MODELS, CORE_MODELS, AllocationRecord,
                      GridJobRecord, HOLD_MODEL, HOLD_RESOURCE,
+                     JOURNAL_ABORTED, JOURNAL_COMMITTED, JOURNAL_INTENT,
                      KIND_DIRECT, KIND_OPTIMIZATION,
-                     MachineRecord, ObservationSet, SIM_ACTIVE_STATES,
+                     MachineRecord, ObservationSet, OperationRecord,
+                     SIM_ACTIVE_STATES,
                      SIM_CANCELLED, SIM_CLEANUP, SIM_DONE, SIM_HOLD,
                      SIM_POSTJOB, SIM_PREJOB, SIM_QUEUED, SIM_RUNNING,
                      SIM_STATES, Simulation, Star, SubmitAuthorization,
-                     UserProfile)
+                     UserProfile, idempotency_key)
 from .notifications import (AUDIENCE_ADMIN, AUDIENCE_USER, JargonLeak,
                             Mailer, NotificationPolicy)
 from .security import audit_role_separation, build_role_registry
@@ -29,9 +31,11 @@ __all__ = [
     "AllocationRecord", "CORE_MODELS", "DEFAULT_PROJECT",
     "DirectRunWorkflow", "ExternalMonitor", "GridAMPDaemon",
     "GridJobRecord", "HOLD_MODEL", "HOLD_RESOURCE", "JargonLeak",
+    "JOURNAL_ABORTED", "JOURNAL_COMMITTED", "JOURNAL_INTENT",
     "KIND_DIRECT", "KIND_OPTIMIZATION",
     "MachineRecord", "Mailer", "ModelFailure", "NotificationPolicy",
-    "ObservationSet", "OptimizationWorkflow", "SIM_ACTIVE_STATES",
+    "ObservationSet", "OperationRecord", "OptimizationWorkflow",
+    "idempotency_key", "SIM_ACTIVE_STATES",
     "SIM_CANCELLED", "SIM_CLEANUP", "SIM_DONE", "SIM_HOLD", "SIM_POSTJOB",
     "SIM_PREJOB", "SIM_QUEUED", "SIM_RUNNING", "SIM_STATES",
     "SimbadService", "Simulation", "StagingError", "Star", "StarCatalog",

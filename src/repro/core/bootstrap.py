@@ -168,5 +168,31 @@ class AMPDeployment:
         return self.daemon.run(poll_interval_s=poll_interval_s,
                                max_polls=max_polls)
 
+    # ------------------------------------------------------------------
+    def restart_daemon(self):
+        """Replace the daemon process after a crash (kill → new boot).
+
+        Everything host-local to the dead process is rebuilt from
+        scratch — breaker registry, grid clients (and with them the
+        credential cache), workflows, retry tracker, monitor — while
+        everything durable (database, fabric, observability store,
+        mailer) carries over, exactly the split a real daemon bounce
+        has.  The new :class:`GridAMPDaemon` runs its reconciliation
+        sweep in ``__init__``; the dead process's event-log subscriber
+        is detached first so notifications don't double-deliver.
+        """
+        old = self.daemon
+        self.obs.events.unsubscribe("breaker.transition",
+                                    old._on_breaker_event)
+        self.breakers = BreakerRegistry(self.clock, obs=self.obs)
+        self.clients = GridClients(self.fabric, gateway_name="AMP",
+                                   breakers=self.breakers, obs=self.obs)
+        self.daemon = GridAMPDaemon(self.databases.daemon, self.clients,
+                                    self.clock, self.mailer,
+                                    self.machine_specs, obs=self.obs)
+        self.monitor = ExternalMonitor(self.daemon, self.mailer,
+                                       clock=self.clock, obs=self.obs)
+        return self.daemon
+
     def close(self):
         self.databases.close()

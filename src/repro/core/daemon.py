@@ -34,8 +34,13 @@ from ..hpc.simclock import sim_datetime
 from ..obs import Observability
 from ..obs.registry import QUERY_COUNT_BUCKETS
 from .models import (GRAM_STATES, GridJobRecord, HOLD_RESOURCE,
-                     KIND_DIRECT, KIND_OPTIMIZATION, SIM_ACTIVE_STATES,
-                     SIM_HOLD, Simulation)
+                     JOURNAL_ABORTED, JOURNAL_COMMITTED, JOURNAL_INTENT,
+                     JOURNAL_OP_CANCEL, JOURNAL_OP_STAGE_IN,
+                     JOURNAL_OP_STAGE_OUT, JOURNAL_OP_SUBMIT,
+                     KIND_DIRECT, KIND_OPTIMIZATION, OUTCOME_ADOPTED,
+                     OUTCOME_REISSUED, OUTCOME_REPLAYED, OUTCOME_VERIFIED,
+                     OperationRecord, SIM_ACTIVE_STATES, SIM_HOLD,
+                     Simulation)
 from .notifications import NotificationPolicy
 from .workflow import DirectRunWorkflow, OptimizationWorkflow
 
@@ -80,10 +85,253 @@ class GridAMPDaemon:
         }
         self.heartbeat = clock.now
         self.poll_count = 0
+        #: Simulations frozen behind an unresolved journal intent (a
+        #: transient fabric lookup proved nothing either way).  One set
+        #: shared with every workflow so ``advance`` honours it.
+        self.blocked_sims = set()
+        for workflow in self.workflows.values():
+            workflow.blocked_sims = self.blocked_sims
         # Breaker transitions reach the administrators through the event
         # log — the breaker emits exactly once, notifications subscribe.
         self.obs.events.subscribe("breaker.transition",
                                   self._on_breaker_event)
+        #: Boot-time crash recovery: rehydrate escalation state, then
+        #: replay whatever the previous process left mid-flight.
+        self.last_recovery = self._boot_recovery()
+
+    # ------------------------------------------------------------------
+    # Crash recovery: journal reconciliation and state rehydration
+    # ------------------------------------------------------------------
+    def _boot_recovery(self):
+        """The restart sweep, run once from ``__init__``.
+
+        Order matters: breakers are restored *before* the journal is
+        reconciled so that lookups against a machine that was provably
+        down before the crash stay suppressed (→ the affected
+        simulations hold instead of hammering a sick resource), and the
+        retry tracker is rehydrated so escalation state survives the
+        bounce — a daemon restart must never hand out refreshed budgets.
+        """
+        metrics = self.obs.metrics
+        with self.obs.tracer.span("daemon.recovery") as span:
+            breakers_restored = self._restore_breakers()
+            retries_restored = self._restore_retry_state()
+            summary = self.reconcile_journal()
+            summary["breakers_restored"] = breakers_restored
+            summary["retries_restored"] = retries_restored
+            for key, value in sorted(summary.items()):
+                span.set_attr(key, value)
+            metrics.counter(
+                "daemon_recovery_sweeps_total",
+                help="Boot-time journal reconciliation sweeps").inc()
+            metrics.counter(
+                "daemon_recovery_intents_total",
+                help="Uncommitted journal intents found at boot").inc(
+                summary["intents"])
+            for outcome in ("replayed", "adopted", "verified",
+                            "reissued", "held"):
+                if summary[outcome]:
+                    metrics.counter(
+                        "daemon_recovery_operations_total",
+                        help="Journal intents resolved at boot, "
+                             "by outcome").labels(
+                        outcome=outcome).inc(summary[outcome])
+            self.obs.events.emit("daemon.recovery", **summary)
+        return summary
+
+    def _restore_breakers(self):
+        """Rehydrate circuit breakers from persisted machine telemetry."""
+        from .models import MachineRecord
+        breakers = self.clients.breakers
+        if breakers is None:
+            return 0
+        restored = 0
+        for record in MachineRecord.objects.using(self.db).all():
+            state = record.breaker_state or CLOSED
+            if state == CLOSED and not record.breaker_failures:
+                continue
+            breakers.restore(record.name, state,
+                             failures=record.breaker_failures,
+                             opened_at=record.breaker_opened_at)
+            restored += 1
+        return restored
+
+    def _restore_retry_state(self):
+        """Rebuild the retry tracker's event log from durable rows."""
+        simulations = Simulation.objects.using(self.db).filter(
+            state__in=list(SIM_ACTIVE_STATES) + [SIM_HOLD])
+        return self.retry.rehydrate(simulations)
+
+    def reconcile_journal(self):
+        """Resolve every uncommitted journal intent against the fabric.
+
+        The decision table (per intent, see DESIGN.md §6):
+
+        - **replayed** — the database already holds the side effect's
+          record (crash landed between the job-record save and the
+          journal commit); re-point the entry and move on.
+        - **adopted** — GRAM holds a job carrying the intent's
+          ``clientTag``: the submission happened but its record was
+          lost; adopt the orphan as a fresh :class:`GridJobRecord`.
+        - **verified** — the staged file's remote size/digest matches
+          the journaled payload: the upload landed intact.
+        - **reissued** — the fabric provably has no trace (no tagged
+          job / file absent or mismatched / a side-effect-free
+          download): abort the intent and let the workflow re-issue
+          under the next attempt's key.
+        - **held** — a transient lookup proved nothing either way; the
+          simulation is frozen (``blocked_sims``) until a later sweep
+          can decide.
+
+        Access is set-oriented: one SELECT for the intents, one for
+        already-recorded jobs, one for cancel targets, then bulk
+        writes — bounded round trips however long the backlog is.
+        """
+        intents = list(OperationRecord.objects.using(self.db)
+                       .filter(state=JOURNAL_INTENT)
+                       .select_related("simulation__owner")
+                       .order_by("id"))
+        summary = {"intents": len(intents), "replayed": 0, "adopted": 0,
+                   "verified": 0, "reissued": 0, "held": 0}
+        self.blocked_sims.clear()
+        if not intents:
+            return summary
+        submit_keys = [e.idempotency_key for e in intents
+                       if e.op == JOURNAL_OP_SUBMIT]
+        existing_jobs = {}
+        if submit_keys:
+            existing_jobs = {
+                record.idempotency_key: record
+                for record in GridJobRecord.objects.using(self.db)
+                .filter(idempotency_key__in=submit_keys)}
+        cancel_ids = [e.job_record_id for e in intents
+                      if e.op == JOURNAL_OP_CANCEL
+                      and e.job_record_id is not None]
+        cancel_jobs = {}
+        if cancel_ids:
+            cancel_jobs = {record.pk: record
+                           for record in GridJobRecord.objects
+                           .using(self.db).filter(id__in=cancel_ids)}
+        settled, adoptions, finalized = [], [], []
+        for entry in intents:
+            owner = entry.simulation.owner
+            self.clients.ensure_proxy(owner.username, owner.email)
+            outcome = self._reconcile_entry(entry, existing_jobs,
+                                            cancel_jobs, adoptions,
+                                            finalized)
+            if outcome is None:
+                self.blocked_sims.add(entry.simulation_id)
+                summary["held"] += 1
+                continue
+            summary[outcome] += 1
+            if outcome != OUTCOME_ADOPTED:
+                settled.append(entry)
+        if adoptions:
+            GridJobRecord.objects.using(self.db).bulk_create(
+                [record for _, record in adoptions])
+            for entry, record in adoptions:
+                self._settle_entry(entry, JOURNAL_COMMITTED,
+                                   OUTCOME_ADOPTED,
+                                   gram_job_id=record.gram_job_id,
+                                   job_record_id=record.pk)
+                settled.append(entry)
+        if finalized:
+            GridJobRecord.objects.using(self.db).bulk_update(
+                finalized, ["state", "failure_reason"])
+        if settled:
+            OperationRecord.objects.using(self.db).bulk_update(
+                settled, ["state", "outcome", "resolved_at",
+                          "gram_job_id", "job_record_id", "detail"])
+        if summary["replayed"] or summary["verified"]:
+            self.obs.events.emit("journal.replayed",
+                                 replayed=summary["replayed"],
+                                 verified=summary["verified"])
+        if summary["adopted"]:
+            self.obs.events.emit("journal.orphans_adopted",
+                                 count=summary["adopted"])
+        return summary
+
+    def _settle_entry(self, entry, state, outcome, **updates):
+        for name, value in updates.items():
+            setattr(entry, name, value)
+        entry.state = state
+        entry.outcome = outcome
+        entry.resolved_at = self.clock.now
+
+    def _reconcile_entry(self, entry, existing_jobs, cancel_jobs,
+                         adoptions, finalized):
+        """Apply the decision table to one intent.
+
+        Returns the outcome string, or None when a transient lookup
+        means the entry cannot be resolved yet (→ hold the simulation).
+        """
+        if entry.op == JOURNAL_OP_SUBMIT:
+            record = existing_jobs.get(entry.idempotency_key)
+            if record is not None:
+                # The job record made it to the database; only the
+                # journal commit was lost.
+                self._settle_entry(entry, JOURNAL_COMMITTED,
+                                   OUTCOME_REPLAYED,
+                                   gram_job_id=record.gram_job_id,
+                                   job_record_id=record.pk)
+                return OUTCOME_REPLAYED
+            result = self.clients.globus_job_lookup(
+                entry.resource, entry.idempotency_key)
+            if not result.ok:
+                return None
+            if result.stdout:
+                gram_id_text, _, gram_state = result.stdout.partition(" ")
+                record = GridJobRecord(
+                    simulation_id=entry.simulation_id,
+                    purpose=entry.purpose, ga_index=entry.ga_index,
+                    sequence=entry.sequence, resource=entry.resource,
+                    service=entry.service,
+                    gram_job_id=int(gram_id_text), rsl=entry.rsl,
+                    idempotency_key=entry.idempotency_key,
+                    state=(gram_state if gram_state in GRAM_STATES
+                           else "PENDING"))
+                adoptions.append((entry, record))
+                return OUTCOME_ADOPTED
+            self._settle_entry(entry, JOURNAL_ABORTED, OUTCOME_REISSUED)
+            return OUTCOME_REISSUED
+        if entry.op == JOURNAL_OP_STAGE_IN:
+            result = self.clients.stage_stat(entry.resource,
+                                             entry.remote_path)
+            if not result.ok:
+                return None
+            expected = f"{entry.payload_size} {entry.payload_digest}"
+            if result.stdout == expected:
+                self._settle_entry(entry, JOURNAL_COMMITTED,
+                                   OUTCOME_VERIFIED)
+                return OUTCOME_VERIFIED
+            # Absent or partial/mismatched: the upload provably did not
+            # land intact — re-issue.
+            self._settle_entry(entry, JOURNAL_ABORTED, OUTCOME_REISSUED,
+                               detail=result.stdout[:200])
+            return OUTCOME_REISSUED
+        if entry.op == JOURNAL_OP_STAGE_OUT:
+            # Downloads have no remote side effect; re-issuing is free.
+            self._settle_entry(entry, JOURNAL_ABORTED, OUTCOME_REISSUED)
+            return OUTCOME_REISSUED
+        if entry.op == JOURNAL_OP_CANCEL:
+            # Cancels are idempotent on the fabric: re-issue, then
+            # finalise the revoked record exactly as the dead process
+            # would have, *before* the first poll can misread the raw
+            # GRAM "cancelled" reason as a model failure.
+            result = self.clients.globus_job_cancel(entry.resource,
+                                                    entry.gram_job_id)
+            if not result.ok and result.transient:
+                return None
+            job = cancel_jobs.get(entry.job_record_id)
+            if job is not None and not job.is_terminal:
+                job.state = "FAILED"
+                job.failure_reason = OptimizationWorkflow._SURPLUS
+                finalized.append(job)
+            self._settle_entry(entry, JOURNAL_COMMITTED,
+                               OUTCOME_REPLAYED)
+            return OUTCOME_REPLAYED
+        # Unknown op (forward compatibility): hold rather than guess.
+        return None
 
     # ------------------------------------------------------------------
     def update_grid_jobs(self):
@@ -305,6 +553,11 @@ class GridAMPDaemon:
             self._phase("update_grid_jobs", self.update_grid_jobs)
             self._phase("update_machine_telemetry",
                         self.update_machine_telemetry)
+            if self.blocked_sims:
+                # Intents a transient lookup could not resolve at boot:
+                # retry the sweep until every blocked simulation is
+                # provably settled (steady-state polls skip this).
+                self._phase("reconcile_pending", self.reconcile_journal)
             self._phase("recover_resource_holds",
                         self.recover_resource_holds)
             transitions = self._phase("advance_simulations",

@@ -53,6 +53,46 @@ JOB_CLEANUP = "cleanup"
 # GRAM-level job states (mirrors repro.grid.gram).
 GRAM_STATES = ("UNSUBMITTED", "PENDING", "ACTIVE", "DONE", "FAILED")
 
+# Operation-journal lifecycle (crash recovery).  An entry is written
+# durably *before* the side-effecting grid call (INTENT) and marked
+# COMMITTED only after the resulting database state has landed; an
+# ABORTED entry records an operation that provably produced no remote
+# side effect (transient failure, or reconciliation established the
+# call never reached the fabric) and may safely be re-issued.
+JOURNAL_INTENT = "INTENT"
+JOURNAL_COMMITTED = "COMMITTED"
+JOURNAL_ABORTED = "ABORTED"
+JOURNAL_STATES = (JOURNAL_INTENT, JOURNAL_COMMITTED, JOURNAL_ABORTED)
+
+# Journaled operation classes (the side-effecting grid calls).
+JOURNAL_OP_SUBMIT = "submit"
+JOURNAL_OP_STAGE_IN = "stage_in"
+JOURNAL_OP_STAGE_OUT = "stage_out"
+JOURNAL_OP_CANCEL = "cancel"
+JOURNAL_OPS = (JOURNAL_OP_SUBMIT, JOURNAL_OP_STAGE_IN,
+               JOURNAL_OP_STAGE_OUT, JOURNAL_OP_CANCEL)
+
+# How reconciliation (or the normal commit path) resolved an entry.
+OUTCOME_COMMITTED = "committed"    # normal two-phase completion
+OUTCOME_REPLAYED = "replayed"      # DB already held the result; re-marked
+OUTCOME_ADOPTED = "adopted"        # orphaned GRAM job found and adopted
+OUTCOME_VERIFIED = "verified"      # transfer re-verified by size/digest
+OUTCOME_REISSUED = "reissued"      # provably never happened; safe to redo
+OUTCOME_TRANSIENT = "transient"    # the call failed transiently; no effect
+OUTCOME_FAILED = "failed"          # the call failed permanently; no effect
+
+
+def idempotency_key(simulation_pk, phase, attempt):
+    """The deterministic identity of one side-effecting grid operation.
+
+    ``amp-sim-{pk}-{phase}-{attempt}``: stable across daemon restarts
+    (``attempt`` is derived from the durable journal, never from
+    in-memory state), unique per retry, and carried onto the remote
+    side (the RSL ``clientTag``) so an orphaned GRAM job can be matched
+    back to the intent that produced it.
+    """
+    return f"amp-sim-{int(simulation_pk)}-{phase}-{int(attempt)}"
+
 
 class Star(orm.Model):
     """A catalog star.  ``source`` records provenance (local | simbad)."""
@@ -289,6 +329,67 @@ class Simulation(orm.Model):
         return f"{kind} #{self.pk} [{self.state}]"
 
 
+class OperationRecord(orm.Model):
+    """One entry of the daemon's durable operation journal.
+
+    Written *before* every side-effecting grid call (submit, stage-in,
+    stage-out, cancel) and committed only after the resulting database
+    write has landed.  A daemon that dies between the two leaves an
+    INTENT entry behind; the boot-time reconciliation sweep replays the
+    journal against the fabric and decides, per entry, whether the
+    operation must be **adopted** (the remote side effect happened and
+    its id is recoverable), **verified** (a transfer landed intact), or
+    **re-issued** (provably never happened).  The journal doubles as the
+    audit trail the crash-point property tests read: exactly one remote
+    submission per logical phase, ever.
+    """
+
+    simulation = orm.ForeignKey(Simulation, related_name="operations")
+    op = orm.CharField(max_length=12,
+                       choices=[(o, o) for o in JOURNAL_OPS])
+    #: Logical phase slug ("prejob", "ga-0-2", "stagein-amp_in", ...):
+    #: one remote side effect is ever allowed per (simulation, phase).
+    phase = orm.CharField(max_length=60)
+    attempt = orm.IntegerField(default=1, min_value=1)
+    idempotency_key = orm.CharField(max_length=100, unique=True)
+    resource = orm.CharField(max_length=40)
+    state = orm.CharField(max_length=12, default=JOURNAL_INTENT,
+                          choices=[(s, s) for s in JOURNAL_STATES],
+                          db_index=True)
+    outcome = orm.CharField(max_length=12, default="")
+    # Submit metadata: enough to rebuild the GridJobRecord an adopted
+    # orphan deserves, exactly as the original submit would have.
+    purpose = orm.CharField(max_length=12, default="")
+    ga_index = orm.IntegerField(default=0)
+    sequence = orm.IntegerField(default=0)
+    service = orm.CharField(max_length=8, default="")
+    rsl = orm.TextField(default="")
+    gram_job_id = orm.IntegerField(null=True)
+    #: The GridJobRecord this operation targets/produced (when known).
+    job_record_id = orm.IntegerField(null=True)
+    # Transfer metadata: reconciliation re-verifies a partial upload by
+    # comparing the remote file's size/digest with the intended payload.
+    remote_path = orm.CharField(max_length=200, default="")
+    payload_size = orm.IntegerField(null=True)
+    payload_digest = orm.CharField(max_length=40, default="")
+    detail = orm.TextField(default="")
+    #: Virtual (sim-clock) timestamps — the journal must replay
+    #: byte-identically, so no wall-clock values appear in it.
+    intent_at = orm.FloatField(default=0.0)
+    resolved_at = orm.FloatField(null=True)
+
+    class Meta:
+        table_name = "amp_operation"
+        ordering = ["id"]
+        # Boot reconciliation scans by state; attempt numbering counts
+        # per (simulation, op, phase).
+        indexes = [("state",), ("simulation_id", "op", "phase")]
+
+    @property
+    def is_settled(self):
+        return self.state != JOURNAL_INTENT
+
+
 class GridJobRecord(orm.Model):
     """Generic grid-job status row (the lower level of the two-level
     workflow status).  One row per GRAM request the daemon makes."""
@@ -305,6 +406,12 @@ class GridJobRecord(orm.Model):
                             choices=[("fork", "fork"), ("batch", "batch")])
     gram_job_id = orm.IntegerField(null=True)
     rsl = orm.TextField(default="")
+    #: The operation-journal key of the submit that produced this row
+    #: (and the RSL ``clientTag`` the remote GRAM job carries) — how
+    #: restart reconciliation matches journal intents to work that
+    #: already landed, in either store.
+    idempotency_key = orm.CharField(max_length=100, default="",
+                                    db_index=True)
     state = orm.CharField(max_length=12, default="UNSUBMITTED",
                           choices=[(s, s) for s in GRAM_STATES],
                           db_index=True)
@@ -325,5 +432,6 @@ class GridJobRecord(orm.Model):
 
 
 CORE_MODELS = [Star, ObservationSet, MachineRecord, AllocationRecord,
-               UserProfile, SubmitAuthorization, Simulation, GridJobRecord]
+               UserProfile, SubmitAuthorization, Simulation,
+               OperationRecord, GridJobRecord]
 ALL_MODELS = AUTH_MODELS + CORE_MODELS

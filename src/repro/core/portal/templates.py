@@ -274,6 +274,9 @@ STATISTICS = """{% extends "base.html" %}
 <tr><td>Breaker transitions</td><td>{{ ops.breaker_transitions }}</td></tr>
 <tr><td>Workflow transitions</td><td>{{ ops.transitions }}</td></tr>
 <tr><td>Portal requests served</td><td>{{ ops.http_requests }}</td></tr>
+<tr><td>Daemon recovery sweeps</td><td>{{ ops.recovery_sweeps }}</td></tr>
+<tr><td>Operations recovered at restart</td>
+<td>{{ ops.recovered_operations }}</td></tr>
 <tr><td>Events recorded</td><td>{{ ops.events }}</td></tr>
 <tr><td>Spans recorded</td><td>{{ ops.spans }}</td></tr>
 </table>

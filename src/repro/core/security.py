@@ -31,6 +31,9 @@ PORTAL_GRANTS = {
     # Submission and monitoring.
     "amp_simulation": {"select", "insert", "update"},
     "amp_gridjob": {"select"},
+    # The operation journal is read-only for the portal (the statistics
+    # page digests the last recovery sweep); only the daemon writes it.
+    "amp_operation": {"select"},
     # Back-end registry: read-only for form choices.
     "amp_machine": {"select"},
     "amp_allocation": {"select"},
@@ -44,6 +47,8 @@ DAEMON_GRANTS = {
     "amp_observation": {"select"},
     "amp_simulation": {"select", "update"},
     "amp_gridjob": {"select", "insert", "update"},
+    # The write-ahead operation journal: the daemon owns it outright.
+    "amp_operation": {"select", "insert", "update"},
     "amp_machine": {"select", "update"},   # queue telemetry
     "amp_allocation": {"select", "update"},  # SU charging
     "amp_profile": {"select"},

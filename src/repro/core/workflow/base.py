@@ -26,13 +26,20 @@ execution and postprocessing code").
 from __future__ import annotations
 
 import posixpath
+import re
 
+from ...grid.gridftp import checksum
 from ...grid.retry import RetryPolicy, RetryTracker, classify_operation
 from ...grid.rsl import fork_spec, format_rsl
 from ...hpc.accounting import cpu_hours
 from ..models import (GridJobRecord, HOLD_MODEL, HOLD_RESOURCE,
-                      JOB_CLEANUP, JOB_POSTJOB, JOB_PREJOB, SIM_DONE,
-                      SIM_HOLD, SubmitAuthorization)
+                      JOB_CLEANUP, JOB_POSTJOB, JOB_PREJOB,
+                      JOURNAL_ABORTED, JOURNAL_COMMITTED, JOURNAL_INTENT,
+                      JOURNAL_OP_STAGE_IN, JOURNAL_OP_STAGE_OUT,
+                      JOURNAL_OP_SUBMIT, OUTCOME_COMMITTED,
+                      OUTCOME_FAILED, OUTCOME_TRANSIENT, OperationRecord,
+                      SIM_DONE, SIM_HOLD, SubmitAuthorization,
+                      idempotency_key)
 from ..remote import CLEANUP_SH, POSTJOB_SH, PREJOB_SH, output_tarball_path
 from ..staging import StagingError
 
@@ -89,6 +96,11 @@ class WorkflowManager:
             from ...obs import Observability
             obs = Observability(clients.fabric.clock)
         self.obs = obs
+        #: Simulation pks whose journal holds an unresolved intent (a
+        #: crash left an operation that could not yet be proven done or
+        #: not-done).  The daemon's reconciliation sweep owns this set;
+        #: blocked simulations are frozen until their intent settles.
+        self.blocked_sims = set()
         self.workflow = {
             "QUEUED": ([self.check_queued_sim, self.submit_pre_job],
                        "PREJOB"),
@@ -112,6 +124,8 @@ class WorkflowManager:
         """
         if simulation.state not in self.workflow:
             return False
+        if simulation.pk in self.blocked_sims:
+            return False            # unresolved journal intent: frozen
         if not self.retry_due(simulation):
             return False            # backing off after a transient
         functions, next_state = self.workflow[simulation.state]
@@ -263,6 +277,82 @@ class WorkflowManager:
             f"{result.command_line}\n{result.stderr}")
 
     # ------------------------------------------------------------------
+    # The operation journal: intent → side effect → commit
+    # ------------------------------------------------------------------
+    # Every side-effecting grid call (submit, stage-in, stage-out,
+    # cancel) is journaled write-ahead: an INTENT row lands in the
+    # database *before* the call goes out, and is only marked COMMITTED
+    # once the call's consequences (the GridJobRecord, the staged file)
+    # are durably recorded too.  A daemon that dies between the two
+    # leaves an INTENT row behind; the restart reconciliation sweep
+    # queries the fabric to decide — per row — whether the side effect
+    # happened (adopt/verify) or provably did not (re-issue).  The
+    # idempotency key doubles as the GRAM ``clientTag``, which is what
+    # makes orphaned jobs findable after the fact.
+
+    def _crash_check(self, op, when):
+        """Fault-harness hook: die here if a CrashPoint is scheduled."""
+        schedule = getattr(self.clients.fabric, "crash_schedule", None)
+        if schedule is not None:
+            schedule.check(op, when)
+
+    def _journal_key(self, simulation, op, phase):
+        """Next attempt number and idempotency key for (sim, op, phase).
+
+        The attempt counter is derived from durable journal rows, never
+        from in-memory state: a bounced daemon computes the same next
+        key the dead one would have, so a re-issue after a crash reuses
+        the fabric's view of "attempt N" instead of inventing a fork.
+        """
+        attempt = OperationRecord.objects.using(self.db).filter(
+            simulation_id=simulation.pk, op=op, phase=phase).count() + 1
+        return attempt, idempotency_key(simulation.pk, phase, attempt)
+
+    def _journal_open(self, simulation, op, phase, attempt, key, **meta):
+        """Write the INTENT row, then honour any pre-call crash point."""
+        entry = OperationRecord(
+            simulation_id=simulation.pk, op=op, phase=phase,
+            attempt=attempt, idempotency_key=key,
+            resource=simulation.machine_name, state=JOURNAL_INTENT,
+            intent_at=self.retry.clock.now, **meta)
+        entry.save(db=self.db)
+        self._crash_check(op, "before")
+        return entry
+
+    def _journal_settle(self, entry, state, outcome, **updates):
+        for name, value in updates.items():
+            setattr(entry, name, value)
+        entry.state = state
+        entry.outcome = outcome
+        entry.resolved_at = self.retry.clock.now
+        entry.save(db=self.db)
+        return entry
+
+    def _journal_classify(self, simulation, entry, raw):
+        """Run the usual transient/permanent classification, settling
+        the journal entry on the non-OK paths.
+
+        An aborted entry is *settled*: reconciliation never replays it
+        (the retry machinery owns what happens next, exactly as it did
+        before the journal existed).
+        """
+        try:
+            result = self._grid_call(simulation, raw)
+        except ModelFailure as exc:
+            self._journal_settle(entry, JOURNAL_ABORTED, OUTCOME_FAILED,
+                                 detail=str(exc)[:500])
+            raise
+        if result is None:
+            self._journal_settle(entry, JOURNAL_ABORTED, OUTCOME_TRANSIENT)
+            return None
+        return result
+
+    @staticmethod
+    def _phase_slug(text):
+        """A deterministic, key-safe slug for path-derived phases."""
+        return re.sub(r"[^A-Za-z0-9]+", "_", text).strip("_")
+
+    # ------------------------------------------------------------------
     # Job-record helpers
     # ------------------------------------------------------------------
     def _jobs(self, simulation, purpose, ga_index=None):
@@ -302,37 +392,50 @@ class WorkflowManager:
         spec = fork_spec(executable,
                          directory=simulation.remote_directory,
                          arguments=list(arguments))
-        result = self._grid_call(
-            simulation,
-            self.clients.globusrun(simulation.machine_name, spec,
-                                   service="fork"))
-        if result is None:
-            return None
-        record = GridJobRecord(
-            simulation_id=simulation.pk, purpose=purpose,
-            resource=simulation.machine_name, service="fork",
-            gram_job_id=int(result.stdout), rsl=format_rsl(spec),
-            state="PENDING")
-        record.save(db=self.db)
-        self._remember_job(simulation, record)
-        return record
+        return self._journaled_submit(simulation, purpose, spec,
+                                      service="fork", phase=purpose)
 
     def _submit_batch(self, simulation, purpose, spec, *, ga_index=0,
                       sequence=0):
-        result = self._grid_call(
-            simulation,
-            self.clients.globusrun(simulation.machine_name, spec,
-                                   service="batch"))
+        return self._journaled_submit(
+            simulation, purpose, spec, service="batch",
+            ga_index=ga_index, sequence=sequence,
+            phase=f"{purpose}-{ga_index}-{sequence}")
+
+    def _journaled_submit(self, simulation, purpose, spec, *, service,
+                          phase, ga_index=0, sequence=0):
+        """The single journaled submission path (fork and batch).
+
+        The idempotency key is stamped into the RSL as ``clientTag``
+        *before* the intent row is written, so whatever GRAM ends up
+        holding is findable by the exact key the journal recorded.
+        """
+        attempt, key = self._journal_key(simulation, JOURNAL_OP_SUBMIT,
+                                         phase)
+        spec = dict(spec)
+        spec["clientTag"] = key
+        rsl_text = format_rsl(spec)
+        entry = self._journal_open(
+            simulation, JOURNAL_OP_SUBMIT, phase, attempt, key,
+            purpose=purpose, ga_index=ga_index, sequence=sequence,
+            service=service, rsl=rsl_text)
+        raw = self.clients.globusrun(simulation.machine_name, spec,
+                                     service=service)
+        self._crash_check(JOURNAL_OP_SUBMIT, "after")
+        result = self._journal_classify(simulation, entry, raw)
         if result is None:
             return None
         record = GridJobRecord(
             simulation_id=simulation.pk, purpose=purpose,
             ga_index=ga_index, sequence=sequence,
-            resource=simulation.machine_name, service="batch",
-            gram_job_id=int(result.stdout), rsl=format_rsl(spec),
-            state="PENDING")
+            resource=simulation.machine_name, service=service,
+            gram_job_id=int(result.stdout), rsl=rsl_text,
+            idempotency_key=key, state="PENDING")
         record.save(db=self.db)
         self._remember_job(simulation, record)
+        self._journal_settle(entry, JOURNAL_COMMITTED, OUTCOME_COMMITTED,
+                             gram_job_id=record.gram_job_id,
+                             job_record_id=record.pk)
         return record
 
     def _check_job(self, simulation, record, *, label):
@@ -348,25 +451,59 @@ class WorkflowManager:
         return False
 
     def _stage_in(self, simulation, files):
-        """Upload regenerated input files; False on transient."""
+        """Upload regenerated input files; False on transient.
+
+        Each file is journaled with its payload size and digest so a
+        restart can re-verify a maybe-partial transfer with one remote
+        ``stat`` instead of re-uploading blindly.
+        """
         directory = simulation.remote_directory
         for rel_path, content in sorted(files.items()):
-            result = self._grid_call(
-                simulation,
-                self.clients.stage_in(simulation.machine_name,
-                                      posixpath.join(directory, rel_path),
-                                      content))
+            remote_path = posixpath.join(directory, rel_path)
+            data = (content.encode("utf-8")
+                    if isinstance(content, str) else content)
+            phase = f"stagein-{self._phase_slug(rel_path)}"
+            attempt, key = self._journal_key(
+                simulation, JOURNAL_OP_STAGE_IN, phase)
+            entry = self._journal_open(
+                simulation, JOURNAL_OP_STAGE_IN, phase, attempt, key,
+                remote_path=remote_path, payload_size=len(data),
+                payload_digest=checksum(data))
+            raw = self.clients.stage_in(simulation.machine_name,
+                                        remote_path, content)
+            self._crash_check(JOURNAL_OP_STAGE_IN, "after")
+            result = self._journal_classify(simulation, entry, raw)
             if result is None:
                 return False
+            self._journal_settle(entry, JOURNAL_COMMITTED,
+                                 OUTCOME_COMMITTED)
         return True
 
     def _stage_out(self, simulation, remote_path):
-        """Download one file; None on transient."""
-        result = self._grid_call(
-            simulation,
-            self.clients.stage_out(simulation.machine_name, remote_path))
+        """Download one file; None on transient.
+
+        Downloads are side-effect-free on the fabric, but they are
+        journaled anyway: the intent row is what lets reconciliation
+        distinguish "crashed mid-download" (harmless, re-issue) from
+        "crashed mid-upload" (must verify) without guessing.
+        """
+        rel = remote_path
+        if rel.startswith(simulation.remote_directory):
+            rel = rel[len(simulation.remote_directory):]
+        phase = f"stageout-{self._phase_slug(rel)}"
+        attempt, key = self._journal_key(
+            simulation, JOURNAL_OP_STAGE_OUT, phase)
+        entry = self._journal_open(
+            simulation, JOURNAL_OP_STAGE_OUT, phase, attempt, key,
+            remote_path=remote_path)
+        raw = self.clients.stage_out(simulation.machine_name, remote_path)
+        self._crash_check(JOURNAL_OP_STAGE_OUT, "after")
+        result = self._journal_classify(simulation, entry, raw)
         if result is None:
             return None
+        self._journal_settle(entry, JOURNAL_COMMITTED, OUTCOME_COMMITTED,
+                             payload_size=len(result.data),
+                             payload_digest=checksum(result.data))
         return result.data
 
     def machine_spec(self, simulation):

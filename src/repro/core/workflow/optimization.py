@@ -19,7 +19,9 @@ from __future__ import annotations
 import posixpath
 
 from ...grid.rsl import batch_spec
-from ..models import JOB_GA, JOB_SOLUTION, KIND_OPTIMIZATION
+from ..models import (JOB_GA, JOB_SOLUTION, JOURNAL_COMMITTED,
+                      JOURNAL_OP_CANCEL, KIND_OPTIMIZATION,
+                      OUTCOME_COMMITTED)
 from ..remote import RUN_GA_SH, SOLUTION_SH
 from ..staging import (generate_input_files, interpret_output_tarball,
                        interpret_progress)
@@ -155,15 +157,32 @@ class OptimizationWorkflow(WorkflowManager):
 
     def _revoke_surplus_jobs(self, simulation, jobs):
         """Cancel pre-submitted chain jobs the finished GA no longer
-        needs (the chained-submission analogue of qdel)."""
+        needs (the chained-submission analogue of qdel).
+
+        Cancels are journaled like every other side effect: a crash
+        between the cancel and the FAILED/_SURPLUS record save would
+        otherwise let the next poll read the raw GRAM "cancelled by
+        client" reason and mistake the gateway's own revocation for a
+        model failure.  Reconciliation finalises the record from the
+        intent row instead.
+        """
         for job in jobs:
             if job.is_terminal:
                 continue
+            attempt, key = self._journal_key(
+                simulation, JOURNAL_OP_CANCEL, f"cancel-{job.pk}")
+            entry = self._journal_open(
+                simulation, JOURNAL_OP_CANCEL, f"cancel-{job.pk}",
+                attempt, key, purpose=job.purpose,
+                gram_job_id=job.gram_job_id, job_record_id=job.pk)
             self.clients.globus_job_cancel(simulation.machine_name,
                                            job.gram_job_id)
+            self._crash_check(JOURNAL_OP_CANCEL, "after")
             job.state = "FAILED"
             job.failure_reason = self._SURPLUS
             job.save(db=self.db)
+            self._journal_settle(entry, JOURNAL_COMMITTED,
+                                 OUTCOME_COMMITTED)
 
     def _fetch_progress(self, simulation, ga_index):
         """Download and interpret a GA's partial progress file."""

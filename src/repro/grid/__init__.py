@@ -20,7 +20,8 @@ from .errors import (CredentialError, GridError, OperationTimeout,
                      SubmitRejected, TransferFault, TransientGridError,
                      TruncatedTransfer, UnknownResourceError)
 from .fabric import GridFabric, build_fabric
-from .faults import FaultInjector, LatencyWindow, OutageRecord
+from .faults import (CrashPoint, CrashSchedule, DaemonCrash,
+                     FaultInjector, LatencyWindow, OutageRecord)
 from .gram import (ACTIVE, DONE, FAILED, PENDING, UNSUBMITTED, AppExecution,
                    GramJob, GramService)
 from .gridftp import GridFTPService, checksum
@@ -32,7 +33,8 @@ __all__ = [
     "ACTIVE", "AppExecution", "AuditLog", "AuditRecord",
     "BREAKER_STATES", "BreakerEvent", "BreakerPolicy", "BreakerRegistry",
     "CertificateInvalid", "CircuitBreaker", "CommandResult",
-    "CommunityCredential", "CredentialError", "DONE", "DeploymentError",
+    "CommunityCredential", "CrashPoint", "CrashSchedule",
+    "CredentialError", "DONE", "DaemonCrash", "DeploymentError",
     "EXIT_OK", "EXIT_PERMANENT", "EXIT_TRANSIENT", "FAILED",
     "FaultInjector", "GramJob", "GramService", "GridClients", "GridError",
     "GridFTPService", "GridFabric", "LatencyWindow", "OperationTimeout",

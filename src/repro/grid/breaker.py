@@ -163,6 +163,36 @@ class BreakerRegistry:
     def record_failure(self, resource):
         self.breaker(resource).record_failure()
 
+    # -- restart rehydration -------------------------------------------
+    def restore(self, resource, state, failures=0, opened_at=None):
+        """Rehydrate one breaker from persisted telemetry (no events).
+
+        The daemon publishes breaker snapshots into machine telemetry
+        every poll; a restarted daemon reads them back so a machine that
+        was provably sick before the crash does not greet the new
+        process with a fresh CLOSED breaker (which would let
+        ``recover_resource_holds`` hand out refreshed retry budgets the
+        moment the daemon bounces).  Restoring is *recall*, not a
+        transition: no ``breaker.transition`` event fires, so replayed
+        schedules keep byte-identical logs.
+        """
+        if state not in BREAKER_STATES:
+            raise ValueError(f"Unknown breaker state {state!r}")
+        if state == HALF_OPEN:
+            # The in-flight probe died with the old process; re-open and
+            # let the cooldown admit a fresh probe.
+            state = OPEN
+        breaker = self.breaker(resource)
+        breaker.state = state
+        breaker.consecutive_failures = int(failures or 0)
+        breaker.opened_at = opened_at if state != CLOSED else None
+        if state != CLOSED and breaker.opened_at is None:
+            # Persisted rows can predate the opened_at column; treat
+            # the restart instant as the opening time (conservative:
+            # the breaker stays open a full cooldown from now).
+            breaker.opened_at = self.clock.now
+        return breaker
+
     # -- observability -------------------------------------------------
     def state_of(self, resource):
         breaker = self._breakers.get(resource)

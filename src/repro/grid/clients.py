@@ -143,6 +143,7 @@ class GridClients:
             "globusrun-ws": self._dispatch_globusrun,
             "globus-job-status": self._dispatch_job_status,
             "globus-job-cancel": self._dispatch_job_cancel,
+            "globus-job-lookup": self._dispatch_job_lookup,
             "globus-url-copy": self._dispatch_url_copy,
         }
         if program not in handlers:
@@ -299,6 +300,30 @@ class GridClients:
     def _dispatch_job_status(self, argv):
         return self.globus_job_status(argv[argv.index("-r") + 1], argv[-1])
 
+    def globus_job_lookup(self, resource_name, tag):
+        """Recover a GRAM job id by its submitted ``clientTag``.
+
+        The reconciliation primitive: ``stdout`` is ``"<id> <state>"``
+        when a job carrying the tag exists on the job manager, or empty
+        when the submission provably never happened.  A transient result
+        (resource unreachable, breaker open) proves nothing — the caller
+        must hold the affected simulation rather than guess.
+        """
+        argv = ["globus-job-lookup", "-r", resource_name, str(tag)]
+
+        def action():
+            proxy = self._require_proxy()
+            gram = self.fabric.gram(resource_name)
+            gram_job = gram.find_by_tag(proxy, str(tag))
+            if gram_job is None:
+                return ""
+            return f"{gram_job.id} {gram_job.state}"
+        return self._run(argv, action, resource=resource_name)
+
+    def _dispatch_job_lookup(self, argv):
+        return self.globus_job_lookup(argv[argv.index("-r") + 1],
+                                      argv[-1])
+
     def globus_job_cancel(self, resource_name, gram_job_id):
         argv = ["globus-job-cancel", "-r", resource_name, str(gram_job_id)]
 
@@ -342,8 +367,25 @@ class GridClients:
         result.data = holder.get("data")
         return result
 
+    def stage_stat(self, resource_name, remote_path):
+        """Size/digest probe of a remote file: ``"<size> <md5>"`` or
+        ``"absent"`` — how reconciliation re-verifies a transfer whose
+        commit record was lost in a crash."""
+        argv = ["globus-url-copy", "-stat",
+                f"gsiftp://{resource_name}{remote_path}"]
+
+        def action():
+            proxy = self._require_proxy()
+            return self.fabric.gridftp(resource_name).stat(
+                proxy, remote_path)
+        return self._run(argv, action, resource=resource_name)
+
     def _dispatch_url_copy(self, argv):
         src, dst = argv[-2], argv[-1]
+        if "-stat" in argv:
+            rest = argv[-1][len("gsiftp://"):]
+            resource_name, _, path = rest.partition("/")
+            return self.stage_stat(resource_name, "/" + path)
         if src.startswith("gsiftp://"):
             rest = src[len("gsiftp://"):]
             resource_name, _, path = rest.partition("/")

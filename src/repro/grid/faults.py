@@ -21,7 +21,12 @@ sim clock, so a fault *schedule* is deterministic and replayable:
   with mid-run (the toolkit must self-heal by re-issuing),
 - **model failures** — a staged output file is corrupted so result
   parsing fails (handled at the workflow layer, which holds the
-  simulation).
+  simulation),
+- **daemon crashes** — deterministic :class:`CrashPoint`\\ s raise
+  :class:`DaemonCrash` at the operation journal's two dangerous
+  windows (after the intent write / after the remote side effect), so
+  the kill-restart-resume property tests can kill the daemon at every
+  journaled boundary and assert exactly-once semantics survive.
 """
 
 from __future__ import annotations
@@ -101,6 +106,75 @@ def check_latency(resource, now):
             f"{resource.name}: operation timed out under load")
 
 
+class DaemonCrash(BaseException):
+    """The daemon process dies, *now*.
+
+    Derives from :class:`BaseException` deliberately: a crash is not an
+    error any ``except Exception`` recovery path may swallow — it must
+    unwind the whole poll stack exactly the way ``kill -9`` discards it.
+    The test harness catches it at top level and constructs a fresh
+    daemon against the same database and fabric.
+    """
+
+    def __init__(self, op, when):
+        super().__init__(f"daemon crashed {when} journaled {op}")
+        self.op = op
+        self.when = when
+
+
+@dataclass
+class CrashPoint:
+    """One scheduled kill at a journaled operation boundary.
+
+    ``when="before"`` fires after the journal intent is durably written
+    but before the side-effecting grid call; ``when="after"`` fires
+    after the remote side effect but before the journal commit lands.
+    These are the two windows a crash can leave intent and reality
+    disagreeing — everything else is ordinary at-rest state.  ``skip``
+    lets the point target the N-th matching boundary; each point fires
+    exactly once, so schedules replay deterministically.
+    """
+
+    op: str                   # "submit" | "stage_in" | ... | "*"
+    when: str                 # "before" | "after"
+    skip: int = 0
+    hits: int = 0
+    fired: bool = False
+
+    def matches(self, op, when):
+        return (self.op in ("*", op)) and self.when == when
+
+
+class CrashSchedule:
+    """The registry of pending crash points, consulted at every
+    journaled boundary (installed on the fabric by the injector, so the
+    workflow layer reaches it without new wiring)."""
+
+    def __init__(self):
+        self.points = []
+        self.crashes = []          # (op, when) pairs that fired
+
+    def add(self, point):
+        self.points.append(point)
+        return point
+
+    def check(self, op, when):
+        """Raise :class:`DaemonCrash` when a pending point matches."""
+        for point in self.points:
+            if point.fired or not point.matches(op, when):
+                continue
+            point.hits += 1
+            if point.hits <= point.skip:
+                continue
+            point.fired = True
+            self.crashes.append((op, when))
+            raise DaemonCrash(op, when)
+
+    @property
+    def pending(self):
+        return [p for p in self.points if not p.fired]
+
+
 class FaultInjector:
     def __init__(self, fabric, clock):
         self.fabric = fabric
@@ -169,6 +243,30 @@ class FaultInjector:
         """Injected outage windows, for asserting breaker event timing."""
         return [r for r in self.outages
                 if resource_name is None or r.resource == resource_name]
+
+    # ------------------------------------------------------------------
+    # Daemon crashes (kill-restart-resume harness)
+    # ------------------------------------------------------------------
+    def crash_schedule(self):
+        """The fabric-wide crash schedule, created on first use."""
+        schedule = getattr(self.fabric, "crash_schedule", None)
+        if schedule is None:
+            schedule = CrashSchedule()
+            self.fabric.crash_schedule = schedule
+        return schedule
+
+    def crash(self, op, *, when="before", skip=0):
+        """Kill the daemon at the next matching journaled boundary.
+
+        ``op`` is a journal operation class (``submit``/``stage_in``/
+        ``stage_out``/``cancel``) or ``"*"``; ``when`` picks the window
+        (see :class:`CrashPoint`); ``skip`` skips that many matching
+        boundaries first.  Returns the :class:`CrashPoint` handle.
+        """
+        if when not in ("before", "after"):
+            raise ValueError("when must be 'before' or 'after'")
+        return self.crash_schedule().add(
+            CrashPoint(op=op, when=when, skip=int(skip)))
 
     # ------------------------------------------------------------------
     # Transfer and submission faults

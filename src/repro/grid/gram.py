@@ -237,6 +237,29 @@ class GramService:
                           gram_job.gateway_user, detail=str(gram_job_id))
         return True
 
+    def find_by_tag(self, proxy, tag):
+        """The GRAM job whose RSL carries ``clientTag=tag``, or None.
+
+        The restart-reconciliation primitive: the daemon journals an
+        intent keyed by a deterministic idempotency tag and stamps the
+        same tag into the submitted RSL, so after a crash it can ask the
+        job manager — not its own lost memory — whether the submission
+        actually happened.  Tags are unique by construction (one tag is
+        never submitted twice), so the first match is the only match.
+        """
+        self._check_access(proxy, "gram-lookup")
+        for gram_job in self.jobs.values():
+            if gram_job.rsl.get("clientTag") == tag:
+                self.audit.record(self.clock, "gram-lookup",
+                                  self.resource.name,
+                                  proxy.saml.gateway_user,
+                                  detail=f"{tag} -> job {gram_job.id}")
+                return gram_job
+        self.audit.record(self.clock, "gram-lookup", self.resource.name,
+                          proxy.saml.gateway_user,
+                          detail=f"{tag} -> not found")
+        return None
+
     def failure_reason(self, gram_job_id):
         return self._get(gram_job_id).failure_reason
 

@@ -110,6 +110,27 @@ class GridFTPService:
         self._check_access(proxy, "gridftp-stat", remote_path)
         return self.resource.filesystem.exists(remote_path)
 
+    def stat(self, proxy, remote_path):
+        """``"<size> <md5>"`` of a remote file, or ``"absent"``.
+
+        Restart reconciliation re-verifies a possibly-partial transfer
+        against the journaled payload size/digest: a matching stat
+        proves the upload landed intact before the crash; ``absent`` (or
+        a mismatch) proves it must be re-issued.
+        """
+        self._check_access(proxy, "gridftp-stat", remote_path)
+        if not self.resource.filesystem.exists(remote_path):
+            self.audit.record(self.clock, "gridftp-stat",
+                              self.resource.name,
+                              proxy.saml.gateway_user,
+                              detail=f"{remote_path} absent")
+            return "absent"
+        data = self.resource.filesystem.read(remote_path)
+        self.audit.record(self.clock, "gridftp-stat", self.resource.name,
+                          proxy.saml.gateway_user,
+                          detail=f"{remote_path} ({len(data)} bytes)")
+        return f"{len(data)} {checksum(data)}"
+
 
 def checksum(data):
     return hashlib.md5(data).hexdigest()

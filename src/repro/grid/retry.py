@@ -44,6 +44,7 @@ _PROGRAM_OPS = {
     "globusrun-ws": OP_SUBMIT,
     "globus-job-status": OP_POLL,
     "globus-job-cancel": OP_CANCEL,
+    "globus-job-lookup": OP_POLL,
     "globus-url-copy": OP_TRANSFER,
     "globus-job-run": OP_QSTAT,
 }
@@ -110,8 +111,12 @@ class RetryTracker:
 
     The per-simulation attempt counters themselves persist on the
     ``Simulation`` row (``retry_counts``/``retry_not_before``) so a
-    daemon restart inherits them; the tracker holds only the policy and
-    an in-memory event log for tests and operator tooling.
+    daemon restart inherits them; the tracker holds the policy and an
+    in-memory event log for tests and operator tooling.  On restart the
+    daemon's reconciliation sweep calls :meth:`rehydrate` with the
+    surviving rows, so the post-crash tracker reports the same
+    escalation state (attempt counts, pending backoff deadlines) the
+    pre-crash one did instead of silently starting from zero.
     """
 
     policy: RetryPolicy
@@ -154,3 +159,39 @@ class RetryTracker:
     def events_for(self, simulation_id):
         return [e for e in self.events
                 if e.simulation_id == simulation_id]
+
+    def attempts_for(self, simulation_id, operation):
+        """Highest attempt number recorded for (simulation, operation)."""
+        attempts = [e.attempt for e in self.events
+                    if e.simulation_id == simulation_id
+                    and e.operation == operation]
+        return max(attempts, default=0)
+
+    def rehydrate(self, simulations):
+        """Rebuild escalation state from the durable ``Simulation`` rows.
+
+        A fresh tracker in a bounced daemon knows nothing; without this,
+        operator tooling (``events_for``/``attempts_for``) would report
+        a clean slate for a simulation that is six failures deep into
+        its budget.  For every persisted ``retry_counts`` entry one
+        synthetic :class:`RetryEvent` is reconstructed carrying the
+        surviving attempt count and the persisted backoff deadline
+        (``failed_at`` is back-computed from the deterministic delay, so
+        a rehydrated timeline matches the original one).  Budgets are
+        *not* reset — that is the whole point.
+        """
+        restored = 0
+        for simulation in simulations:
+            counts = simulation.retry_counts or {}
+            not_before = simulation.retry_not_before or 0.0
+            for operation, attempt in sorted(counts.items()):
+                attempt = int(attempt)
+                if attempt <= self.attempts_for(simulation.pk, operation):
+                    continue        # already known (shared tracker)
+                delay = self.policy.delay_for(
+                    attempt, key=f"{simulation.pk}:{operation}")
+                self.events.append(RetryEvent(
+                    simulation.pk, operation, attempt,
+                    max(not_before - delay, 0.0), not_before))
+                restored += 1
+        return restored

@@ -26,6 +26,9 @@ class RSLError(Exception):
 KNOWN_ATTRIBUTES = {
     "executable", "arguments", "count", "maxWallTime", "directory",
     "jobType", "stdout", "stderr", "environment", "dependsOn",
+    # The daemon's idempotency tag: stamped on every submission so a
+    # restarted daemon can recover an orphaned job's id by tag lookup.
+    "clientTag",
 }
 
 

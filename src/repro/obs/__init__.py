@@ -90,6 +90,10 @@ class Observability:
             "retries": int(metrics.total("grid_retries_total")),
             "transitions": int(metrics.total("sim_transitions_total")),
             "http_requests": int(metrics.total("http_requests_total")),
+            "recovery_sweeps":
+                int(metrics.total("daemon_recovery_sweeps_total")),
+            "recovered_operations":
+                int(metrics.total("daemon_recovery_operations_total")),
             "events": len(self.events),
             "spans": len(self.tracer.finished),
         }

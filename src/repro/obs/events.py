@@ -87,6 +87,13 @@ class EventLog:
         self._all_subscribers.append(fn)
         return fn
 
+    def unsubscribe(self, kind, fn):
+        """Detach one subscriber (daemon restart: the dead process's
+        handlers must not keep delivering)."""
+        handlers = self._subscribers.get(kind, [])
+        if fn in handlers:
+            handlers.remove(fn)
+
     # -- read side ------------------------------------------------------
     def of_kind(self, kind):
         return [r for r in self.records if r.kind == kind]

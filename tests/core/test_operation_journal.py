@@ -1,0 +1,129 @@
+"""The durable operation journal: write-ahead discipline and keys.
+
+Every side-effecting grid call is journaled intent-first; these tests
+pin the bookkeeping itself — deterministic idempotency keys, commit
+ordering, attempt renumbering across transient retries, and the role
+grants — while ``tests/integration/test_crash_recovery.py`` exercises
+the crash windows the journal exists for.
+"""
+
+import pytest
+
+from repro.core import OperationRecord, idempotency_key
+from repro.core.models import (JOURNAL_ABORTED, JOURNAL_COMMITTED,
+                               JOURNAL_OP_SUBMIT, GridJobRecord,
+                               OUTCOME_COMMITTED, OUTCOME_TRANSIENT,
+                               SIM_DONE)
+from repro.grid import FaultInjector
+
+from .conftest import submit_direct
+
+
+class TestIdempotencyKey:
+    def test_deterministic_format(self):
+        assert idempotency_key(7, "prejob", 2) == "amp-sim-7-prejob-2"
+        assert idempotency_key(123, "model-0-0", 1) \
+            == "amp-sim-123-model-0-0-1"
+
+    def test_distinct_across_phases_and_attempts(self):
+        keys = {idempotency_key(1, phase, attempt)
+                for phase in ("prejob", "postjob", "model-0-0")
+                for attempt in (1, 2, 3)}
+        assert len(keys) == 9
+
+
+class TestWriteAheadJournal:
+    def drive(self, deployment):
+        deployment.run_daemon_until_idle(poll_interval_s=1800.0,
+                                         max_polls=200)
+
+    def entries(self, deployment):
+        return list(OperationRecord.objects.using(
+            deployment.databases.admin).order_by("id"))
+
+    def test_clean_run_commits_every_operation(self, deployment,
+                                               astronomer):
+        sim = submit_direct(deployment, astronomer)
+        self.drive(deployment)
+        sim.refresh_from_db()
+        assert sim.state == SIM_DONE
+        entries = self.entries(deployment)
+        assert entries, "no journal entries written"
+        for entry in entries:
+            assert entry.state == JOURNAL_COMMITTED
+            assert entry.outcome == OUTCOME_COMMITTED
+            assert entry.idempotency_key == idempotency_key(
+                entry.simulation_id, entry.phase, entry.attempt)
+            assert entry.resolved_at >= entry.intent_at
+        # Keys are globally unique by construction (and by constraint).
+        keys = [e.idempotency_key for e in entries]
+        assert len(keys) == len(set(keys))
+        # The full direct-run surface is journaled: four submits plus
+        # the input upload and the tarball download.
+        ops = sorted(e.op for e in entries)
+        assert ops.count("submit") == 4
+        assert ops.count("stage_in") == 1
+        assert ops.count("stage_out") == 1
+
+    def test_submit_entries_cross_link_job_records(self, deployment,
+                                                   astronomer):
+        sim = submit_direct(deployment, astronomer)
+        self.drive(deployment)
+        db = deployment.databases.admin
+        for entry in OperationRecord.objects.using(db).filter(
+                op=JOURNAL_OP_SUBMIT):
+            record = GridJobRecord.objects.using(db).get(
+                pk=entry.job_record_id)
+            assert record.idempotency_key == entry.idempotency_key
+            assert record.gram_job_id == entry.gram_job_id
+            # The key rides into GRAM as the RSL clientTag, which is
+            # what makes orphans findable after a crash.
+            assert f"(clientTag={entry.idempotency_key})" in record.rsl
+
+    def test_transient_submit_aborts_and_renumbers(self, deployment,
+                                                   astronomer):
+        sim = submit_direct(deployment, astronomer)
+        injector = FaultInjector(deployment.fabric, deployment.clock)
+        injector.reject_submissions("kraken", 1)
+        self.drive(deployment)
+        sim.refresh_from_db()
+        assert sim.state == SIM_DONE
+        prejob = list(OperationRecord.objects.using(
+            deployment.databases.admin).filter(
+            simulation_id=sim.pk, phase="prejob").order_by("attempt"))
+        assert [e.attempt for e in prejob] == [1, 2]
+        assert prejob[0].state == JOURNAL_ABORTED
+        assert prejob[0].outcome == OUTCOME_TRANSIENT
+        assert prejob[1].state == JOURNAL_COMMITTED
+        # The rejected attempt's key was never reused.
+        assert prejob[0].idempotency_key != prejob[1].idempotency_key
+
+    def test_blocked_simulation_is_frozen(self, deployment, astronomer):
+        sim = submit_direct(deployment, astronomer)
+        workflow = deployment.daemon.workflows["direct"]
+        # The daemon and its workflows share one blocked set.
+        assert workflow.blocked_sims is deployment.daemon.blocked_sims
+        workflow.blocked_sims.add(sim.pk)
+        deployment.clock.advance(1800.0)
+        assert workflow.advance(sim) is False
+        assert sim.state == "QUEUED"
+        assert not self.entries(deployment)
+        workflow.blocked_sims.discard(sim.pk)
+        self.drive(deployment)
+        sim.refresh_from_db()
+        assert sim.state == SIM_DONE
+
+
+class TestJournalGrants:
+    def test_daemon_owns_the_journal(self, deployment):
+        daemon_db = deployment.databases.daemon
+        for operation in ("select", "insert", "update"):
+            daemon_db.check_permission(operation, "amp_operation")
+
+    def test_portal_reads_only(self, deployment):
+        from repro.webstack.orm import PermissionDenied
+        portal_db = deployment.databases.portal
+        portal_db.check_permission("select", "amp_operation")
+        for operation in ("insert", "update", "delete"):
+            with pytest.raises(PermissionDenied):
+                portal_db.check_permission(operation, "amp_operation")

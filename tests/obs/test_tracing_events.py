@@ -137,7 +137,8 @@ class TestObservabilityFacade:
         assert set(summary) == {
             "polls", "grid_commands", "grid_failures",
             "breaker_transitions", "retries", "transitions",
-            "http_requests", "events", "spans"}
+            "http_requests", "recovery_sweeps",
+            "recovered_operations", "events", "spans"}
         assert all(v == 0 for v in summary.values())
 
     def test_correlation_id_format(self):
