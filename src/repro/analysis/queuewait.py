@@ -16,31 +16,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..hpc.cluster import ComputeResource
 from ..hpc.machines import KRAKEN
-from ..hpc.scheduler import TERMINAL_STATES, BatchJob
-from ..hpc.simclock import DAY, HOUR, SimClock
-from ..hpc.workload import BackgroundWorkload
+from ..hpc.scheduler import TERMINAL_STATES
+from ..hpc.simclock import HOUR
+# The load model and wait accounting live in the shared predictor
+# module (repro.sched.predictor) — the same source of truth the
+# resource broker scores placements with.
+from ..sched.predictor import (eligible_waits, loaded_resource,
+                               segment_jobs)
 from .reporting import format_table
 
-
-def _loaded_resource(machine, *, load, seed, warmup_s=3 * DAY,
-                     horizon_s=40 * DAY):
-    clock = SimClock()
-    resource = ComputeResource(machine, clock)
-    rng = np.random.default_rng(seed)
-    workload = BackgroundWorkload(resource.scheduler, clock, rng,
-                                  target_load=load)
-    workload.start(horizon_s)
-    clock.advance(warmup_s)
-    return clock, resource
-
-
-def _segment_jobs(n_segments, *, cores, segment_runtime_s, walltime_s):
-    return [BatchJob(name=f"amp-seg{i}", cores=cores,
-                     walltime_limit_s=walltime_s,
-                     runtime_fn=segment_runtime_s, user="amp")
-            for i in range(n_segments)]
+_loaded_resource = loaded_resource
+_segment_jobs = segment_jobs
 
 
 def run_sequential(machine=KRAKEN, *, n_segments=4, cores=128,
@@ -81,20 +68,11 @@ def run_chained(machine=KRAKEN, *, n_segments=4, cores=128,
 def _chain_stats(strategy, jobs, t_begin, t_end):
     waits = [j.queue_wait_s for j in jobs]
     runs = [j.run_duration_s for j in jobs]
-    # A chained job's "wait" includes time blocked on its dependency;
-    # the queue-wait the paper cares about is eligible-to-start wait,
-    # which for chained jobs is start − max(submit, dep end).
-    eligible_waits = []
-    for index, job in enumerate(jobs):
-        eligible_from = job.submit_time
-        if index > 0:
-            eligible_from = max(eligible_from, jobs[index - 1].end_time)
-        eligible_waits.append(job.start_time - eligible_from)
     return {
         "strategy": strategy,
         "jobs": len(jobs),
         "statuses": [j.status for j in jobs],
-        "cumulative_wait_s": float(sum(eligible_waits)),
+        "cumulative_wait_s": float(sum(eligible_waits(jobs))),
         "raw_wait_s": float(sum(waits)),
         "total_run_s": float(sum(runs)),
         "makespan_s": float(t_end - t_begin),

@@ -12,13 +12,15 @@ from .daemon import ExternalMonitor, GridAMPDaemon
 from .models import (ALL_MODELS, CORE_MODELS, AllocationRecord,
                      GridJobRecord, HOLD_MODEL, HOLD_RESOURCE,
                      JOURNAL_ABORTED, JOURNAL_COMMITTED, JOURNAL_INTENT,
-                     KIND_DIRECT, KIND_OPTIMIZATION,
+                     KIND_DIRECT, KIND_OPTIMIZATION, MACHINE_AUTO,
                      MachineRecord, ObservationSet, OperationRecord,
+                     RESERVATION_RELEASED, RESERVATION_RESERVED,
+                     RESERVATION_SETTLED, ReservationRecord,
                      SIM_ACTIVE_STATES,
                      SIM_CANCELLED, SIM_CLEANUP, SIM_DONE, SIM_HOLD,
                      SIM_POSTJOB, SIM_PREJOB, SIM_QUEUED, SIM_RUNNING,
                      SIM_STATES, Simulation, Star, SubmitAuthorization,
-                     UserProfile, idempotency_key)
+                     UserProfile, idempotency_key, reservation_key)
 from .notifications import (AUDIENCE_ADMIN, AUDIENCE_USER, JargonLeak,
                             Mailer, NotificationPolicy)
 from .security import audit_role_separation, build_role_registry
@@ -32,9 +34,11 @@ __all__ = [
     "DirectRunWorkflow", "ExternalMonitor", "GridAMPDaemon",
     "GridJobRecord", "HOLD_MODEL", "HOLD_RESOURCE", "JargonLeak",
     "JOURNAL_ABORTED", "JOURNAL_COMMITTED", "JOURNAL_INTENT",
-    "KIND_DIRECT", "KIND_OPTIMIZATION",
+    "KIND_DIRECT", "KIND_OPTIMIZATION", "MACHINE_AUTO",
     "MachineRecord", "Mailer", "ModelFailure", "NotificationPolicy",
     "ObservationSet", "OperationRecord", "OptimizationWorkflow",
+    "RESERVATION_RELEASED", "RESERVATION_RESERVED",
+    "RESERVATION_SETTLED", "ReservationRecord", "reservation_key",
     "idempotency_key", "SIM_ACTIVE_STATES",
     "SIM_CANCELLED", "SIM_CLEANUP", "SIM_DONE", "SIM_HOLD", "SIM_POSTJOB",
     "SIM_PREJOB", "SIM_QUEUED", "SIM_RUNNING", "SIM_STATES",

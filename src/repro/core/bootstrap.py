@@ -39,9 +39,11 @@ DEFAULT_PROJECT = "TG-AST090056"
 
 class AMPDeployment:
     def __init__(self, *, machines=None, su_grant=5_000_000.0,
-                 seed_catalog=True, observability=True):
+                 seed_catalog=True, observability=True,
+                 placement_policy="least-wait"):
         self.machines = list(machines or TABLE1_MACHINES)
         self.machine_specs = {m.name: m for m in self.machines}
+        self.placement_policy = placement_policy
         self.clock = SimClock()
 
         # One observability facade for every layer: metrics registry,
@@ -71,7 +73,8 @@ class AMPDeployment:
         self.mailer = Mailer(self.clock)
         self.daemon = GridAMPDaemon(self.databases.daemon, self.clients,
                                     self.clock, self.mailer,
-                                    self.machine_specs, obs=self.obs)
+                                    self.machine_specs, obs=self.obs,
+                                    placement_policy=placement_policy)
         self.monitor = ExternalMonitor(self.daemon, self.mailer,
                                        clock=self.clock, obs=self.obs)
 
@@ -189,7 +192,8 @@ class AMPDeployment:
                                    breakers=self.breakers, obs=self.obs)
         self.daemon = GridAMPDaemon(self.databases.daemon, self.clients,
                                     self.clock, self.mailer,
-                                    self.machine_specs, obs=self.obs)
+                                    self.machine_specs, obs=self.obs,
+                                    placement_policy=self.placement_policy)
         self.monitor = ExternalMonitor(self.daemon, self.mailer,
                                        clock=self.clock, obs=self.obs)
         return self.daemon

@@ -49,7 +49,8 @@ DEFAULT_POLL_INTERVAL_S = 300.0
 
 class GridAMPDaemon:
     def __init__(self, db, clients, clock, mailer, machine_specs,
-                 retry_policy=None, obs=None):
+                 retry_policy=None, obs=None,
+                 placement_policy="least-wait"):
         self.db = db
         self.clients = clients
         self.clock = clock
@@ -91,6 +92,18 @@ class GridAMPDaemon:
         self.blocked_sims = set()
         for workflow in self.workflows.values():
             workflow.blocked_sims = self.blocked_sims
+        # The resource broker and its SU ledger (imported lazily:
+        # repro.sched sits above the core package in the import graph).
+        from ..sched.broker import ResourceBroker
+        from ..sched.ledger import SULedger
+        self.ledger = SULedger(db, clock, obs=self.obs)
+        self.broker = ResourceBroker(
+            db, machine_specs, clock, breakers=breakers, obs=self.obs,
+            fabric=clients.fabric, policy=placement_policy,
+            ledger=self.ledger)
+        for workflow in self.workflows.values():
+            # CLEANUP settles reservations through the shared ledger.
+            workflow.ledger = self.ledger
         # Breaker transitions reach the administrators through the event
         # log — the breaker emits exactly once, notifications subscribe.
         self.obs.events.subscribe("breaker.transition",
@@ -117,8 +130,18 @@ class GridAMPDaemon:
             breakers_restored = self._restore_breakers()
             retries_restored = self._restore_retry_state()
             summary = self.reconcile_journal()
+            # The broker's half: adopt reservations whose simulation
+            # stamp was lost mid-placement, release stale holds.
+            adopted, released = self.broker.reconcile()
             summary["breakers_restored"] = breakers_restored
             summary["retries_restored"] = retries_restored
+            summary["reservations_adopted"] = adopted
+            summary["reservations_released"] = released
+            if adopted:
+                metrics.counter(
+                    "sched_reservations_adopted_total",
+                    help="Reservations adopted by boot "
+                         "reconciliation").inc(adopted)
             for key, value in sorted(summary.items()):
                 span.set_attr(key, value)
             metrics.counter(
@@ -558,6 +581,10 @@ class GridAMPDaemon:
                 # retry the sweep until every blocked simulation is
                 # provably settled (steady-state polls skip this).
                 self._phase("reconcile_pending", self.reconcile_journal)
+            # Placement runs after the telemetry refresh (fresh queue
+            # depths and breaker columns) and before any workflow may
+            # advance a newly placed simulation out of QUEUED.
+            self._phase("place_simulations", self.broker.place_pending)
             self._phase("recover_resource_holds",
                         self.recover_resource_holds)
             transitions = self._phase("advance_simulations",

@@ -38,6 +38,12 @@ SIM_ACTIVE_STATES = (SIM_QUEUED, SIM_PREJOB, SIM_RUNNING, SIM_POSTJOB,
 KIND_DIRECT = "direct"
 KIND_OPTIMIZATION = "optimization"
 
+#: Sentinel machine name for broker-placed simulations: the portal's
+#: "Auto — let AMP choose" option stores this, and the daemon's
+#: placement phase (repro.sched) replaces it with a concrete machine
+#: before the workflow is allowed to advance past QUEUED.
+MACHINE_AUTO = "auto"
+
 # Hold categories: why a simulation sits in SIM_HOLD.
 HOLD_MODEL = "model"          # model failure — administrator attention
 HOLD_RESOURCE = "resource"    # retry budget exhausted — auto-resumable
@@ -80,6 +86,31 @@ OUTCOME_VERIFIED = "verified"      # transfer re-verified by size/digest
 OUTCOME_REISSUED = "reissued"      # provably never happened; safe to redo
 OUTCOME_TRANSIENT = "transient"    # the call failed transiently; no effect
 OUTCOME_FAILED = "failed"          # the call failed permanently; no effect
+
+
+# SU-reservation lifecycle (resource broker, repro.sched).  A
+# reservation is written durably *before* the simulation is stamped
+# with its placed machine (the same write-ahead discipline as the
+# operation journal): RESERVED holds the estimated cost against the
+# allocation, SETTLED records the actual usage charged at CLEANUP, and
+# RELEASED marks a reservation withdrawn without charge (migration to
+# another site, cancellation, or reconciliation of a stale row).
+RESERVATION_RESERVED = "RESERVED"
+RESERVATION_SETTLED = "SETTLED"
+RESERVATION_RELEASED = "RELEASED"
+RESERVATION_STATES = (RESERVATION_RESERVED, RESERVATION_SETTLED,
+                      RESERVATION_RELEASED)
+
+
+def reservation_key(simulation_pk, attempt):
+    """The deterministic identity of one placement reservation.
+
+    ``amp-sim-{pk}-reservation-{attempt}``: like the operation
+    journal's idempotency keys, ``attempt`` is derived from durable
+    rows, so a bounced daemon computes the same next key the dead one
+    would have and the unique constraint refuses a double-reserve.
+    """
+    return f"amp-sim-{int(simulation_pk)}-reservation-{int(attempt)}"
 
 
 def idempotency_key(simulation_pk, phase, attempt):
@@ -390,6 +421,54 @@ class OperationRecord(orm.Model):
         return self.state != JOURNAL_INTENT
 
 
+class ReservationRecord(orm.Model):
+    """One SU reservation made by the resource broker.
+
+    The ledger's unit of account: written *before* the simulation row
+    is stamped with the placed machine, so a daemon crash between the
+    two leaves an adoptable RESERVED row rather than a lost placement
+    — and the unique ``reservation_key`` (attempt counted from durable
+    rows) means re-running the placement can never book the estimate
+    twice.  ``estimated_su`` is held against the allocation while the
+    simulation runs; CLEANUP settles the actual charge and records it
+    here, making the statistics page's placement digest and the
+    ledger invariant (reserved + used ≤ granted) auditable from rows
+    alone.
+    """
+
+    simulation = orm.ForeignKey(Simulation, related_name="reservations")
+    allocation = orm.ForeignKey(AllocationRecord,
+                                related_name="reservations")
+    machine_name = orm.CharField(max_length=40)
+    #: Which placement policy chose the site (least-wait, round-robin,
+    #: pack-by-allocation) — the audit trail for "why here?".
+    policy = orm.CharField(max_length=24, default="")
+    attempt = orm.IntegerField(default=1, min_value=1)
+    reservation_key = orm.CharField(max_length=100, unique=True)
+    estimated_su = orm.FloatField(default=0.0, min_value=0.0)
+    settled_su = orm.FloatField(null=True)
+    state = orm.CharField(max_length=12, default=RESERVATION_RESERVED,
+                          choices=[(s, s) for s in RESERVATION_STATES],
+                          db_index=True)
+    #: Why the reservation reached its terminal state ("settled",
+    #: "migrated to ranger", "cancelled", ...).
+    reason = orm.CharField(max_length=120, default="")
+    #: Virtual (sim-clock) timestamps, like the operation journal.
+    created_at = orm.FloatField(default=0.0)
+    resolved_at = orm.FloatField(null=True)
+
+    class Meta:
+        table_name = "amp_reservation"
+        ordering = ["id"]
+        # The broker's sweep scans by state; settlement and attempt
+        # numbering look up per simulation.
+        indexes = [("state",), ("simulation_id", "state")]
+
+    @property
+    def is_active(self):
+        return self.state == RESERVATION_RESERVED
+
+
 class GridJobRecord(orm.Model):
     """Generic grid-job status row (the lower level of the two-level
     workflow status).  One row per GRAM request the daemon makes."""
@@ -433,5 +512,5 @@ class GridJobRecord(orm.Model):
 
 CORE_MODELS = [Star, ObservationSet, MachineRecord, AllocationRecord,
                UserProfile, SubmitAuthorization, Simulation,
-               OperationRecord, GridJobRecord]
+               OperationRecord, ReservationRecord, GridJobRecord]
 ALL_MODELS = AUTH_MODELS + CORE_MODELS

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from ....webstack import Http404, JsonResponse, path, render
 from ....webstack.orm import Count
-from ...models import (AllocationRecord, MachineRecord, SIM_DONE,
-                       Simulation, Star)
+from ...models import (AllocationRecord, MachineRecord,
+                       RESERVATION_RESERVED, RESERVATION_SETTLED,
+                       ReservationRecord, SIM_DONE, Simulation, Star)
 
 
 def build_routes(ctx):
@@ -153,7 +154,43 @@ def build_routes(ctx):
                 "queue_depth": record.queue_depth,
                 "utilisation": record.utilisation,
             })
+        # Resource-brokering digest: what the placement engine decided,
+        # read straight from the reservation ledger (portal-readable,
+        # daemon-written) plus the observability counters.
+        per_machine = {}
+        brokering = {"active": 0, "reserved_su": 0.0,
+                     "settled": 0, "settled_su": 0.0, "released": 0}
+        for row in ReservationRecord.objects.using(request.db).all():
+            machine = per_machine.setdefault(
+                row.machine_name,
+                {"machine": display_names.get(row.machine_name,
+                                              row.machine_name),
+                 "active": 0, "reserved_su": 0.0, "settled": 0,
+                 "settled_su": 0.0})
+            if row.state == RESERVATION_RESERVED:
+                machine["active"] += 1
+                machine["reserved_su"] += row.estimated_su
+                brokering["active"] += 1
+                brokering["reserved_su"] += row.estimated_su
+            elif row.state == RESERVATION_SETTLED:
+                machine["settled"] += 1
+                machine["settled_su"] += row.settled_su or 0.0
+                brokering["settled"] += 1
+                brokering["settled_su"] += row.settled_su or 0.0
+            else:
+                brokering["released"] += 1
+        brokering["by_machine"] = [
+            per_machine[name] for name in sorted(per_machine)]
+        brokering["instrumented"] = ctx.obs is not None
+        if ctx.obs is not None:
+            brokering["placements"] = int(
+                ctx.obs.metrics.total("sched_placements_total"))
+            brokering["migrations"] = int(
+                ctx.obs.metrics.total("sched_migrations_total"))
+            brokering["refusals"] = int(
+                ctx.obs.metrics.total("sched_refusals_total"))
         return render(request, "statistics.html", {
+            "brokering": brokering,
             "by_state": sorted(by_state.items()),
             "by_kind": sorted(by_kind.items()),
             "by_machine": sorted(by_machine.items()),

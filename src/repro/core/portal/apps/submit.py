@@ -15,8 +15,13 @@ from ....science.astec.physics import PARAMETER_BOUNDS
 from ....webstack import (Http404, HttpResponseRedirect, path, render)
 from ....webstack import forms
 from ....webstack.auth import login_required
-from ...models import (KIND_DIRECT, KIND_OPTIMIZATION, ObservationSet,
-                       Simulation, Star, SubmitAuthorization)
+from ...models import (KIND_DIRECT, KIND_OPTIMIZATION, MACHINE_AUTO,
+                       ObservationSet, Simulation, Star,
+                       SubmitAuthorization)
+
+#: The broker-backed machine choice: the gateway picks (and re-picks,
+#: if a facility goes dark) the best healthy, funded site.
+AUTO_CHOICE_LABEL = "Auto — let AMP choose"
 
 
 class DirectRunForm(forms.Form):
@@ -66,20 +71,23 @@ def build_routes(ctx):
         telemetry — the portal itself never touches the grid.  Machines
         whose circuit breaker is open are routed away from entirely
         (offered only if every machine is sick, flagged as unavailable,
-        so the form never goes empty)."""
+        so the form never goes empty).  The broker-backed "Auto"
+        choice is always offered first: even when every facility is
+        sick it is the *resilient* option — the simulation waits in
+        the placement pool and starts the moment one recovers."""
         records = [r for r in ctx.machine_records(request.db)
                    if r.enabled]
         records.sort(key=lambda r: (r.queue_depth, r.utilisation,
                                     r.name))
         healthy = [r for r in records if r.is_available]
         sick = [r for r in records if not r.is_available]
-        choices = []
+        choices = [(MACHINE_AUTO, AUTO_CHOICE_LABEL)]
         for record in healthy:
             label = record.display_name or record.name
             if record.is_busy:
                 label += " (queue busy)"
             choices.append((record.name, label))
-        if not choices:
+        if not healthy:
             for record in sick:
                 label = (record.display_name or record.name) \
                     + " (temporarily unavailable)"
@@ -88,17 +96,33 @@ def build_routes(ctx):
 
     def _default_machine(request):
         """Direct runs: the configured production machine, unless its
-        breaker is open — then the healthiest alternative."""
-        choices = _machine_choices(request)
-        names = [name for name, _ in choices]
+        breaker is open — then the healthiest alternative, and when
+        *no* machine is healthy, the broker's Auto pool.
+
+        Direct submissions never name a sick machine: previously an
+        all-sick registry silently fell back to the configured default
+        even with its breaker open; now such runs wait in the
+        placement pool and start automatically on recovery.
+        """
+        records = [r for r in ctx.machine_records(request.db)
+                   if r.enabled and r.is_available]
+        names = {r.name for r in records}
         if ctx.default_machine_name in names:
             return ctx.default_machine_name
-        return names[0] if names else ctx.default_machine_name
+        if records:
+            records.sort(key=lambda r: (r.queue_depth, r.utilisation,
+                                        r.name))
+            return records[0].name
+        return MACHINE_AUTO
 
     def _user_authorized(request, machine_name):
         for auth in SubmitAuthorization.objects.using(request.db).filter(
                 user_id=request.user.pk, active=True).select_related(
                 "machine"):
+            if machine_name == MACHINE_AUTO:
+                # Auto needs *some* active authorization; the broker
+                # only ever places on machines the user may use.
+                return True
             if auth.machine.name == machine_name:
                 return True
         return False

@@ -264,6 +264,28 @@ STATISTICS = """{% extends "base.html" %}
 <td>{{ a.su_granted|floatformat:0 }}</td></tr>
 {% endfor %}
 </table>
+<h3>Resource brokering</h3>
+<p>{{ brokering.active }} reservation{{ brokering.active|pluralize }}
+holding {{ brokering.reserved_su|floatformat:0 }} service units;
+{{ brokering.settled }} run{{ brokering.settled|pluralize }} settled
+for {{ brokering.settled_su|floatformat:0 }} service units;
+{{ brokering.released }} released.</p>
+{% if brokering.by_machine %}
+<table><tr><th>Facility</th><th>Active</th><th>Held SUs</th>
+<th>Settled</th><th>Settled SUs</th></tr>
+{% for b in brokering.by_machine %}
+<tr><td>{{ b.machine }}</td><td>{{ b.active }}</td>
+<td>{{ b.reserved_su|floatformat:0 }}</td>
+<td>{{ b.settled }}</td>
+<td>{{ b.settled_su|floatformat:0 }}</td></tr>
+{% endfor %}
+</table>
+{% endif %}
+{% if brokering.instrumented %}
+<p>Automatic placements: {{ brokering.placements }};
+migrations: {{ brokering.migrations }};
+refusals: {{ brokering.refusals }}.</p>
+{% endif %}
 {% if ops %}
 <h3>Gateway operations</h3>
 <table><tr><th>Indicator</th><th>Value</th></tr>

@@ -34,6 +34,10 @@ PORTAL_GRANTS = {
     # The operation journal is read-only for the portal (the statistics
     # page digests the last recovery sweep); only the daemon writes it.
     "amp_operation": {"select"},
+    # The SU-reservation ledger likewise: the statistics page renders
+    # the placement digest from it, but only the daemon's broker books
+    # and settles reservations.
+    "amp_reservation": {"select"},
     # Back-end registry: read-only for form choices.
     "amp_machine": {"select"},
     "amp_allocation": {"select"},
@@ -49,6 +53,8 @@ DAEMON_GRANTS = {
     "amp_gridjob": {"select", "insert", "update"},
     # The write-ahead operation journal: the daemon owns it outright.
     "amp_operation": {"select", "insert", "update"},
+    # The broker's SU-reservation ledger: daemon-owned too.
+    "amp_reservation": {"select", "insert", "update"},
     "amp_machine": {"select", "update"},   # queue telemetry
     "amp_allocation": {"select", "update"},  # SU charging
     "amp_profile": {"select"},

@@ -36,10 +36,10 @@ from ..models import (GridJobRecord, HOLD_MODEL, HOLD_RESOURCE,
                       JOB_CLEANUP, JOB_POSTJOB, JOB_PREJOB,
                       JOURNAL_ABORTED, JOURNAL_COMMITTED, JOURNAL_INTENT,
                       JOURNAL_OP_STAGE_IN, JOURNAL_OP_STAGE_OUT,
-                      JOURNAL_OP_SUBMIT, OUTCOME_COMMITTED,
-                      OUTCOME_FAILED, OUTCOME_TRANSIENT, OperationRecord,
-                      SIM_DONE, SIM_HOLD, SubmitAuthorization,
-                      idempotency_key)
+                      JOURNAL_OP_SUBMIT, MACHINE_AUTO,
+                      OUTCOME_COMMITTED, OUTCOME_FAILED,
+                      OUTCOME_TRANSIENT, OperationRecord, SIM_DONE,
+                      SIM_HOLD, SubmitAuthorization, idempotency_key)
 from ..remote import CLEANUP_SH, POSTJOB_SH, PREJOB_SH, output_tarball_path
 from ..staging import StagingError
 
@@ -101,6 +101,10 @@ class WorkflowManager:
         #: not-done).  The daemon's reconciliation sweep owns this set;
         #: blocked simulations are frozen until their intent settles.
         self.blocked_sims = set()
+        #: The daemon injects its SU ledger so CLEANUP settles the
+        #: broker's reservation instead of double-charging; a bare
+        #: workflow (no broker) charges the legacy path.
+        self.ledger = None
         self.workflow = {
             "QUEUED": ([self.check_queued_sim, self.submit_pre_job],
                        "PREJOB"),
@@ -124,6 +128,8 @@ class WorkflowManager:
         """
         if simulation.state not in self.workflow:
             return False
+        if simulation.machine_name == MACHINE_AUTO:
+            return False            # awaiting broker placement
         if simulation.pk in self.blocked_sims:
             return False            # unresolved journal intent: frozen
         if not self.retry_due(simulation):
@@ -583,9 +589,17 @@ class WorkflowManager:
     def _charge_allocation(self, simulation):
         spec = self.machine_spec(simulation)
         core_seconds = self.consumed_core_seconds(simulation)
-        if core_seconds <= 0:
+        sus = 0.0
+        if core_seconds > 0:
+            sus = cpu_hours(1, core_seconds) * spec.su_charge_factor
+        # Broker-placed work settles through the ledger (idempotently:
+        # a re-run after a crash finds the reservation already settled
+        # and charges nothing).  True means the ledger owned it.
+        if self.ledger is not None and self.ledger.settle(simulation,
+                                                          sus):
             return
-        sus = cpu_hours(1, core_seconds) * spec.su_charge_factor
+        if sus <= 0:
+            return
         for auth in SubmitAuthorization.objects.using(self.db).filter(
                 user_id=simulation.owner_id, active=True).select_related(
                 "machine", "allocation"):

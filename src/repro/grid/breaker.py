@@ -220,3 +220,13 @@ class BreakerRegistry:
     def open_resources(self):
         return sorted(name for name, b in self._breakers.items()
                       if b.state != CLOSED)
+
+    def placeable(self, resource):
+        """Whether the resource broker may place *new* work here.
+
+        Stricter than ``allow()``: a HALF_OPEN breaker admits its
+        telemetry probe, but new placements wait until the probe has
+        actually closed the breaker — a recovering machine earns back
+        live traffic before it earns back fresh load.
+        """
+        return self.state_of(resource) == CLOSED

@@ -1,0 +1,29 @@
+"""The resource-brokering subsystem.
+
+AstroGrid-D-style site selection for the AMP gateway: a
+database-backed broker the daemon consults in a dedicated poll phase,
+matching every "Auto"-submitted simulation to the best healthy,
+authorized, funded TeraGrid machine; an SU allocation ledger that
+books estimated costs write-ahead and settles actual usage at
+CLEANUP; and breaker-aware failover that re-places still-QUEUED work
+when a site goes dark.  The broker's entire state lives in the shared
+database ("When Database Systems Meet the Grid"): a daemon bounce
+loses no placement decision, and the reconciliation sweep adopts
+whatever a crash left half-finished.
+"""
+
+from __future__ import annotations
+
+from .broker import REFUSAL_MESSAGES, ResourceBroker
+from .ledger import SULedger
+from .policy import (CandidateSite, LeastWaitPolicy,
+                     PackByAllocationPolicy, PlacementPolicy,
+                     POLICY_NAMES, RoundRobinPolicy, get_policy)
+from .predictor import (eligible_waits, estimate_queue_wait_s,
+                        loaded_resource, segment_jobs)
+
+__all__ = ["ResourceBroker", "SULedger", "REFUSAL_MESSAGES",
+           "CandidateSite", "PlacementPolicy", "LeastWaitPolicy",
+           "RoundRobinPolicy", "PackByAllocationPolicy", "POLICY_NAMES",
+           "get_policy", "eligible_waits", "estimate_queue_wait_s",
+           "loaded_resource", "segment_jobs"]

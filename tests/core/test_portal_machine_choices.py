@@ -1,0 +1,137 @@
+"""Portal machine choice: ordering, health flags, and the Auto option.
+
+The optimization form's facility dropdown is built from the daemon's
+published telemetry; these tests pin its contract: Auto first, healthy
+machines least-congested-first with busy flags, sick machines excluded
+while any healthy one exists (and flagged when none does), and direct
+runs never silently targeting a machine whose breaker is open.
+"""
+
+import pytest
+
+from repro.core import MachineRecord, Simulation
+from repro.core.models import MACHINE_AUTO
+from repro.core.portal.apps.submit import AUTO_CHOICE_LABEL
+from repro.webstack.testclient import Client
+
+from .conftest import submit_optimization
+
+
+@pytest.fixture()
+def portal(deployment):
+    return Client(deployment.build_portal())
+
+
+@pytest.fixture()
+def logged_in(deployment, astronomer, portal):
+    assert portal.login("metcalfe", "pw12345")
+    return portal
+
+
+def set_telemetry(deployment, name, *, queue_depth=0, utilisation=0.0,
+                  breaker_state="closed", enabled=True):
+    db = deployment.databases.admin
+    record = MachineRecord.objects.using(db).get(name=name)
+    record.queue_depth = queue_depth
+    record.utilisation = utilisation
+    record.breaker_state = breaker_state
+    record.enabled = enabled
+    record.save(db=db)
+    return record
+
+
+def form_page(deployment, logged_in, astronomer):
+    sim0, _ = submit_optimization(deployment, astronomer)  # seeds obs
+    response = logged_in.get(f"/submit/optimization/{sim0.star_id}/")
+    assert response.status_code == 200
+    return response.text
+
+
+def label_positions(text, *labels):
+    positions = [text.find(label) for label in labels]
+    assert all(p >= 0 for p in positions), dict(zip(labels, positions))
+    return positions
+
+
+class TestChoiceOrdering:
+    def test_auto_is_always_first(self, deployment, logged_in,
+                                  astronomer):
+        text = form_page(deployment, logged_in, astronomer)
+        auto, *rest = label_positions(text, AUTO_CHOICE_LABEL, "Frost",
+                                      "Kraken", "Lonestar", "Ranger")
+        assert auto < min(rest)
+
+    def test_least_congested_first(self, deployment, logged_in,
+                                   astronomer):
+        set_telemetry(deployment, "kraken", queue_depth=9)
+        set_telemetry(deployment, "frost", queue_depth=4)
+        set_telemetry(deployment, "ranger", queue_depth=0)
+        set_telemetry(deployment, "lonestar", queue_depth=2)
+        text = form_page(deployment, logged_in, astronomer)
+        ranger, lonestar, frost, kraken = label_positions(
+            text, "Ranger", "Lonestar", "Frost", "Kraken")
+        assert ranger < lonestar < frost < kraken
+
+    def test_busy_machines_are_flagged(self, deployment, logged_in,
+                                       astronomer):
+        set_telemetry(deployment, "kraken", queue_depth=7)
+        text = form_page(deployment, logged_in, astronomer)
+        assert "Kraken (queue busy)" in text
+        assert "Ranger (queue busy)" not in text
+
+
+class TestSickMachines:
+    def test_sick_machine_left_out_while_healthy_exist(
+            self, deployment, logged_in, astronomer):
+        set_telemetry(deployment, "kraken", breaker_state="open")
+        text = form_page(deployment, logged_in, astronomer)
+        assert "Kraken" not in text
+        assert "Ranger" in text
+        assert AUTO_CHOICE_LABEL in text
+
+    def test_every_machine_sick_falls_back_flagged(
+            self, deployment, logged_in, astronomer):
+        for name in deployment.machine_specs:
+            set_telemetry(deployment, name, breaker_state="open")
+        text = form_page(deployment, logged_in, astronomer)
+        # The form never goes empty: each facility is offered, clearly
+        # flagged, and Auto — the resilient choice — still leads.
+        for label in ("Frost", "Kraken", "Lonestar", "Ranger"):
+            assert f"{label} (temporarily unavailable)" in text
+        auto, frost = label_positions(text, AUTO_CHOICE_LABEL, "Frost")
+        assert auto < frost
+
+
+class TestDirectRunDefault:
+    def submit(self, deployment, logged_in):
+        star, _ = deployment.catalog.search("16 Cyg B")
+        response = logged_in.post(f"/submit/direct/{star.pk}/", {
+            "mass": "1.1", "z": "0.02", "y": "0.27", "alpha": "2.0",
+            "age": "3.0"})
+        assert response.status_code == 302
+        pk = int(response["Location"].rstrip("/").split("/")[-1])
+        return Simulation.objects.using(
+            deployment.databases.admin).get(pk=pk)
+
+    def test_healthy_default_is_used(self, deployment, logged_in,
+                                     astronomer):
+        assert self.submit(deployment, logged_in).machine_name \
+            == "kraken"
+
+    def test_sick_default_is_skipped(self, deployment, logged_in,
+                                     astronomer):
+        """Regression: an open breaker on the production machine used
+        to be ignored — the direct run targeted it anyway."""
+        set_telemetry(deployment, "kraken", breaker_state="open")
+        set_telemetry(deployment, "ranger", queue_depth=1)
+        sim = self.submit(deployment, logged_in)
+        assert sim.machine_name not in ("kraken", MACHINE_AUTO)
+        # The healthiest alternative: everyone idle except ranger.
+        assert sim.machine_name == "frost"
+
+    def test_all_sick_falls_back_to_the_broker(self, deployment,
+                                               logged_in, astronomer):
+        for name in deployment.machine_specs:
+            set_telemetry(deployment, name, breaker_state="open")
+        sim = self.submit(deployment, logged_in)
+        assert sim.machine_name == MACHINE_AUTO

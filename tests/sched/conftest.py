@@ -1,0 +1,36 @@
+"""Shared fixtures for the resource-broker suite."""
+
+import pytest
+
+from repro.core import AMPDeployment, Simulation
+from repro.core.models import KIND_DIRECT, MACHINE_AUTO
+
+
+@pytest.fixture()
+def deployment():
+    dep = AMPDeployment()
+    yield dep
+    from repro.webstack.orm import bind
+    from repro.core.models import ALL_MODELS
+    bind(ALL_MODELS, None)
+    dep.close()
+
+
+@pytest.fixture()
+def astronomer(deployment):
+    return deployment.create_astronomer("metcalfe", password="pw12345")
+
+
+def submit_auto_direct(deployment, user, count=1):
+    """Direct runs carrying the broker's AUTO sentinel."""
+    star, _ = deployment.catalog.search("16 Cyg B")
+    simulations = []
+    for index in range(count):
+        sim = Simulation(
+            star_id=star.pk, owner_id=user.pk, kind=KIND_DIRECT,
+            machine_name=MACHINE_AUTO,
+            parameters={"mass": 1.0 + 0.005 * (index % 40), "z": 0.02,
+                        "y": 0.27, "alpha": 2.0, "age": 5.0})
+        sim.save(db=deployment.databases.portal)
+        simulations.append(sim)
+    return simulations

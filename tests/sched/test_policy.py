@@ -1,0 +1,127 @@
+"""Placement policies and the shared queue-wait predictor (pure units).
+
+No deployment, no database: a policy sees candidate sites and must make
+a deterministic, total-ordered choice; the predictor must be monotone in
+the telemetry it scores.  These run in tier-1 — the heavier end-to-end
+broker suites carry the ``sched`` marker.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.hpc.machines import TABLE1_MACHINES
+from repro.hpc.simclock import HOUR
+from repro.sched import (POLICY_NAMES, eligible_waits,
+                         estimate_queue_wait_s, get_policy)
+from repro.sched.policy import CandidateSite
+
+SPECS = {m.name: m for m in TABLE1_MACHINES}
+
+
+def site(name, *, wait=0.0, su=1.0, available=1000.0):
+    return CandidateSite(
+        machine_name=name, record=None, spec=SPECS.get(name),
+        allocation=None, estimated_wait_s=wait, estimated_su=su,
+        su_available=available)
+
+
+def sim(pk):
+    return SimpleNamespace(pk=pk)
+
+
+class TestPolicies:
+    def test_registry_names(self):
+        assert POLICY_NAMES == ("least-wait", "pack-by-allocation",
+                                "round-robin")
+        with pytest.raises(ValueError):
+            get_policy("fastest-first")
+
+    def test_least_wait_prefers_short_queue(self):
+        policy = get_policy("least-wait")
+        chosen = policy.choose(sim(1), [
+            site("kraken", wait=3600.0), site("ranger", wait=60.0),
+            site("frost", wait=7200.0)])
+        assert chosen.machine_name == "ranger"
+
+    def test_least_wait_ties_break_on_su_then_name(self):
+        policy = get_policy("least-wait")
+        chosen = policy.choose(sim(1), [
+            site("lonestar", wait=0.0, su=1.9),
+            site("frost", wait=0.0, su=0.6)])
+        assert chosen.machine_name == "frost"
+        chosen = policy.choose(sim(1), [
+            site("ranger", wait=0.0, su=1.0),
+            site("kraken", wait=0.0, su=1.0)])
+        assert chosen.machine_name == "kraken"
+
+    def test_round_robin_is_a_function_of_the_pk(self):
+        policy = get_policy("round-robin")
+        sites = [site(name) for name in ("frost", "kraken", "lonestar",
+                                         "ranger")]
+        first = [policy.choose(sim(pk), sites).machine_name
+                 for pk in range(1, 9)]
+        # Deterministic: re-deciding the same pks gives the same story
+        # (a bounced daemon must not fork placement history)...
+        again = [policy.choose(sim(pk), list(reversed(sites))).machine_name
+                 for pk in range(1, 9)]
+        assert first == again
+        # ...and eight consecutive pks cover every site twice.
+        assert sorted(first) == sorted(
+            ["frost", "kraken", "lonestar", "ranger"] * 2)
+
+    def test_pack_by_allocation_prefers_deepest_grant(self):
+        policy = get_policy("pack-by-allocation")
+        chosen = policy.choose(sim(1), [
+            site("kraken", available=50.0),
+            site("ranger", available=900.0),
+            site("frost", available=900.0)])
+        assert chosen.machine_name == "frost"   # tie → alphabetical
+
+
+class TestPredictor:
+    def test_idle_machine_waits_nothing(self):
+        spec = SPECS["kraken"]
+        assert estimate_queue_wait_s(spec, queue_depth=0,
+                                     utilisation=0.0) == 0.0
+
+    def test_monotone_in_depth_and_utilisation(self):
+        spec = SPECS["kraken"]
+        shallow = estimate_queue_wait_s(spec, queue_depth=2,
+                                        utilisation=0.5)
+        deep = estimate_queue_wait_s(spec, queue_depth=8,
+                                     utilisation=0.5)
+        hot = estimate_queue_wait_s(spec, queue_depth=2,
+                                    utilisation=0.9)
+        assert 0.0 < shallow < deep
+        assert shallow < hot
+
+    def test_bigger_machines_drain_faster(self):
+        # Ranger's 4096 cores give eight AMP-sized lanes to Kraken's
+        # two: the same backlog clears four times faster.
+        kraken = estimate_queue_wait_s(SPECS["kraken"], queue_depth=4,
+                                       utilisation=0.5,
+                                       walltime_s=6 * HOUR)
+        ranger = estimate_queue_wait_s(SPECS["ranger"], queue_depth=4,
+                                       utilisation=0.5,
+                                       walltime_s=6 * HOUR)
+        assert ranger == pytest.approx(kraken / 4.0)
+
+    def test_saturation_is_floored_not_a_pole(self):
+        spec = SPECS["frost"]
+        saturated = estimate_queue_wait_s(spec, queue_depth=1,
+                                          utilisation=1.0)
+        over = estimate_queue_wait_s(spec, queue_depth=1,
+                                     utilisation=1.0)
+        assert saturated == over < float("inf")
+
+    def test_eligible_waits_discount_dependency_blocking(self):
+        jobs = [
+            SimpleNamespace(submit_time=0.0, start_time=10.0,
+                            end_time=100.0),
+            # Submitted at t=0 but only *eligible* when segment 1 ends
+            # at t=100; its queue wait is 20, not 120.
+            SimpleNamespace(submit_time=0.0, start_time=120.0,
+                            end_time=200.0),
+        ]
+        assert eligible_waits(jobs) == [10.0, 20.0]
