@@ -298,7 +298,7 @@ class GridAMPDaemon:
                                    gram_job_id=record.gram_job_id,
                                    job_record_id=record.pk)
                 return OUTCOME_REPLAYED
-            result = self.clients.globus_job_lookup(
+            result = self.clients.job_lookup(
                 entry.resource, entry.idempotency_key)
             if not result.ok:
                 return None
@@ -341,7 +341,7 @@ class GridAMPDaemon:
             # finalise the revoked record exactly as the dead process
             # would have, *before* the first poll can misread the raw
             # GRAM "cancelled" reason as a model failure.
-            result = self.clients.globus_job_cancel(entry.resource,
+            result = self.clients.job_cancel(entry.resource,
                                                     entry.gram_job_id)
             if not result.ok and result.transient:
                 return None
@@ -381,7 +381,7 @@ class GridAMPDaemon:
                     trace_id=record.simulation.correlation_id,
                     attrs={"job": record.pk,
                            "resource": record.resource}):
-                result = self.clients.globus_job_status(
+                result = self.clients.job_status(
                     record.resource, record.gram_job_id)
             if not result.ok:
                 # Transient poll failures are silent (retried next cycle);

@@ -425,8 +425,8 @@ class WorkflowManager:
             simulation, JOURNAL_OP_SUBMIT, phase, attempt, key,
             purpose=purpose, ga_index=ga_index, sequence=sequence,
             service=service, rsl=rsl_text)
-        raw = self.clients.globusrun(simulation.machine_name, spec,
-                                     service=service)
+        raw = self.clients.submit_job(simulation.machine_name, spec,
+                                      service=service)
         self._crash_check(JOURNAL_OP_SUBMIT, "after")
         result = self._journal_classify(simulation, entry, raw)
         if result is None:
@@ -588,10 +588,18 @@ class WorkflowManager:
 
     def _charge_allocation(self, simulation):
         spec = self.machine_spec(simulation)
-        core_seconds = self.consumed_core_seconds(simulation)
-        sus = 0.0
-        if core_seconds > 0:
-            sus = cpu_hours(1, core_seconds) * spec.su_charge_factor
+        # Metering backends (cloud) bill for what actually ran —
+        # provisioning included — and their figure wins over the
+        # benchmark-derived estimate used for non-metering substrates.
+        metered = self.clients.reported_cost_su(
+            simulation.machine_name, simulation.remote_directory)
+        if metered is not None:
+            sus = float(metered)
+        else:
+            core_seconds = self.consumed_core_seconds(simulation)
+            sus = 0.0
+            if core_seconds > 0:
+                sus = cpu_hours(1, core_seconds) * spec.su_charge_factor
         # Broker-placed work settles through the ledger (idempotently:
         # a re-run after a crash finds the reservation already settled
         # and charges nothing).  True means the ledger owned it.

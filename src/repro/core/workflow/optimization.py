@@ -175,7 +175,7 @@ class OptimizationWorkflow(WorkflowManager):
                 simulation, JOURNAL_OP_CANCEL, f"cancel-{job.pk}",
                 attempt, key, purpose=job.purpose,
                 gram_job_id=job.gram_job_id, job_record_id=job.pk)
-            self.clients.globus_job_cancel(simulation.machine_name,
+            self.clients.job_cancel(simulation.machine_name,
                                            job.gram_job_id)
             self._crash_check(JOURNAL_OP_CANCEL, "after")
             job.state = "FAILED"

@@ -1,0 +1,23 @@
+"""Pluggable execution backends behind the grid client layer.
+
+Importing this package registers the three built-in backends —
+``gram`` (the paper's Globus path), ``local`` (a real subprocess pool
+on the daemon host), ``cloud`` (provisioning latency, metered billing,
+throttling) — in the shared registry.  Routing is per machine via the
+``MachineRecord.backend`` column; see :mod:`.base` for the contract.
+"""
+
+from .base import ComputeBackend
+from .cloud import CLOUD_BACKEND, PROVISION_DELAY_S, CloudBatchBackend
+from .gram import GRAM_BACKEND, GramBackend
+from .local import LOCAL_BACKEND, LocalPoolBackend
+from .registry import (BACKEND_CLOUD, BACKEND_GRAM, BACKEND_LOCAL,
+                       backend_names, get_backend, register_backend)
+
+__all__ = [
+    "ComputeBackend", "GramBackend", "LocalPoolBackend",
+    "CloudBatchBackend", "GRAM_BACKEND", "LOCAL_BACKEND",
+    "CLOUD_BACKEND", "BACKEND_GRAM", "BACKEND_LOCAL", "BACKEND_CLOUD",
+    "PROVISION_DELAY_S", "backend_names", "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,90 @@
+"""The execution-backend interface.
+
+One :class:`ComputeBackend` encapsulates *how* the gateway talks to one
+kind of execution substrate — Globus/GRAM middleware, the daemon host's
+own subprocess pool, a cloud batch service — behind a single contract
+the workflow engine never looks past:
+
+- every operation is expressed as an **argv vector** and funnelled
+  through :meth:`GridClients._run`, so the paper's copy-paste
+  debuggability (command log, ``rerun()``, breaker suppression,
+  per-command observability) applies to every substrate identically;
+- results carry the shared exit-code taxonomy (0 ok, 75 transient,
+  1 permanent) by raising the :mod:`repro.grid.errors` families;
+- job lifecycles are reported in the GRAM state vocabulary
+  (``PENDING/ACTIVE/DONE/FAILED``) whatever the substrate's native
+  states are, so the two-level status machinery and the journal
+  reconciliation decision table work unchanged.
+
+Stdout contracts (what the workflow layer parses):
+
+========================  ==========================================
+``submit``                the backend job id, as text
+``poll``                  ``"<STATE>"`` or ``"FAILED <reason>"``
+``lookup``                ``"<id> <STATE>"`` or ``""`` (provably
+                          never submitted)
+``cancel``                ``"cancelled"``
+``stage_in``              the payload's md5 digest
+``stage_out``             ``"<n> bytes"`` (payload on ``result.data``)
+``stage_stat``            ``"<size> <md5>"`` or ``"absent"``
+``queue_status``          ``"<depth> <utilisation>"``
+========================  ==========================================
+
+Backends are stateless singletons; per-resource durable state (job
+tables, sandboxes, regions) lives on the fabric's
+:class:`~repro.hpc.cluster.ComputeResource` objects, so a daemon bounce
+(which rebuilds clients and backends) still finds every job by tag.
+"""
+
+from __future__ import annotations
+
+
+class ComputeBackend:
+    """Abstract execution backend; methods receive the ``clients``
+    toolkit for fabric access and the ``_run`` command funnel."""
+
+    #: Registry name; also the ``MachineRecord.backend`` column value.
+    name = "abstract"
+    #: Multiplier the broker applies to its SU estimate when booking a
+    #: reservation on this backend (cloud billing premium, etc.).
+    cost_multiplier = 1.0
+
+    # -- command operations -------------------------------------------
+    def submit(self, clients, resource_name, rsl_spec, *,
+               service="batch"):
+        raise NotImplementedError
+
+    def poll(self, clients, resource_name, job_id):
+        raise NotImplementedError
+
+    def cancel(self, clients, resource_name, job_id):
+        raise NotImplementedError
+
+    def lookup(self, clients, resource_name, tag):
+        raise NotImplementedError
+
+    def stage_in(self, clients, resource_name, remote_path, data):
+        raise NotImplementedError
+
+    def stage_out(self, clients, resource_name, remote_path):
+        raise NotImplementedError
+
+    def stage_stat(self, clients, resource_name, remote_path):
+        raise NotImplementedError
+
+    def queue_status(self, clients, resource_name):
+        raise NotImplementedError
+
+    # -- placement hooks (the broker's half of the contract) ----------
+    @staticmethod
+    def estimate_wait_s(spec, *, queue_depth, utilisation):
+        """Expected wait before a new job starts, or ``None`` to let
+        the broker use its shared analytic queue predictor."""
+        return None
+
+    # -- accounting hook ----------------------------------------------
+    def reported_cost_su(self, clients, resource_name, directory):
+        """Backend-metered SU cost for work under *directory*, or
+        ``None`` when the backend does not meter (the workflow then
+        charges its own machine-benchmark estimate)."""
+        return None

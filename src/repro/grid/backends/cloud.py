@@ -1,0 +1,374 @@
+"""The cloud batch backend.
+
+Cloud semantics differ from a grid gatekeeper in three observable ways,
+and this backend models exactly those three:
+
+- **provisioning latency**: a submission is accepted immediately but
+  spends a fixed window booting instances before the application runs
+  (reported as ``PENDING``, like a queued grid job, but with a
+  *predictable* duration — which is what makes cloud placement
+  attractive when the grid queues are deep);
+- **metered billing**: the region records the SU-equivalent cost of
+  every completed job — billed from instance start, so provisioning
+  time is charged — and reports the total per run directory via
+  :meth:`reported_cost_su`, which the workflow settles against the
+  ledger instead of its own benchmark estimate;
+- **throttling**: the native transient failure is a rate-limit
+  rejection (:class:`~repro.grid.errors.CloudThrottled`), injectable
+  through the fault harness like any other transient shape.
+
+The science runtime itself is the same AMP application set
+:func:`~repro.core.remote.deploy_amp` installs on every resource — a
+cloud machine runs the identical model code, it just schedules and
+bills differently.  Per-resource state lives on the fabric's
+:class:`ComputeResource` as ``resource.cloud_region`` so it survives a
+daemon bounce.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ...hpc.accounting import cpu_hours
+from ..certificates import CertificateInvalid
+from ..errors import (CloudThrottled, CredentialError, PermanentGridError,
+                      ServiceUnreachable)
+from ..faults import check_latency
+from ..rsl import format_rsl, parse_rsl
+from .base import ComputeBackend
+from .registry import BACKEND_CLOUD, register_backend
+
+# External state vocabulary (shared with GRAM — see backends.base).
+PENDING = "PENDING"
+ACTIVE = "ACTIVE"
+DONE = "DONE"
+FAILED = "FAILED"
+
+# Internal lifecycle (what the region actually tracks).
+PROVISIONING = "PROVISIONING"
+RUNNING = "RUNNING"
+
+_REPORTED = {PROVISIONING: PENDING, RUNNING: ACTIVE,
+             DONE: DONE, FAILED: FAILED}
+
+#: Virtual seconds between acceptance and application start (instance
+#: boot + image pull).  Fixed, not sampled: cloud wait is predictable,
+#: and determinism keeps fault schedules replayable.
+PROVISION_DELAY_S = 180.0
+
+
+@dataclass
+class CloudJob:
+    id: int
+    service: str
+    rsl: dict
+    submitted_at: float
+    state: str = PROVISIONING
+    started_at: float = None
+    finished_at: float = None
+    failure_reason: str = ""
+    execution: object = None
+    cost_su: float = 0.0
+
+    @property
+    def tag(self):
+        return self.rsl.get("clientTag")
+
+    @property
+    def reported_state(self):
+        return _REPORTED[self.state]
+
+
+class CloudRegion:
+    """One resource's cloud control plane: job table, meter, throttle."""
+
+    def __init__(self, resource, clock):
+        self.resource = resource
+        self.clock = clock
+        self.jobs = {}
+        self._ids = itertools.count(1)
+        #: Fault injection: shed the next N submissions.
+        self.throttle_remaining = 0
+
+    def throttle(self, n):
+        self.throttle_remaining += int(n)
+
+    # ------------------------------------------------------------------
+    def submit(self, rsl_spec, service):
+        if self.throttle_remaining > 0:
+            self.throttle_remaining -= 1
+            raise CloudThrottled(
+                f"{self.resource.name}: request rate limit exceeded; "
+                f"retry after backoff")
+        job = CloudJob(id=next(self._ids), service=service,
+                       rsl=dict(rsl_spec), submitted_at=self.clock.now)
+        self.jobs[job.id] = job
+        if service == "fork":
+            # Control-plane utility invocations run immediately on a
+            # service container — no instance boot, no metering.
+            self._run_fork(job)
+        return job
+
+    def _run_fork(self, job):
+        executable = job.rsl["executable"]
+        kwargs = _rsl_kwargs(job.rsl)
+        kwargs.setdefault("directory", job.rsl.get("directory", "/"))
+        try:
+            self.resource.fork.run(executable, **kwargs)
+            job.state = DONE
+        except Exception as exc:  # noqa: BLE001 - script failure surface
+            job.state = FAILED
+            job.failure_reason = f"{type(exc).__name__}: {exc}"
+        job.finished_at = self.clock.now
+
+    # ------------------------------------------------------------------
+    def advance(self, job):
+        """Drive the provisioning → running → done state machine from
+        the shared virtual clock (called on every poll)."""
+        now = self.clock.now
+        if job.state == PROVISIONING and job.service == "batch" \
+                and now >= job.submitted_at + PROVISION_DELAY_S:
+            self._start(job)
+        if job.state == RUNNING \
+                and now >= job.started_at + job.execution.runtime_s:
+            self._finish(job)
+        return job
+
+    def _start(self, job):
+        executable = job.rsl["executable"]
+        app = self.resource.applications.get(executable)
+        if app is None:
+            job.state = FAILED
+            job.failure_reason = f"No such executable {executable!r}"
+            job.finished_at = self.clock.now
+            return
+        kwargs = _rsl_kwargs(job.rsl)
+        directory = job.rsl.get("directory", "/")
+        try:
+            job.execution = app(self.resource, directory=directory,
+                                **kwargs)
+        except Exception as exc:  # noqa: BLE001 - app launch surface
+            job.state = FAILED
+            job.failure_reason = f"{type(exc).__name__}: {exc}"
+            job.finished_at = self.clock.now
+            return
+        job.started_at = job.submitted_at + PROVISION_DELAY_S
+        job.state = RUNNING
+
+    def _finish(self, job):
+        if job.execution.on_finish is not None:
+            job.execution.on_finish()
+        job.state = DONE
+        job.finished_at = job.started_at + job.execution.runtime_s
+        # Metered billing: instances are charged from boot, so the
+        # provisioning window bills alongside the compute.
+        cores = int(job.rsl.get("count", 1))
+        billed_s = PROVISION_DELAY_S + job.execution.runtime_s
+        job.cost_su = (cpu_hours(cores, billed_s)
+                       * self.resource.machine.su_charge_factor)
+
+    # ------------------------------------------------------------------
+    def cancel(self, job):
+        if job.state in (DONE, FAILED):
+            return
+        job.state = FAILED
+        job.failure_reason = "cancelled by client"
+        job.finished_at = self.clock.now
+
+    def find_by_tag(self, tag):
+        for job in self.jobs.values():
+            if job.rsl.get("clientTag") == tag:
+                return job
+        return None
+
+    def depth(self):
+        return sum(1 for job in self.jobs.values()
+                   if job.state in (PROVISIONING, RUNNING))
+
+    def metered_cost(self, directory):
+        """Total billed SUs for completed jobs under *directory*."""
+        return sum(job.cost_su for job in self.jobs.values()
+                   if job.state == DONE
+                   and job.rsl.get("directory") == directory)
+
+
+def _rsl_kwargs(rsl_spec):
+    kwargs = {}
+    for arg in rsl_spec.get("arguments", []) or []:
+        text = str(arg)
+        if "=" in text:
+            key, _, value = text.partition("=")
+            kwargs[key] = value
+    return kwargs
+
+
+def region_for(resource, clock):
+    """The resource's :class:`CloudRegion`, created on first use."""
+    region = getattr(resource, "cloud_region", None)
+    if region is None:
+        region = CloudRegion(resource, clock)
+        resource.cloud_region = region
+    return region
+
+
+class CloudBatchBackend(ComputeBackend):
+    name = BACKEND_CLOUD
+    # Billing premium the broker folds into its reservation estimate:
+    # provisioning overhead is charged, so estimates must cover it.
+    cost_multiplier = 1.25
+
+    # ------------------------------------------------------------------
+    def _region(self, clients, resource_name):
+        resource = clients.fabric.resource(resource_name)
+        if not resource.reachable:
+            raise ServiceUnreachable(
+                f"{resource_name}: cloud batch endpoint did not respond")
+        check_latency(resource, clients.fabric.clock.now)
+        proxy = clients._require_proxy()
+        try:
+            clients.fabric.proxy_factory.verify(proxy)
+        except CertificateInvalid as exc:
+            raise CredentialError(str(exc))
+        return region_for(resource, clients.fabric.clock)
+
+    # ------------------------------------------------------------------
+    def submit(self, clients, resource_name, rsl_spec, *,
+               service="batch"):
+        rsl_text = format_rsl(rsl_spec) if isinstance(rsl_spec, dict) \
+            else str(rsl_spec)
+        contact = f"{resource_name}/batch-{service}"
+        argv = ["amp-cloudrun", "-r", contact, rsl_text]
+
+        def action():
+            region = self._region(clients, resource_name)
+            job = region.submit(parse_rsl(rsl_text), service)
+            return str(job.id)
+        return clients._run(argv, action, resource=resource_name)
+
+    def poll(self, clients, resource_name, job_id):
+        argv = ["amp-cloudstat", "-r", resource_name, str(job_id)]
+
+        def action():
+            region = self._region(clients, resource_name)
+            job = region.jobs.get(int(job_id))
+            if job is None:
+                raise PermanentGridError(
+                    f"Unknown cloud job {job_id}")
+            region.advance(job)
+            state = job.reported_state
+            if state == FAILED:
+                return f"{state} {job.failure_reason}".strip()
+            return state
+        return clients._run(argv, action, resource=resource_name)
+
+    def cancel(self, clients, resource_name, job_id):
+        argv = ["amp-cloudcancel", "-r", resource_name, str(job_id)]
+
+        def action():
+            region = self._region(clients, resource_name)
+            job = region.jobs.get(int(job_id))
+            if job is None:
+                raise PermanentGridError(
+                    f"Unknown cloud job {job_id}")
+            region.cancel(job)
+            return "cancelled"
+        return clients._run(argv, action, resource=resource_name)
+
+    def lookup(self, clients, resource_name, tag):
+        argv = ["amp-cloudlookup", "-r", resource_name, str(tag)]
+
+        def action():
+            region = self._region(clients, resource_name)
+            job = region.find_by_tag(str(tag))
+            if job is None:
+                return ""
+            return f"{job.id} {job.reported_state}"
+        return clients._run(argv, action, resource=resource_name)
+
+    # ------------------------------------------------------------------
+    # Object storage (the region's staging bucket is modelled by the
+    # resource filesystem — same quota semantics, same checksum shapes).
+    # ------------------------------------------------------------------
+    def stage_in(self, clients, resource_name, remote_path, data):
+        argv = ["amp-cloudcopy", "file:///staging/upload",
+                f"cloud://{resource_name}{remote_path}"]
+
+        def action():
+            import hashlib
+            from ...hpc.filesystem import FilesystemError
+            region = self._region(clients, resource_name)
+            payload = data.encode("utf-8") if isinstance(data, str) \
+                else bytes(data)
+            try:
+                region.resource.filesystem.write(remote_path, payload)
+            except FilesystemError as exc:
+                raise PermanentGridError(str(exc))
+            return hashlib.md5(payload).hexdigest()
+        return clients._run(argv, action, resource=resource_name)
+
+    def stage_out(self, clients, resource_name, remote_path):
+        argv = ["amp-cloudcopy",
+                f"cloud://{resource_name}{remote_path}",
+                "file:///staging/download"]
+        holder = {}
+
+        def action():
+            from ...hpc.filesystem import FilesystemError
+            region = self._region(clients, resource_name)
+            try:
+                holder["data"] = region.resource.filesystem.read(
+                    remote_path)
+            except FilesystemError as exc:
+                raise PermanentGridError(str(exc))
+            return f"{len(holder['data'])} bytes"
+        result = clients._run(argv, action, resource=resource_name)
+        result.data = holder.get("data")
+        return result
+
+    def stage_stat(self, clients, resource_name, remote_path):
+        argv = ["amp-cloudcopy", "-stat",
+                f"cloud://{resource_name}{remote_path}"]
+
+        def action():
+            import hashlib
+            region = self._region(clients, resource_name)
+            fs = region.resource.filesystem
+            if not fs.exists(remote_path):
+                return "absent"
+            payload = fs.read(remote_path)
+            return f"{len(payload)} {hashlib.md5(payload).hexdigest()}"
+        return clients._run(argv, action, resource=resource_name)
+
+    # ------------------------------------------------------------------
+    def queue_status(self, clients, resource_name):
+        argv = ["amp-cloudq", "-r", resource_name]
+
+        def action():
+            region = self._region(clients, resource_name)
+            # Elastic capacity: depth counts in-flight jobs, but there
+            # is no queue competition, so utilisation stays nominal.
+            return f"{region.depth()} {0.05:.4f}"
+        return clients._run(argv, action, resource=resource_name)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def estimate_wait_s(spec, *, queue_depth, utilisation):
+        """Cloud wait is dominated by provisioning, not queueing: a
+        fixed boot window plus a small control-plane term per in-flight
+        job."""
+        return PROVISION_DELAY_S + 5.0 * max(queue_depth, 0)
+
+    def reported_cost_su(self, clients, resource_name, directory):
+        try:
+            resource = clients.fabric.resource(resource_name)
+        except Exception:  # noqa: BLE001 - unknown resource: no meter
+            return None
+        region = getattr(resource, "cloud_region", None)
+        if region is None:
+            return None
+        cost = region.metered_cost(directory)
+        return cost if cost > 0 else None
+
+
+CLOUD_BACKEND = register_backend(CloudBatchBackend())

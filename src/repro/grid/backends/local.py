@@ -1,0 +1,404 @@
+"""The local subprocess-pool backend.
+
+Where GRAM fronts a remote batch scheduler in simulated time, this
+backend fronts the daemon host itself in *real* time: forward-model
+runs execute as genuine ``subprocess`` invocations of the current
+Python interpreter inside a bounded worker pool, against a real
+temporary directory standing in for scratch space.  Exit codes are real
+exit codes; staged files are real files; a crashed model run is a
+nonzero subprocess, not a simulated flag.
+
+The AMP runtime layout is mirrored by executable *basename* —
+``prejob.sh`` / ``postjob.sh`` / ``cleanup.sh`` run synchronously like
+fork-service stages (directory trees, a real tar archive, teardown),
+``run_model.sh`` runs pooled.  GA segments are not installed here: the
+local pool exists for small direct forward models, and an optimization
+landing on it fails with the same "no such executable" shape GRAM uses
+for a missing application.
+
+Per-resource state lives on the :class:`ComputeResource` as
+``resource.local_pool``, so a daemon bounce (which rebuilds clients and
+backends but keeps the fabric) still finds every job by id or tag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import shutil
+import subprocess
+import sys
+import tarfile
+import tempfile
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..errors import PermanentGridError, ServiceUnreachable
+from ..faults import check_latency
+from ..rsl import format_rsl, parse_rsl
+from .base import ComputeBackend
+from .registry import BACKEND_LOCAL, register_backend
+
+# External state vocabulary (shared with GRAM — see backends.base).
+PENDING = "PENDING"
+ACTIVE = "ACTIVE"
+DONE = "DONE"
+FAILED = "FAILED"
+
+#: Real-time ceiling for one pooled model run; a run that exceeds it is
+#: killed and reported as a walltime failure.
+SUBPROCESS_TIMEOUT_S = 120.0
+#: How long one poll waits (real time) for a running job to finish —
+#: local model runs take well under a second, so a single daemon cycle
+#: normally observes completion.
+POLL_WAIT_S = 60.0
+
+_RUN_MODEL_CODE = """\
+import os, sys
+sys.path.insert(0, sys.argv[1])
+directory, orders = sys.argv[2], int(sys.argv[3])
+from repro.science.astec.model import (format_output, parse_input_file,
+                                       run_astec)
+with open(os.path.join(directory, "input.txt")) as fh:
+    params = parse_input_file(fh.read())
+model = run_astec(params, n_orders=orders)
+with open(os.path.join(directory, "output.txt"), "w") as fh:
+    fh.write(format_output(model))
+with open(os.path.join(directory, "model.log"), "w") as fh:
+    fh.write("model completed by local pool worker\\n")
+"""
+
+_STATIC_FILES = {
+    "static/opacities.dat": "# opacity tables (static input)\n",
+    "static/eos.dat": "# equation of state tables (static input)\n",
+    "static/atmosphere.dat": "# atmosphere T(tau) relation\n",
+}
+
+
+def _src_root():
+    """The import root of this checkout, for the worker's sys.path."""
+    import repro
+    return os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+
+
+@dataclass
+class LocalJob:
+    id: int
+    service: str
+    rsl: dict
+    state: str = PENDING
+    failure_reason: str = ""
+    future: object = None
+
+    @property
+    def tag(self):
+        return self.rsl.get("clientTag")
+
+
+class LocalPool:
+    """One resource's sandbox + worker pool + job table."""
+
+    def __init__(self, resource, max_workers=4):
+        self.resource = resource
+        self.root = tempfile.mkdtemp(
+            prefix=f"amp-local-{resource.name}-")
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers,
+            thread_name_prefix=f"amp-local-{resource.name}")
+        self.max_workers = max_workers
+        self.jobs = {}
+        self._ids = itertools.count(1)
+        self._finalizer = weakref.finalize(
+            self, _dispose, self.executor, self.root)
+
+    # -- path mapping --------------------------------------------------
+    def host_path(self, remote_path):
+        return os.path.join(self.root, remote_path.lstrip("/"))
+
+    # -- lifecycle -----------------------------------------------------
+    def submit(self, rsl_spec, service):
+        job = LocalJob(id=next(self._ids), service=service,
+                       rsl=dict(rsl_spec))
+        self.jobs[job.id] = job
+        executable = os.path.basename(str(rsl_spec.get("executable", "")))
+        directory = self.host_path(rsl_spec.get("directory", "/"))
+        kwargs = _rsl_kwargs(rsl_spec)
+        if service == "fork":
+            self._run_stage(job, executable, directory, kwargs)
+        elif executable == "run_model.sh":
+            orders = str(kwargs.get("orders", "10"))
+            job.future = self.executor.submit(
+                _run_model_subprocess, directory, orders)
+        else:
+            job.state = FAILED
+            job.failure_reason = f"No such executable {executable!r}"
+        return job
+
+    def _run_stage(self, job, executable, directory, kwargs):
+        """Fork-style stages run synchronously on real directories."""
+        try:
+            if executable == "prejob.sh":
+                if os.path.isdir(directory):
+                    shutil.rmtree(directory)
+                os.makedirs(directory)
+                for rel, content in _STATIC_FILES.items():
+                    path = os.path.join(directory, rel)
+                    os.makedirs(os.path.dirname(path), exist_ok=True)
+                    with open(path, "w") as fh:
+                        fh.write(content)
+                for index in range(int(kwargs.get("n_ga", "0"))):
+                    os.makedirs(os.path.join(directory, f"ga_{index}"),
+                                exist_ok=True)
+                with open(os.path.join(directory, "README"), "w") as fh:
+                    fh.write("AMP runtime directory — created by local "
+                             "prejob stage\n")
+            elif executable == "postjob.sh":
+                tarball = directory.rstrip("/") + ".output.tar"
+                with tarfile.open(tarball, "w") as archive:
+                    for base, _dirs, names in sorted(os.walk(directory)):
+                        for name in sorted(names):
+                            full = os.path.join(base, name)
+                            archive.add(full, arcname=os.path.relpath(
+                                full, directory))
+            elif executable == "cleanup.sh":
+                if os.path.isdir(directory):
+                    shutil.rmtree(directory)
+                tarball = directory.rstrip("/") + ".output.tar"
+                if os.path.exists(tarball):
+                    os.remove(tarball)
+            else:
+                raise KeyError(f"No script {executable!r} installed on "
+                               f"{self.resource.name}")
+            job.state = DONE
+        except Exception as exc:  # noqa: BLE001 - script failure surface
+            job.state = FAILED
+            job.failure_reason = f"{type(exc).__name__}: {exc}"
+
+    def harvest(self, job, wait_s=POLL_WAIT_S):
+        """Advance a pooled job's reported state from its future."""
+        if job.future is None or job.state in (DONE, FAILED):
+            return job.state
+        future = job.future
+        if not future.done():
+            job.state = ACTIVE if future.running() else PENDING
+            try:
+                future.result(timeout=wait_s)
+            except Exception:  # noqa: BLE001 - reported below
+                pass
+        if not future.done():
+            return job.state
+        try:
+            completed = future.result()
+        except Exception as exc:  # noqa: BLE001 - worker infrastructure
+            job.state = FAILED
+            job.failure_reason = f"{type(exc).__name__}: {exc}"
+            return job.state
+        if completed.returncode == 0:
+            job.state = DONE
+        else:
+            job.state = FAILED
+            tail = (completed.stderr or "").strip().splitlines()
+            job.failure_reason = (
+                f"exit code {completed.returncode}: "
+                f"{tail[-1] if tail else 'no error output'}")
+        return job.state
+
+    def cancel(self, job):
+        if job.future is not None and job.future.cancel():
+            job.state = FAILED
+            job.failure_reason = "cancelled by client"
+            return
+        self.harvest(job)
+        if job.state not in (DONE, FAILED):
+            job.state = FAILED
+            job.failure_reason = "cancelled by client"
+
+    def find_by_tag(self, tag):
+        for job in self.jobs.values():
+            if job.tag == tag:
+                return job
+        return None
+
+    def depth(self):
+        return sum(1 for job in self.jobs.values()
+                   if job.future is not None and not job.future.done())
+
+    def utilisation(self):
+        running = sum(1 for job in self.jobs.values()
+                      if job.future is not None
+                      and job.future.running())
+        return min(running / float(self.max_workers), 1.0)
+
+
+def _dispose(executor, root):
+    executor.shutdown(wait=False, cancel_futures=True)
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def _run_model_subprocess(directory, orders):
+    return subprocess.run(
+        [sys.executable, "-c", _RUN_MODEL_CODE, _src_root(),
+         directory, orders],
+        capture_output=True, text=True, timeout=SUBPROCESS_TIMEOUT_S)
+
+
+def _rsl_kwargs(rsl_spec):
+    kwargs = {}
+    for arg in rsl_spec.get("arguments", []) or []:
+        text = str(arg)
+        if "=" in text:
+            key, _, value = text.partition("=")
+            kwargs[key] = value
+    return kwargs
+
+
+def pool_for(resource):
+    """The resource's :class:`LocalPool`, created on first use."""
+    pool = getattr(resource, "local_pool", None)
+    if pool is None:
+        pool = LocalPool(resource)
+        resource.local_pool = pool
+    return pool
+
+
+class LocalPoolBackend(ComputeBackend):
+    name = BACKEND_LOCAL
+    # Analysis-cluster pricing: no grid premium, no queue competition.
+    cost_multiplier = 1.0
+
+    # ------------------------------------------------------------------
+    def _pool(self, clients, resource_name):
+        resource = clients.fabric.resource(resource_name)
+        if not resource.reachable:
+            raise ServiceUnreachable(
+                f"{resource_name}: local pool host did not respond")
+        check_latency(resource, clients.fabric.clock.now)
+        return pool_for(resource)
+
+    # ------------------------------------------------------------------
+    def submit(self, clients, resource_name, rsl_spec, *,
+               service="batch"):
+        rsl_text = format_rsl(rsl_spec) if isinstance(rsl_spec, dict) \
+            else str(rsl_spec)
+        contact = f"{resource_name}/pool-{service}"
+        argv = ["amp-localrun", "-r", contact, rsl_text]
+
+        def action():
+            pool = self._pool(clients, resource_name)
+            job = pool.submit(parse_rsl(rsl_text), service)
+            return str(job.id)
+        return clients._run(argv, action, resource=resource_name)
+
+    def poll(self, clients, resource_name, job_id):
+        argv = ["amp-localstat", "-r", resource_name, str(job_id)]
+
+        def action():
+            pool = self._pool(clients, resource_name)
+            job = pool.jobs.get(int(job_id))
+            if job is None:
+                raise PermanentGridError(
+                    f"Unknown local job {job_id}")
+            state = pool.harvest(job)
+            if state == FAILED:
+                return f"{state} {job.failure_reason}".strip()
+            return state
+        return clients._run(argv, action, resource=resource_name)
+
+    def cancel(self, clients, resource_name, job_id):
+        argv = ["amp-localcancel", "-r", resource_name, str(job_id)]
+
+        def action():
+            pool = self._pool(clients, resource_name)
+            job = pool.jobs.get(int(job_id))
+            if job is None:
+                raise PermanentGridError(
+                    f"Unknown local job {job_id}")
+            pool.cancel(job)
+            return "cancelled"
+        return clients._run(argv, action, resource=resource_name)
+
+    def lookup(self, clients, resource_name, tag):
+        argv = ["amp-locallookup", "-r", resource_name, str(tag)]
+
+        def action():
+            pool = self._pool(clients, resource_name)
+            job = pool.find_by_tag(str(tag))
+            if job is None:
+                return ""
+            return f"{job.id} {job.state}"
+        return clients._run(argv, action, resource=resource_name)
+
+    # ------------------------------------------------------------------
+    def stage_in(self, clients, resource_name, remote_path, data):
+        argv = ["amp-localcopy", "file:///staging/upload",
+                f"local://{resource_name}{remote_path}"]
+
+        def action():
+            pool = self._pool(clients, resource_name)
+            payload = data.encode("utf-8") if isinstance(data, str) \
+                else bytes(data)
+            path = pool.host_path(remote_path)
+            parent = os.path.dirname(path)
+            if not os.path.isdir(parent):
+                raise PermanentGridError(
+                    f"Directory {os.path.dirname(remote_path)} does "
+                    f"not exist")
+            with open(path, "wb") as fh:
+                fh.write(payload)
+            return hashlib.md5(payload).hexdigest()
+        return clients._run(argv, action, resource=resource_name)
+
+    def stage_out(self, clients, resource_name, remote_path):
+        argv = ["amp-localcopy",
+                f"local://{resource_name}{remote_path}",
+                "file:///staging/download"]
+        holder = {}
+
+        def action():
+            pool = self._pool(clients, resource_name)
+            path = pool.host_path(remote_path)
+            if not os.path.exists(path):
+                raise PermanentGridError(f"No such file: {remote_path}")
+            with open(path, "rb") as fh:
+                holder["data"] = fh.read()
+            return f"{len(holder['data'])} bytes"
+        result = clients._run(argv, action, resource=resource_name)
+        result.data = holder.get("data")
+        return result
+
+    def stage_stat(self, clients, resource_name, remote_path):
+        argv = ["amp-localcopy", "-stat",
+                f"local://{resource_name}{remote_path}"]
+
+        def action():
+            pool = self._pool(clients, resource_name)
+            path = pool.host_path(remote_path)
+            if not os.path.exists(path):
+                return "absent"
+            with open(path, "rb") as fh:
+                payload = fh.read()
+            return f"{len(payload)} {hashlib.md5(payload).hexdigest()}"
+        return clients._run(argv, action, resource=resource_name)
+
+    # ------------------------------------------------------------------
+    def queue_status(self, clients, resource_name):
+        argv = ["amp-localq", "-r", resource_name]
+
+        def action():
+            pool = self._pool(clients, resource_name)
+            return f"{pool.depth()} {pool.utilisation():.4f}"
+        return clients._run(argv, action, resource=resource_name)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def estimate_wait_s(spec, *, queue_depth, utilisation):
+        """A pool slot frees as fast as a model run finishes: expected
+        wait is the depth ahead of us spread over the workers."""
+        per_job = spec.stellar_benchmark_s
+        return max(queue_depth, 0) * per_job / 4.0
+
+
+LOCAL_BACKEND = register_backend(LocalPoolBackend())

@@ -1,0 +1,44 @@
+"""Backend registry: name → :class:`ComputeBackend` singleton.
+
+The registry is the routing table the whole gateway shares.  Clients
+resolve a machine's ``backend`` column through it per command; the
+broker resolves it per candidate site; the ORM validates new
+``MachineRecord`` rows against it at save time.  Registration happens
+at import of :mod:`repro.grid.backends`, so the set of names is fixed
+before any daemon starts.
+"""
+
+from __future__ import annotations
+
+BACKEND_GRAM = "gram"
+BACKEND_LOCAL = "local"
+BACKEND_CLOUD = "cloud"
+
+_REGISTRY = {}
+
+
+def register_backend(backend):
+    """Register a backend singleton under its ``name``; returns it so
+    modules can register at class-instantiation time."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name):
+    """The backend registered as *name*.
+
+    Raises ``KeyError`` with the registered names for anything unknown
+    — callers that want a friendlier message (the ORM validator, the
+    clients' dispatcher) catch and rephrase.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "no execution backend named %r (registered: %s)"
+            % (name, ", ".join(backend_names())))
+
+
+def backend_names():
+    """Registered backend names, sorted for stable messages."""
+    return sorted(_REGISTRY)

@@ -1,4 +1,4 @@
-"""Command-line Globus client wrappers.
+"""Command-line grid client wrappers.
 
 The paper is explicit that GridAMP does *not* use API bindings: it wraps
 the Globus command-line clients, because "the daemon produces logs that
@@ -11,6 +11,15 @@ retry the failed action."
 is expressed as an argv vector, returns a :class:`CommandResult` with
 exit code / stdout / stderr, and is recorded in a command log so failures
 can be replayed verbatim (``rerun()``).
+
+Execution substrates are pluggable: each machine's ``backend`` column
+selects a registered :class:`~repro.grid.backends.ComputeBackend`
+(Globus/GRAM, the local subprocess pool, a cloud batch service), and the
+clients route every operation through it.  The Globus-named methods
+(``globusrun``, ``globus_job_status``, ...) are kept as the historical
+entry points and now route by backend too — a ``globusrun`` against a
+cloud machine issues the cloud submission, exactly as the dispatcher
+would for a re-run command line.
 """
 
 from __future__ import annotations
@@ -18,10 +27,9 @@ from __future__ import annotations
 import shlex
 from dataclasses import dataclass
 
+from .backends import get_backend
 from .certificates import SAMLAssertion
 from .errors import GridError, PermanentGridError, TransientGridError
-from .gram import FAILED
-from .rsl import format_rsl, parse_rsl
 
 EXIT_OK = 0
 EXIT_TRANSIENT = 75     # EX_TEMPFAIL — retryable
@@ -49,7 +57,7 @@ class CommandResult:
 
 
 class GridClients:
-    """The daemon host's installed Globus client toolkit.
+    """The daemon host's installed grid client toolkit.
 
     Parameters
     ----------
@@ -70,11 +78,38 @@ class GridClients:
         #: client-side (synthetic transient, zero grid traffic).
         self.breakers = breakers
         self.suppressed_count = 0
+        self._backend_names = {}
         #: Optional :class:`~repro.obs.Observability`: every executed or
-        #: suppressed command is counted by program/outcome and logged as
-        #: a ``grid.command`` event carrying the ambient trace id, which
-        #: is how a simulation's correlation id reaches grid traffic.
+        #: suppressed command is counted by program/backend/outcome and
+        #: logged as a ``grid.command`` event carrying the ambient trace
+        #: id, which is how a simulation's correlation id reaches grid
+        #: traffic.
         self.obs = obs
+
+    # ------------------------------------------------------------------
+    # Backend routing
+    # ------------------------------------------------------------------
+    def backend_name(self, resource_name):
+        """The backend name a resource routes through (``"gram"`` for
+        anything the fabric does not know — the historical default, so
+        unknown-resource errors surface from the gram path unchanged).
+
+        Memoised per resource: a machine's backend is part of its frozen
+        spec, and resolution sits on the per-command hot path.
+        """
+        cached = self._backend_names.get(resource_name)
+        if cached is not None:
+            return cached
+        try:
+            machine = self.fabric.resource(resource_name).machine
+        except Exception:  # noqa: BLE001 - unknown resource
+            return "gram"
+        name = getattr(machine, "backend", "gram") or "gram"
+        self._backend_names[resource_name] = name
+        return name
+
+    def _backend(self, resource_name):
+        return get_backend(self.backend_name(resource_name))
 
     # ------------------------------------------------------------------
     def _run(self, argv, fn, resource=None):
@@ -119,13 +154,14 @@ class GridClients:
             outcome = "ok" if result.ok else (
                 "transient" if result.transient else "permanent")
         program = str(result.argv[0]) if result.argv else "?"
+        backend = self.backend_name(resource) if resource else "host"
         self.obs.metrics.counter(
             "grid_commands_total",
             help="Grid client commands by program and outcome").labels(
-            program=program, outcome=outcome).inc()
+            program=program, backend=backend, outcome=outcome).inc()
         self.obs.events.emit(
             "grid.command", program=program, resource=resource or "",
-            outcome=outcome,
+            backend=backend, outcome=outcome,
             trace_id=self.obs.tracer.current_trace_id or "",
             command=("" if result.ok else result.command_line))
 
@@ -135,24 +171,47 @@ class GridClients:
 
     def dispatch(self, argv):
         """Route an argv vector to the right wrapper — what the shell
-        would do."""
-        program = argv[0]
+        would do.  Unrecognised programs and command lines that cannot
+        be replayed from the log come back as permanent failures with a
+        plain-language message, never as a raised exception."""
+        program = argv[0] if argv else ""
         handlers = {
             "grid-proxy-init": self._dispatch_proxy_init,
-            "globusrun": self._dispatch_globusrun,
-            "globusrun-ws": self._dispatch_globusrun,
+            "globusrun": self._dispatch_submit,
+            "globusrun-ws": self._dispatch_submit,
+            "amp-localrun": self._dispatch_submit,
+            "amp-cloudrun": self._dispatch_submit,
             "globus-job-status": self._dispatch_job_status,
+            "amp-localstat": self._dispatch_job_status,
+            "amp-cloudstat": self._dispatch_job_status,
             "globus-job-cancel": self._dispatch_job_cancel,
+            "amp-localcancel": self._dispatch_job_cancel,
+            "amp-cloudcancel": self._dispatch_job_cancel,
             "globus-job-lookup": self._dispatch_job_lookup,
+            "amp-locallookup": self._dispatch_job_lookup,
+            "amp-cloudlookup": self._dispatch_job_lookup,
             "globus-url-copy": self._dispatch_url_copy,
+            "amp-localcopy": self._dispatch_url_copy,
+            "amp-cloudcopy": self._dispatch_url_copy,
+            "globus-job-run": self._dispatch_queue_status,
+            "amp-localq": self._dispatch_queue_status,
+            "amp-cloudq": self._dispatch_queue_status,
         }
         if program not in handlers:
             return CommandResult(list(argv), EXIT_PERMANENT,
                                  stderr=f"command not found: {program}")
-        return handlers[program](list(argv))
+        try:
+            return handlers[program](list(argv))
+        except (ValueError, IndexError, KeyError,
+                NotImplementedError) as exc:
+            return CommandResult(
+                list(argv), EXIT_PERMANENT,
+                stderr=(f"{program}: this command line cannot be "
+                        f"replayed from the log ({exc})"))
 
     # ------------------------------------------------------------------
-    # grid-proxy-init
+    # grid-proxy-init (daemon-host credential management — backend
+    # independent; every backend consumes the resulting proxy)
     # ------------------------------------------------------------------
     def grid_proxy_init(self, gateway_user, email="", lifetime_s=None):
         """Generate a derivative proxy with GridShib SAML extensions."""
@@ -210,98 +269,62 @@ class GridClients:
         return self.current_proxy
 
     # ------------------------------------------------------------------
-    # globusrun (submit)
+    # Job submission
     # ------------------------------------------------------------------
-    def _gram_program(self, resource_name):
-        """Prefer WS-GRAM where the resource advertises it.
+    def submit_job(self, resource_name, rsl_spec, *, service="batch"):
+        """Submit a job through the machine's backend; stdout is the
+        backend job id."""
+        return self._backend(resource_name).submit(
+            self, resource_name, rsl_spec, service=service)
 
-        The paper targeted Kraken partly for its WS-GRAM support and
-        noted Ranger's lack of it; the client toolkit mirrors that by
-        selecting ``globusrun-ws`` vs pre-WS ``globusrun`` per resource.
-        """
-        try:
-            machine = self.fabric.resource(resource_name).machine
-        except Exception:  # noqa: BLE001 - unknown resource: let the
-            return "globusrun"         # submission path report it
-        return "globusrun-ws" if machine.has_ws_gram else "globusrun"
+    #: Historical Globus-named entry point (same routing).
+    globusrun = submit_job
 
-    def globusrun(self, resource_name, rsl_spec, *, service="batch"):
-        rsl_text = format_rsl(rsl_spec) if isinstance(rsl_spec, dict) \
-            else str(rsl_spec)
-        contact = f"{resource_name}/jobmanager-{service}"
-        program = self._gram_program(resource_name)
-        argv = ([program, "-submit", "-F", contact, rsl_text]
-                if program == "globusrun-ws"
-                else [program, "-b", "-r", contact, rsl_text])
-
-        def action():
-            proxy = self._require_proxy()
-            gram = self.fabric.gram(resource_name)
-            spec = parse_rsl(rsl_text)
-            if "arguments" in spec:
-                spec["arguments"] = spec["arguments"].split()
-            job_id = gram.submit(proxy, spec, service=service)
-            return str(job_id)
-        return self._run(argv, action, resource=resource_name)
-
-    def _dispatch_globusrun(self, argv):
+    def _dispatch_submit(self, argv):
         flag = "-F" if "-F" in argv else "-r"
         contact = argv[argv.index(flag) + 1]
-        resource_name, _, manager = contact.partition("/jobmanager-")
-        return self.globusrun(resource_name, argv[-1],
-                              service=manager or "batch")
+        for separator in ("/jobmanager-", "/pool-", "/batch-"):
+            if separator in contact:
+                resource_name, _, manager = contact.partition(separator)
+                break
+        else:
+            resource_name, manager = contact, "batch"
+        return self.submit_job(resource_name, argv[-1],
+                               service=manager or "batch")
 
     # ------------------------------------------------------------------
-    # queue status (qstat over the fork service)
+    # Queue telemetry
     # ------------------------------------------------------------------
     def queue_status(self, resource_name):
-        """Remote queue telemetry: ``"<depth> <utilisation>"``.
+        """Queue telemetry through the machine's backend:
+        ``"<depth> <utilisation>"``."""
+        return self._backend(resource_name).queue_status(
+            self, resource_name)
 
-        Models running ``qstat`` on the login node through the fork
-        service — how an operator (or the daemon) reads congestion
-        without any scheduler API.
-        """
-        argv = ["globus-job-run", f"{resource_name}/jobmanager-fork",
-                "/usr/bin/qstat", "-Q"]
-
-        def action():
-            proxy = self._require_proxy()
-            resource = self.fabric.resource(resource_name)
-            if not resource.reachable:
-                raise TransientGridError(
-                    f"{resource_name}: gatekeeper did not respond")
-            from .certificates import CertificateInvalid
-            try:
-                self.fabric.proxy_factory.verify(proxy)
-            except CertificateInvalid as exc:
-                raise PermanentGridError(str(exc))
-            scheduler = resource.scheduler
-            return (f"{scheduler.queue_depth()} "
-                    f"{scheduler.utilisation:.4f}")
-        return self._run(argv, action, resource=resource_name)
+    def _dispatch_queue_status(self, argv):
+        if "-r" in argv:
+            contact = argv[argv.index("-r") + 1]
+        else:
+            contact = argv[1]
+        resource_name = contact.partition("/")[0]
+        return self.queue_status(resource_name)
 
     # ------------------------------------------------------------------
-    # globus-job-status (poll)
+    # Job polling / lookup / cancellation
     # ------------------------------------------------------------------
-    def globus_job_status(self, resource_name, gram_job_id):
-        argv = ["globus-job-status", "-r", resource_name,
-                str(gram_job_id)]
+    def job_status(self, resource_name, job_id):
+        """Poll one job; stdout is a GRAM-vocabulary state, with the
+        failure reason appended after ``FAILED``."""
+        return self._backend(resource_name).poll(
+            self, resource_name, job_id)
 
-        def action():
-            proxy = self._require_proxy()
-            gram = self.fabric.gram(resource_name)
-            state = gram.poll(proxy, int(gram_job_id))
-            if state == FAILED:
-                reason = gram.failure_reason(int(gram_job_id))
-                return f"{state} {reason}".strip()
-            return state
-        return self._run(argv, action, resource=resource_name)
+    globus_job_status = job_status
 
     def _dispatch_job_status(self, argv):
-        return self.globus_job_status(argv[argv.index("-r") + 1], argv[-1])
+        return self.job_status(argv[argv.index("-r") + 1], argv[-1])
 
-    def globus_job_lookup(self, resource_name, tag):
-        """Recover a GRAM job id by its submitted ``clientTag``.
+    def job_lookup(self, resource_name, tag):
+        """Recover a backend job id by its submitted ``clientTag``.
 
         The reconciliation primitive: ``stdout`` is ``"<id> <state>"``
         when a job carrying the tag exists on the job manager, or empty
@@ -309,89 +332,70 @@ class GridClients:
         (resource unreachable, breaker open) proves nothing — the caller
         must hold the affected simulation rather than guess.
         """
-        argv = ["globus-job-lookup", "-r", resource_name, str(tag)]
+        return self._backend(resource_name).lookup(
+            self, resource_name, tag)
 
-        def action():
-            proxy = self._require_proxy()
-            gram = self.fabric.gram(resource_name)
-            gram_job = gram.find_by_tag(proxy, str(tag))
-            if gram_job is None:
-                return ""
-            return f"{gram_job.id} {gram_job.state}"
-        return self._run(argv, action, resource=resource_name)
+    globus_job_lookup = job_lookup
 
     def _dispatch_job_lookup(self, argv):
-        return self.globus_job_lookup(argv[argv.index("-r") + 1],
-                                      argv[-1])
+        return self.job_lookup(argv[argv.index("-r") + 1], argv[-1])
 
-    def globus_job_cancel(self, resource_name, gram_job_id):
-        argv = ["globus-job-cancel", "-r", resource_name, str(gram_job_id)]
+    def job_cancel(self, resource_name, job_id):
+        return self._backend(resource_name).cancel(
+            self, resource_name, job_id)
 
-        def action():
-            proxy = self._require_proxy()
-            self.fabric.gram(resource_name).cancel(proxy, int(gram_job_id))
-            return "cancelled"
-        return self._run(argv, action, resource=resource_name)
+    globus_job_cancel = job_cancel
 
     def _dispatch_job_cancel(self, argv):
-        return self.globus_job_cancel(argv[argv.index("-r") + 1], argv[-1])
+        return self.job_cancel(argv[argv.index("-r") + 1], argv[-1])
 
     # ------------------------------------------------------------------
-    # globus-url-copy (GridFTP)
+    # File staging
     # ------------------------------------------------------------------
     def stage_in(self, resource_name, remote_path, data):
         """local → remote (upload marshaled input files)."""
-        argv = ["globus-url-copy", "file:///staging/upload",
-                f"gsiftp://{resource_name}{remote_path}"]
-
-        def action():
-            proxy = self._require_proxy()
-            digest = self.fabric.gridftp(resource_name).put(
-                proxy, remote_path, data)
-            return digest
-        return self._run(argv, action, resource=resource_name)
+        return self._backend(resource_name).stage_in(
+            self, resource_name, remote_path, data)
 
     def stage_out(self, resource_name, remote_path):
         """remote → local; payload returned on ``result.data``."""
-        argv = ["globus-url-copy",
-                f"gsiftp://{resource_name}{remote_path}",
-                "file:///staging/download"]
-        holder = {}
-
-        def action():
-            proxy = self._require_proxy()
-            holder["data"] = self.fabric.gridftp(resource_name).get(
-                proxy, remote_path)
-            return f"{len(holder['data'])} bytes"
-        result = self._run(argv, action, resource=resource_name)
-        result.data = holder.get("data")
-        return result
+        return self._backend(resource_name).stage_out(
+            self, resource_name, remote_path)
 
     def stage_stat(self, resource_name, remote_path):
         """Size/digest probe of a remote file: ``"<size> <md5>"`` or
         ``"absent"`` — how reconciliation re-verifies a transfer whose
         commit record was lost in a crash."""
-        argv = ["globus-url-copy", "-stat",
-                f"gsiftp://{resource_name}{remote_path}"]
-
-        def action():
-            proxy = self._require_proxy()
-            return self.fabric.gridftp(resource_name).stat(
-                proxy, remote_path)
-        return self._run(argv, action, resource=resource_name)
+        return self._backend(resource_name).stage_stat(
+            self, resource_name, remote_path)
 
     def _dispatch_url_copy(self, argv):
+        def split_url(url):
+            for scheme in ("gsiftp://", "local://", "cloud://"):
+                if url.startswith(scheme):
+                    rest = url[len(scheme):]
+                    resource_name, _, path = rest.partition("/")
+                    return resource_name, "/" + path
+            return None
         src, dst = argv[-2], argv[-1]
         if "-stat" in argv:
-            rest = argv[-1][len("gsiftp://"):]
-            resource_name, _, path = rest.partition("/")
-            return self.stage_stat(resource_name, "/" + path)
-        if src.startswith("gsiftp://"):
-            rest = src[len("gsiftp://"):]
-            resource_name, _, path = rest.partition("/")
-            return self.stage_out(resource_name, "/" + path)
+            resource_name, path = split_url(argv[-1])
+            return self.stage_stat(resource_name, path)
+        if split_url(src) is not None:
+            resource_name, path = split_url(src)
+            return self.stage_out(resource_name, path)
         raise NotImplementedError(
-            "dispatch of uploads requires the original payload")
+            "uploads need the original file contents, which the "
+            "command log does not keep")
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def reported_cost_su(self, resource_name, directory):
+        """Backend-metered SU cost of the work under *directory*, or
+        ``None`` when the machine's backend does not meter usage."""
+        return self._backend(resource_name).reported_cost_su(
+            self, resource_name, directory)
 
     # ------------------------------------------------------------------
     def failed_commands(self):

@@ -47,6 +47,20 @@ _PROGRAM_OPS = {
     "globus-job-lookup": OP_POLL,
     "globus-url-copy": OP_TRANSFER,
     "globus-job-run": OP_QSTAT,
+    # Local-pool backend vocabulary.
+    "amp-localrun": OP_SUBMIT,
+    "amp-localstat": OP_POLL,
+    "amp-localcancel": OP_CANCEL,
+    "amp-locallookup": OP_POLL,
+    "amp-localcopy": OP_TRANSFER,
+    "amp-localq": OP_QSTAT,
+    # Cloud-batch backend vocabulary.
+    "amp-cloudrun": OP_SUBMIT,
+    "amp-cloudstat": OP_POLL,
+    "amp-cloudcancel": OP_CANCEL,
+    "amp-cloudlookup": OP_POLL,
+    "amp-cloudcopy": OP_TRANSFER,
+    "amp-cloudq": OP_QSTAT,
 }
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 from ..core.models import (AllocationRecord, KIND_DIRECT, MACHINE_AUTO,
                            MachineRecord, ReservationRecord, SIM_QUEUED,
                            Simulation, SubmitAuthorization)
+from ..grid.backends import get_backend
 from ..hpc.accounting import cpu_hours
 from .ledger import SULedger
 from .policy import CandidateSite, PlacementPolicy, get_policy
@@ -189,21 +190,37 @@ class ResourceBroker:
                 spec = self.machine_specs.get(record.name)
                 if spec is None:
                     continue
-                estimated = self.estimate_su(simulation, spec)
+                # The machine's backend shapes both halves of the
+                # score: metering substrates carry a billing premium on
+                # the reservation estimate, and substrates with their
+                # own wait model (pool drain, provisioning boot) bypass
+                # the shared batch-queue predictor.  GRAM machines take
+                # the historical path bit-for-bit (multiplier 1.0,
+                # predictor fallback).
+                backend = get_backend(
+                    getattr(spec, "backend", "gram") or "gram")
+                estimated = (self.estimate_su(simulation, spec)
+                             * backend.cost_multiplier)
                 available = (allocation.su_granted - allocation.su_used
                              - reserved_by_alloc.get(allocation.pk, 0.0))
                 if estimated > available:
                     continue
                 depth = (record.queue_depth
                          + virtual_depth.get(record.name, 0))
+                wait = backend.estimate_wait_s(
+                    spec, queue_depth=depth,
+                    utilisation=record.utilisation)
+                if wait is None:
+                    wait = estimate_queue_wait_s(
+                        spec, queue_depth=depth,
+                        utilisation=record.utilisation)
                 sites.append(CandidateSite(
                     machine_name=record.name, record=record, spec=spec,
                     allocation=allocation,
-                    estimated_wait_s=estimate_queue_wait_s(
-                        spec, queue_depth=depth,
-                        utilisation=record.utilisation),
+                    estimated_wait_s=wait,
                     estimated_su=estimated,
-                    su_available=available))
+                    su_available=available,
+                    backend=backend.name))
             return sites
 
         def book(simulation, site, attempt):

@@ -1,0 +1,175 @@
+"""A heterogeneous campaign: one broker, three execution substrates.
+
+Thirty AUTO simulations land on a deployment whose catalog spans GRAM
+batch machines, a real local subprocess pool, and a provisioned cloud
+batch endpoint — with the fault harness turned on (a machine outage,
+cloud API throttling, a truncated transfer, and a daemon kill mid-
+campaign).  Everything must still drain to DONE with exactly-once
+submissions, and the SU ledger invariant (reserved + used ≤ granted)
+must hold at *every* poll, not just at the end: backend-reported cost
+settlement must never let a metered cloud bill sneak past the grant.
+"""
+
+import pytest
+
+from repro.core import AMPDeployment, OperationRecord, SIM_DONE, Simulation
+from repro.core.models import (JOURNAL_COMMITTED, JOURNAL_INTENT,
+                               JOURNAL_OP_SUBMIT, KIND_DIRECT,
+                               MACHINE_AUTO, MachineRecord)
+from repro.grid import DaemonCrash, FaultInjector
+from repro.hpc import MIXED_BACKEND_MACHINES
+
+pytestmark = pytest.mark.backends
+
+LEDGER_SLACK = 1e-6
+
+
+def make_deployment():
+    return AMPDeployment(machines=MIXED_BACKEND_MACHINES,
+                         placement_policy="round-robin")
+
+
+def close_deployment(deployment):
+    from repro.core.models import ALL_MODELS
+    from repro.webstack.orm import bind
+    bind(ALL_MODELS, None)
+    deployment.close()
+
+
+def submit_auto_sims(deployment, user, count):
+    star, _ = deployment.catalog.search("16 Cyg B")
+    simulations = []
+    for index in range(count):
+        sim = Simulation(
+            star_id=star.pk, owner_id=user.pk, kind=KIND_DIRECT,
+            machine_name=MACHINE_AUTO,
+            parameters={"mass": 1.0 + 0.005 * (index % 40), "z": 0.02,
+                        "y": 0.27, "alpha": 2.0, "age": 5.0})
+        sim.save(db=deployment.databases.portal)
+        simulations.append(sim)
+    return simulations
+
+
+def audit_ledger_invariant(deployment):
+    for row in deployment.daemon.ledger.invariant_report():
+        committed = row["reserved_su"] + row["used_su"]
+        assert committed <= row["granted_su"] + LEDGER_SLACK, (
+            f"allocation {row['project']}: reserved {row['reserved_su']}"
+            f" + used {row['used_su']} exceeds grant {row['granted_su']}")
+
+
+def audit_exactly_once_submits(deployment):
+    """Exactly one COMMITTED submission per logical (sim, phase)."""
+    db = deployment.databases.admin
+    phases_seen = set()
+    for entry in OperationRecord.objects.using(db).filter(
+            op=JOURNAL_OP_SUBMIT, state=JOURNAL_COMMITTED):
+        phase_key = (entry.simulation_id, entry.phase)
+        assert phase_key not in phases_seen, \
+            f"phase {phase_key} submitted more than once"
+        phases_seen.add(phase_key)
+    assert OperationRecord.objects.using(db).filter(
+        state=JOURNAL_INTENT).count() == 0
+
+
+class TestMixedBackendCampaign:
+    def test_thirty_sims_drain_across_three_backends(self):
+        deployment = make_deployment()
+        try:
+            user = deployment.create_astronomer("campaign")
+            simulations = submit_auto_sims(deployment, user, 30)
+
+            injector = FaultInjector(deployment.fabric,
+                                     deployment.clock)
+            outage = injector.permanent_outage("kraken")
+            injector.throttle_cloud("nimbus", 2)
+            injector.truncate_transfers("ranger", 1)
+            injector.crash("submit", when="after", skip=10)
+
+            restarts = 0
+            db = deployment.databases.admin
+            for poll_index in range(400):
+                deployment.clock.advance(1800.0)
+                try:
+                    deployment.daemon.poll_once()
+                except DaemonCrash:
+                    restarts += 1
+                    deployment.restart_daemon()
+                # The invariant is audited on every cycle: a transient
+                # overdraft that later settles away is still a bug.
+                audit_ledger_invariant(deployment)
+                if poll_index == 30:
+                    outage.restore()
+                done = Simulation.objects.using(db).filter(
+                    state=SIM_DONE).count()
+                if done == 30:
+                    break
+            else:
+                states = sorted(
+                    (s.pk, s.state, s.machine_name, s.status_message)
+                    for s in Simulation.objects.using(db).all())
+                pytest.fail(f"campaign never drained: {states}")
+
+            assert restarts == 1, "the scheduled daemon kill never fired"
+
+            # The broker actually used all three substrates.
+            backend_of = {
+                record.name: record.backend
+                for record in MachineRecord.objects.using(db).all()}
+            used = set()
+            for sim in simulations:
+                sim.refresh_from_db()
+                assert sim.state == SIM_DONE
+                assert sim.machine_name != MACHINE_AUTO
+                used.add(backend_of[sim.machine_name])
+            assert used == {"gram", "local", "cloud"}, used
+
+            audit_exactly_once_submits(deployment)
+
+            # Telemetry names the substrate: the shared command counter
+            # carries a backend label for every executed command.
+            family = deployment.obs.metrics._families[
+                "grid_commands_total"]
+            labelled = {dict(labels).get("backend")
+                        for labels, _ in family.children()}
+            assert {"gram", "local", "cloud"} <= labelled, labelled
+        finally:
+            close_deployment(deployment)
+
+    def test_cloud_settlement_uses_metered_cost(self):
+        """A simulation pinned to the cloud machine is charged the
+        backend-reported metered bill (provisioning time included), not
+        the flat core-seconds estimate used for GRAM machines."""
+        from repro.core.models import AllocationRecord
+        deployment = make_deployment()
+        try:
+            user = deployment.create_astronomer("meter")
+            star, _ = deployment.catalog.search("16 Cyg B")
+            sim = Simulation(
+                star_id=star.pk, owner_id=user.pk, kind=KIND_DIRECT,
+                machine_name="nimbus",
+                parameters={"mass": 1.02, "z": 0.02, "y": 0.27,
+                            "alpha": 2.0, "age": 5.0})
+            sim.save(db=deployment.databases.portal)
+            db = deployment.databases.admin
+
+            def nimbus_usage():
+                return sum(
+                    record.su_used
+                    for record in AllocationRecord.objects.using(
+                        db).select_related("machine")
+                    if record.machine.name == "nimbus")
+
+            usage_before = nimbus_usage()
+            deployment.run_daemon_until_idle(poll_interval_s=1800.0,
+                                             max_polls=200)
+            sim.refresh_from_db()
+            assert sim.state == SIM_DONE
+            metered = deployment.daemon.clients.reported_cost_su(
+                "nimbus", sim.remote_directory)
+            assert metered is not None and metered > 0.0
+            assert nimbus_usage() - usage_before \
+                == pytest.approx(metered)
+            audit_ledger_invariant(deployment)
+        finally:
+            close_deployment(deployment)
