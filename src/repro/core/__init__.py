@@ -9,10 +9,13 @@ a one-call full deployment (:class:`~repro.core.bootstrap.AMPDeployment`).
 from .bootstrap import AMPDeployment, DEFAULT_PROJECT
 from .catalog import SimbadService, StarCatalog
 from .daemon import ExternalMonitor, GridAMPDaemon
+from .leases import LeaseManager
 from .models import (ALL_MODELS, CORE_MODELS, AllocationRecord,
                      GridJobRecord, HOLD_MODEL, HOLD_RESOURCE,
                      JOURNAL_ABORTED, JOURNAL_COMMITTED, JOURNAL_INTENT,
-                     KIND_DIRECT, KIND_OPTIMIZATION, MACHINE_AUTO,
+                     KIND_DIRECT, KIND_OPTIMIZATION,
+                     LEASE_KIND_PRESENCE, LEASE_KIND_SLICE, LeaseRecord,
+                     MACHINE_AUTO,
                      MachineRecord, ObservationSet, OperationRecord,
                      RESERVATION_RELEASED, RESERVATION_RESERVED,
                      RESERVATION_SETTLED, ReservationRecord,
@@ -20,7 +23,8 @@ from .models import (ALL_MODELS, CORE_MODELS, AllocationRecord,
                      SIM_CANCELLED, SIM_CLEANUP, SIM_DONE, SIM_HOLD,
                      SIM_POSTJOB, SIM_PREJOB, SIM_QUEUED, SIM_RUNNING,
                      SIM_STATES, Simulation, Star, SubmitAuthorization,
-                     UserProfile, idempotency_key, reservation_key)
+                     UserProfile, idempotency_key, presence_lease_key,
+                     reservation_key, slice_lease_key)
 from .notifications import (AUDIENCE_ADMIN, AUDIENCE_USER, JargonLeak,
                             Mailer, NotificationPolicy)
 from .security import audit_role_separation, build_role_registry
@@ -34,12 +38,14 @@ __all__ = [
     "DirectRunWorkflow", "ExternalMonitor", "GridAMPDaemon",
     "GridJobRecord", "HOLD_MODEL", "HOLD_RESOURCE", "JargonLeak",
     "JOURNAL_ABORTED", "JOURNAL_COMMITTED", "JOURNAL_INTENT",
-    "KIND_DIRECT", "KIND_OPTIMIZATION", "MACHINE_AUTO",
+    "KIND_DIRECT", "KIND_OPTIMIZATION", "LEASE_KIND_PRESENCE",
+    "LEASE_KIND_SLICE", "LeaseManager", "LeaseRecord", "MACHINE_AUTO",
     "MachineRecord", "Mailer", "ModelFailure", "NotificationPolicy",
     "ObservationSet", "OperationRecord", "OptimizationWorkflow",
     "RESERVATION_RELEASED", "RESERVATION_RESERVED",
     "RESERVATION_SETTLED", "ReservationRecord", "reservation_key",
-    "idempotency_key", "SIM_ACTIVE_STATES",
+    "idempotency_key", "presence_lease_key", "slice_lease_key",
+    "SIM_ACTIVE_STATES",
     "SIM_CANCELLED", "SIM_CLEANUP", "SIM_DONE", "SIM_HOLD", "SIM_POSTJOB",
     "SIM_PREJOB", "SIM_QUEUED", "SIM_RUNNING", "SIM_STATES",
     "SimbadService", "Simulation", "StagingError", "Star", "StarCatalog",

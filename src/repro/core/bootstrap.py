@@ -78,6 +78,12 @@ class AMPDeployment:
         self.monitor = ExternalMonitor(self.daemon, self.mailer,
                                        clock=self.clock, obs=self.obs)
 
+        #: Fleet slots (``start_fleet``): index -> daemon or None
+        #: (killed).  Empty until a fleet is started.
+        self.fleet = {}
+        self.fleet_n_slices = 0
+        self.fleet_lease_ttl_s = 0.0
+
         # Catalog (portal-side service, portal role).
         self.simbad = SimbadService()
         self.catalog = StarCatalog(self.databases.portal, self.simbad)
@@ -198,6 +204,125 @@ class AMPDeployment:
         self.monitor = ExternalMonitor(self.daemon, self.mailer,
                                        clock=self.clock, obs=self.obs)
         return self.daemon
+
+    # ------------------------------------------------------------------
+    # Daemon fleet: lease-partitioned instances (kill/restart harness)
+    # ------------------------------------------------------------------
+    def start_fleet(self, n, *, n_slices=None, lease_ttl_s=7200.0):
+        """Boot *n* lease-partitioned daemon instances.
+
+        Each instance is a separate "process": its own breaker
+        registry (tagged with its instance id), grid clients, retry
+        tracker, and lease manager — while the database, fabric,
+        clock, mailer, and observability store are the shared durable
+        world.  The pre-existing singleton daemon is retired (its
+        event subscriber detached) so notifications don't
+        double-deliver; drive the fleet with ``poll_fleet_once`` /
+        ``run_fleet_until_idle``.
+        """
+        self.obs.events.unsubscribe("breaker.transition",
+                                    self.daemon._on_breaker_event)
+        self.fleet_n_slices = int(n_slices or n)
+        self.fleet_lease_ttl_s = float(lease_ttl_s)
+        self.fleet = {}
+        for index in range(n):
+            self._spawn_fleet_daemon(index)
+        return [self.fleet[index] for index in range(n)]
+
+    def _spawn_fleet_daemon(self, index):
+        from .leases import LeaseManager
+        instance = f"daemon-{index}"
+        breakers = BreakerRegistry(self.clock, obs=self.obs,
+                                   origin=instance)
+        clients = GridClients(self.fabric, gateway_name="AMP",
+                              breakers=breakers, obs=self.obs)
+        leases = LeaseManager(self.databases.daemon, self.clock,
+                              owner=instance,
+                              n_slices=self.fleet_n_slices,
+                              ttl_s=self.fleet_lease_ttl_s,
+                              obs=self.obs, fabric=self.fabric)
+        daemon = GridAMPDaemon(self.databases.daemon, clients,
+                               self.clock, self.mailer,
+                               self.machine_specs, obs=self.obs,
+                               placement_policy=self.placement_policy,
+                               instance_id=instance, leases=leases)
+        self.fleet[index] = daemon
+        return daemon
+
+    def kill_daemon(self, index):
+        """Simulate ``kill -9`` of one fleet member.
+
+        All process-local state vanishes (the slot goes to ``None``);
+        the instance's leases stay in the database until they expire,
+        at which point surviving peers steal the slices and adopt the
+        dead owner's uncommitted intents.  Returns the dead daemon
+        (tests inspect its in-memory state post-mortem).
+        """
+        daemon = self.fleet.get(index)
+        if daemon is None:
+            return None
+        self.obs.events.unsubscribe("breaker.transition",
+                                    daemon._on_breaker_event)
+        self.fleet[index] = None
+        return daemon
+
+    def restart_fleet_daemon(self, index):
+        """Boot a replacement process for one fleet slot.
+
+        The replacement carries the same instance id, so it may
+        *reclaim* its dead incarnation's unexpired leases immediately
+        (bumping the fencing token) and replay their intents through
+        the takeover path.
+        """
+        if self.fleet.get(index) is not None:
+            self.kill_daemon(index)
+        return self._spawn_fleet_daemon(index)
+
+    def poll_fleet_once(self, *, on_crash="kill"):
+        """One fleet round: every live instance polls, in index order.
+
+        A :class:`~repro.grid.faults.DaemonCrash` fired by the fault
+        harness mid-poll kills that instance (slot → ``None``) and the
+        round continues with its peers — the in-process analogue of a
+        process dying while the rest of the fleet keeps running.  Pass
+        ``on_crash="raise"`` to propagate instead.  Crashed indexes
+        land in ``fleet_crashes``.
+        """
+        from ..grid.faults import DaemonCrash
+        transitions = 0
+        crashed = []
+        for index in sorted(self.fleet):
+            daemon = self.fleet[index]
+            if daemon is None:
+                continue
+            try:
+                transitions += daemon.poll_once()
+            except DaemonCrash:
+                if on_crash != "kill":
+                    raise
+                self.kill_daemon(index)
+                crashed.append(index)
+        self.fleet_crashes = crashed
+        return transitions
+
+    def run_fleet_until_idle(self, *, poll_interval_s=300.0,
+                             max_rounds=100_000, on_crash="kill"):
+        """Drive fleet rounds in virtual time until no work remains.
+
+        Stops when every live instance agrees there is nothing left
+        (the pending count is a global database read, identical from
+        any instance) or when the whole fleet is dead.  Returns the
+        number of rounds driven.
+        """
+        rounds = 0
+        while rounds < max_rounds:
+            alive = [d for d in self.fleet.values() if d is not None]
+            if not alive or alive[0].pending_count() == 0:
+                break
+            self.clock.advance(poll_interval_s)
+            self.poll_fleet_once(on_crash=on_crash)
+            rounds += 1
+        return rounds
 
     def close(self):
         self.databases.close()

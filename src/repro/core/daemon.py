@@ -50,12 +50,19 @@ DEFAULT_POLL_INTERVAL_S = 300.0
 class GridAMPDaemon:
     def __init__(self, db, clients, clock, mailer, machine_specs,
                  retry_policy=None, obs=None,
-                 placement_policy="least-wait"):
+                 placement_policy="least-wait", instance_id=None,
+                 leases=None):
         self.db = db
         self.clients = clients
         self.clock = clock
         self.mailer = mailer
         self.policy = NotificationPolicy(mailer, db)
+        #: Fleet identity: ``instance_id`` names this process among its
+        #: peers and ``leases`` (a :class:`~repro.core.leases
+        #: .LeaseManager`) partitions the work.  Both ``None`` → the
+        #: classic singleton daemon, byte-identical to every prior PR.
+        self.instance_id = instance_id
+        self.leases = leases
         #: The observability facade every layer below shares.  Resolution
         #: order: the one the deployment passed in, the one already
         #: attached to the breaker registry, or a private instance — so a
@@ -129,10 +136,19 @@ class GridAMPDaemon:
         with self.obs.tracer.span("daemon.recovery") as span:
             breakers_restored = self._restore_breakers()
             retries_restored = self._restore_retry_state()
-            summary = self.reconcile_journal()
-            # The broker's half: adopt reservations whose simulation
-            # stamp was lost mid-placement, release stale holds.
-            adopted, released = self.broker.reconcile()
+            if self.leases is not None:
+                # Fleet mode: a booting instance owns no slices yet, so
+                # journal/ledger replay is deferred to lease takeover —
+                # replaying a *live* peer's intents here would race its
+                # in-flight work.
+                summary = {"intents": 0, "replayed": 0, "adopted": 0,
+                           "verified": 0, "reissued": 0, "held": 0}
+                adopted = released = 0
+            else:
+                summary = self.reconcile_journal()
+                # The broker's half: adopt reservations whose simulation
+                # stamp was lost mid-placement, release stale holds.
+                adopted, released = self.broker.reconcile()
             summary["breakers_restored"] = breakers_restored
             summary["retries_restored"] = retries_restored
             summary["reservations_adopted"] = adopted
@@ -185,7 +201,7 @@ class GridAMPDaemon:
             state__in=list(SIM_ACTIVE_STATES) + [SIM_HOLD])
         return self.retry.rehydrate(simulations)
 
-    def reconcile_journal(self):
+    def reconcile_journal(self, slice_filter=None):
         """Resolve every uncommitted journal intent against the fabric.
 
         The decision table (per intent, see DESIGN.md §6):
@@ -209,14 +225,27 @@ class GridAMPDaemon:
         Access is set-oriented: one SELECT for the intents, one for
         already-recorded jobs, one for cancel targets, then bulk
         writes — bounded round trips however long the backlog is.
+
+        *slice_filter* (fleet mode) scopes the sweep to the leased
+        residue classes: a takeover replays only the adopted slices'
+        intents, and the blocked set is cleared only within scope so
+        holds owned by other slices survive untouched.
         """
-        intents = list(OperationRecord.objects.using(self.db)
-                       .filter(state=JOURNAL_INTENT)
-                       .select_related("simulation__owner")
+        intent_qs = (OperationRecord.objects.using(self.db)
+                     .filter(state=JOURNAL_INTENT))
+        if slice_filter is not None:
+            intent_qs = intent_qs.filter(simulation_id__mod=slice_filter)
+        intents = list(intent_qs.select_related("simulation__owner")
                        .order_by("id"))
         summary = {"intents": len(intents), "replayed": 0, "adopted": 0,
                    "verified": 0, "reissued": 0, "held": 0}
-        self.blocked_sims.clear()
+        if slice_filter is None:
+            self.blocked_sims.clear()
+        else:
+            divisor, remainders = slice_filter
+            scoped = set(remainders)
+            self.blocked_sims -= {pk for pk in self.blocked_sims
+                                  if pk % divisor in scoped}
         if not intents:
             return summary
         submit_keys = [e.idempotency_key for e in intents
@@ -357,16 +386,19 @@ class GridAMPDaemon:
         return None
 
     # ------------------------------------------------------------------
-    def update_grid_jobs(self):
+    def update_grid_jobs(self, slice_filter=None):
         """Level 1: refresh every in-flight grid job's GRAM state.
 
         One JOIN-backed SELECT loads every record with its simulation
         and owner; state changes accumulate and flush in one
         ``bulk_update`` — two round trips however many jobs are active.
+        Fleet instances poll only jobs of their leased slices.
         """
         active = (GridJobRecord.objects.using(self.db)
                   .filter(state__in=["UNSUBMITTED", "PENDING", "ACTIVE"])
                   .select_related("simulation__owner"))
+        if slice_filter is not None:
+            active = active.filter(simulation_id__mod=slice_filter)
         changed = []
         for record in active:
             if record.gram_job_id is None:
@@ -401,7 +433,7 @@ class GridAMPDaemon:
             GridJobRecord.objects.using(self.db).bulk_update(
                 changed, ["state", "failure_reason"])
 
-    def advance_simulations(self):
+    def advance_simulations(self, slice_filter=None):
         """Level 2: run each active simulation's workflow.
 
         A defect in one simulation's processing must not take the whole
@@ -413,8 +445,10 @@ class GridAMPDaemon:
         import traceback
         transitions = 0
         active = (Simulation.objects.using(self.db)
-                  .filter(state__in=list(SIM_ACTIVE_STATES))
-                  .select_related("owner", "observation")
+                  .filter(state__in=list(SIM_ACTIVE_STATES)))
+        if slice_filter is not None:
+            active = active.filter(pk__mod=slice_filter)
+        active = (active.select_related("owner", "observation")
                   .prefetch_related("grid_jobs")
                   .order_by("id"))
         active_seen = 0
@@ -444,10 +478,19 @@ class GridAMPDaemon:
                         self.mailer.notify_admin(
                             f"Daemon error on simulation "
                             f"#{simulation.pk}", detail)
-        self.obs.metrics.gauge(
-            "daemon_active_simulations",
-            help="Simulations in active workflow states").set(
-            active_seen)
+        if self.instance_id:
+            # Per-instance view of the partition; the deployment-wide
+            # total stays with the singleton gauge below.
+            self.obs.metrics.gauge(
+                "daemon_instance_active_simulations",
+                help="Active simulations in each fleet instance's "
+                     "slices").labels(instance=self.instance_id).set(
+                active_seen)
+        else:
+            self.obs.metrics.gauge(
+                "daemon_active_simulations",
+                help="Simulations in active workflow states").set(
+                active_seen)
         return transitions
 
     def update_machine_telemetry(self):
@@ -530,14 +573,22 @@ class GridAMPDaemon:
         delivery happens here the moment the transition fires, so the
         mail timeline matches the event log exactly (no poll-phase lag,
         no double bookkeeping).
+
+        Under a fleet every instance has its own breaker registry but
+        all share one event bus, so each subscriber delivers mail only
+        for transitions its own registry emitted (the ``origin`` tag) —
+        otherwise N instances would send N copies of every alert.
         """
         fields = record.fields
+        if self.instance_id \
+                and fields.get("origin", "") != self.instance_id:
+            return
         self.policy.on_breaker_transition(BreakerEvent(
             time=record.time, resource=fields["resource"],
             from_state=fields["from_state"],
             to_state=fields["to_state"], reason=fields["reason"]))
 
-    def recover_resource_holds(self):
+    def recover_resource_holds(self, slice_filter=None):
         """Auto-resume simulations held for an exhausted retry budget
         once their machine's breaker closes again.
 
@@ -548,8 +599,10 @@ class GridAMPDaemon:
         """
         breakers = self.clients.breakers
         held = (Simulation.objects.using(self.db)
-                .filter(state=SIM_HOLD, hold_category=HOLD_RESOURCE)
-                .select_related("owner", "observation"))
+                .filter(state=SIM_HOLD, hold_category=HOLD_RESOURCE))
+        if slice_filter is not None:
+            held = held.filter(pk__mod=slice_filter)
+        held = held.select_related("owner", "observation")
         resumed = 0
         for simulation in held:
             if breakers is not None \
@@ -571,24 +624,59 @@ class GridAMPDaemon:
         """
         tracer = self.obs.tracer
         queries_before = self.db.queries_executed
-        with tracer.span("daemon.poll",
-                         attrs={"poll": self.poll_count}) as poll_span:
-            self._phase("update_grid_jobs", self.update_grid_jobs)
-            self._phase("update_machine_telemetry",
-                        self.update_machine_telemetry)
-            if self.blocked_sims:
-                # Intents a transient lookup could not resolve at boot:
-                # retry the sweep until every blocked simulation is
-                # provably settled (steady-state polls skip this).
-                self._phase("reconcile_pending", self.reconcile_journal)
-            # Placement runs after the telemetry refresh (fresh queue
-            # depths and breaker columns) and before any workflow may
-            # advance a newly placed simulation out of QUEUED.
-            self._phase("place_simulations", self.broker.place_pending)
-            self._phase("recover_resource_holds",
-                        self.recover_resource_holds)
-            transitions = self._phase("advance_simulations",
-                                      self.advance_simulations)
+        attrs = {"poll": self.poll_count}
+        if self.instance_id:
+            attrs["instance"] = self.instance_id
+        with tracer.span("daemon.poll", attrs=attrs) as poll_span:
+            transitions = 0
+            slice_filter = None
+            if self.leases is not None:
+                # Lease protocol first: renew, claim/steal, rebalance.
+                # Everything after this acts only on the owned slices.
+                acquired, dropped = self._phase("acquire_leases",
+                                                self.leases.sweep)
+                if dropped:
+                    lost = set(dropped)
+                    divisor = self.leases.n_slices
+                    self.blocked_sims -= {
+                        pk for pk in self.blocked_sims
+                        if pk % divisor in lost}
+                if acquired:
+                    self._phase(
+                        "lease_takeover",
+                        lambda: self._lease_takeover(acquired))
+                slice_filter = self.leases.slice_filter()
+                poll_span.set_attr("slices", len(slice_filter[1]))
+            if slice_filter is None or slice_filter[1]:
+                self._phase("update_grid_jobs",
+                            lambda: self.update_grid_jobs(slice_filter))
+                if slice_filter is None or 0 in slice_filter[1]:
+                    # One telemetry publisher per fleet — the slice-0
+                    # owner — so machine rows aren't rewritten N times
+                    # per round.
+                    self._phase("update_machine_telemetry",
+                                self.update_machine_telemetry)
+                if self.blocked_sims:
+                    # Intents a transient lookup could not resolve at
+                    # boot/takeover: retry the sweep until every blocked
+                    # simulation is provably settled (steady-state polls
+                    # skip this).
+                    self._phase(
+                        "reconcile_pending",
+                        lambda: self.reconcile_journal(slice_filter))
+                # Placement runs after the telemetry refresh (fresh
+                # queue depths and breaker columns) and before any
+                # workflow may advance a newly placed simulation out of
+                # QUEUED.
+                self._phase(
+                    "place_simulations",
+                    lambda: self.broker.place_pending(slice_filter))
+                self._phase(
+                    "recover_resource_holds",
+                    lambda: self.recover_resource_holds(slice_filter))
+                transitions = self._phase(
+                    "advance_simulations",
+                    lambda: self.advance_simulations(slice_filter))
             poll_span.set_attr("transitions", transitions)
         self.heartbeat = self.clock.now
         self.poll_count += 1
@@ -600,7 +688,39 @@ class GridAMPDaemon:
             help="Database round trips per poll cycle",
             buckets=QUERY_COUNT_BUCKETS).observe(
             self.db.queries_executed - queries_before)
+        if self.instance_id:
+            metrics.gauge(
+                "daemon_instance_heartbeat",
+                help="Virtual time of each fleet instance's last "
+                     "completed poll").labels(
+                instance=self.instance_id).set(self.heartbeat)
         return transitions
+
+    def _lease_takeover(self, slices):
+        """Generalised boot recovery: adopt freshly acquired slices.
+
+        Runs the same journal/ledger decision tables as a singleton
+        boot, scoped to the just-claimed residue classes — replaying a
+        dead owner's uncommitted intents (safe across owners: the
+        ``amp-sim-{pk}-{phase}-{attempt}`` keys are process-independent
+        and stamped on the remote jobs as ``clientTag``) and adopting
+        reservations it left between write and stamp.
+        """
+        scope = (self.leases.n_slices, sorted(slices))
+        self.leases._crash_check("takeover", "before")
+        summary = self.reconcile_journal(slice_filter=scope)
+        adopted, released = self.broker.reconcile(slice_filter=scope)
+        self.leases._crash_check("takeover", "after")
+        summary["reservations_adopted"] = adopted
+        summary["reservations_released"] = released
+        self.obs.events.emit("daemon.takeover",
+                             instance=self.instance_id,
+                             slices=list(scope[1]), **summary)
+        self.obs.metrics.counter(
+            "daemon_lease_takeovers_total",
+            help="Slice adoptions (scoped journal replays) by fleet "
+                 "instances").inc()
+        return summary
 
     def _phase(self, name, fn):
         """Run one poll phase inside its span, annotating query cost."""

@@ -125,6 +125,25 @@ def idempotency_key(simulation_pk, phase, attempt):
     return f"amp-sim-{int(simulation_pk)}-{phase}-{int(attempt)}"
 
 
+# Daemon-fleet lease kinds.  A *slice* lease grants its owner one
+# residue class of simulation primary keys (``pk % n_slices ==
+# slice_index``); a *presence* row is one instance's durable heartbeat,
+# which peers read to compute the live fleet size for fair sharing.
+LEASE_KIND_SLICE = "slice"
+LEASE_KIND_PRESENCE = "presence"
+LEASE_KINDS = (LEASE_KIND_SLICE, LEASE_KIND_PRESENCE)
+
+
+def slice_lease_key(slice_index, n_slices):
+    """The deterministic identity of one work-partition lease."""
+    return f"slice-{int(slice_index)}-of-{int(n_slices)}"
+
+
+def presence_lease_key(owner):
+    """The deterministic identity of one instance's presence row."""
+    return f"presence-{owner}"
+
+
 class Star(orm.Model):
     """A catalog star.  ``source`` records provenance (local | simbad)."""
 
@@ -526,7 +545,50 @@ class GridJobRecord(orm.Model):
         return self.state in ("DONE", "FAILED")
 
 
+class LeaseRecord(orm.Model):
+    """One durable lease in the daemon fleet's work partition.
+
+    Coordination lives in the database, not in any daemon process: a
+    slice lease is *claimed* and *renewed* through single-writer
+    conditional updates (``UPDATE ... WHERE owner/fencing_token`` still
+    match — the ORM reports the rowcount, so exactly one contender
+    wins), and becomes stealable the instant ``expires_at`` passes.
+    Every successful claim bumps ``fencing_token``, so an instance that
+    lost its lease while stalled can recognise the loss (its remembered
+    token no longer matches) and never acts on a slice it no longer
+    owns.  Presence rows reuse the same machinery as per-instance
+    heartbeats: the live fleet size — and with it each instance's fair
+    share of slices — is computable from unexpired presence rows alone.
+    """
+
+    slice_key = orm.CharField(max_length=80, unique=True)
+    kind = orm.CharField(max_length=12, default=LEASE_KIND_SLICE,
+                         choices=[(k, k) for k in LEASE_KINDS])
+    #: Which residue class of simulation pks this lease grants
+    #: (``pk % n_slices == slice_index``); -1 for presence rows.
+    slice_index = orm.IntegerField(default=-1)
+    n_slices = orm.IntegerField(default=0)
+    owner = orm.CharField(max_length=60, default="")
+    fencing_token = orm.IntegerField(default=0)
+    #: Virtual (sim-clock) timestamps, like every durable record.
+    acquired_at = orm.FloatField(default=0.0)
+    renewed_at = orm.FloatField(default=0.0)
+    expires_at = orm.FloatField(default=0.0)
+
+    class Meta:
+        table_name = "amp_lease"
+        ordering = ["id"]
+        indexes = [("kind",)]
+
+    def is_expired(self, now):
+        return self.expires_at <= now
+
+    def is_claimable(self, now):
+        return not self.owner or self.is_expired(now)
+
+
 CORE_MODELS = [Star, ObservationSet, MachineRecord, AllocationRecord,
                UserProfile, SubmitAuthorization, Simulation,
-               OperationRecord, ReservationRecord, GridJobRecord]
+               OperationRecord, ReservationRecord, GridJobRecord,
+               LeaseRecord]
 ALL_MODELS = AUTH_MODELS + CORE_MODELS

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from ....webstack import Http404, JsonResponse, path, render
 from ....webstack.orm import Count
-from ...models import (AllocationRecord, MachineRecord,
+from ...models import (AllocationRecord, LEASE_KIND_PRESENCE,
+                       LEASE_KIND_SLICE, LeaseRecord, MachineRecord,
                        RESERVATION_RESERVED, RESERVATION_SETTLED,
                        ReservationRecord, SIM_DONE, Simulation, Star)
 
@@ -195,7 +196,32 @@ def build_routes(ctx):
                 ctx.obs.metrics.total("sched_migrations_total"))
             brokering["refusals"] = int(
                 ctx.obs.metrics.total("sched_refusals_total"))
+        # Daemon-fleet digest: who is alive and who owns which slice
+        # of the work partition, read straight from the lease table
+        # (portal-readable, daemon-written) — the operator's one-look
+        # answer to "is the fleet healthy and balanced?".
+        now = ctx.clock.now if ctx.clock is not None else 0.0
+        fleet = {"instances": [], "slices": [], "enabled": False}
+        for row in LeaseRecord.objects.using(request.db).order_by("id"):
+            fleet["enabled"] = True
+            if row.kind == LEASE_KIND_PRESENCE:
+                fleet["instances"].append({
+                    "instance": row.owner,
+                    "heartbeat_age": max(0.0, now - row.renewed_at),
+                    "live": row.expires_at > now,
+                })
+            elif row.kind == LEASE_KIND_SLICE:
+                fleet["slices"].append({
+                    "slice": row.slice_index,
+                    "of": row.n_slices,
+                    "owner": row.owner or "(unclaimed)",
+                    "token": row.fencing_token,
+                    "expired": row.expires_at <= now,
+                })
+        fleet["live_count"] = sum(
+            1 for i in fleet["instances"] if i["live"])
         return render(request, "statistics.html", {
+            "fleet": fleet,
             "brokering": brokering,
             "by_state": sorted(by_state.items()),
             "by_kind": sorted(by_kind.items()),

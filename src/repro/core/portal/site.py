@@ -24,12 +24,16 @@ class PortalContext:
     facade is read/emit-only and carries no credentials)."""
 
     def __init__(self, catalog, machine_display_names,
-                 default_machine_name, question_bank=None, obs=None):
+                 default_machine_name, question_bank=None, obs=None,
+                 clock=None):
         self.catalog = catalog
         self.machine_display_names = dict(machine_display_names)
         self.default_machine_name = default_machine_name
         self.question_bank = question_bank or amp_question_bank()
         self.obs = obs
+        #: The deployment's virtual clock (read-only): the statistics
+        #: page computes lease expiry / heartbeat ages against it.
+        self.clock = clock
 
     def machine_records(self, db):
         return list(MachineRecord.objects.using(db).order_by("name"))
@@ -55,7 +59,8 @@ def build_portal_app(deployment, *, debug=False):
             name: record.display_name
             for name, record in deployment.machine_records.items()},
         default_machine_name=_default_machine(deployment),
-        obs=getattr(deployment, "obs", None))
+        obs=getattr(deployment, "obs", None),
+        clock=getattr(deployment, "clock", None))
     urlpatterns = [path("", home_view, name="home")]
     urlpatterns += accounts.build_routes(ctx)
     urlpatterns += stars.build_routes(ctx)

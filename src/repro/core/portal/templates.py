@@ -287,6 +287,27 @@ for {{ brokering.settled_su|floatformat:0 }} service units;
 migrations: {{ brokering.migrations }};
 refusals: {{ brokering.refusals }}.</p>
 {% endif %}
+{% if fleet.enabled %}
+<h3>Daemon fleet</h3>
+<p>{{ fleet.live_count }} live
+instance{{ fleet.live_count|pluralize }}.</p>
+<table><tr><th>Instance</th><th>Heartbeat age</th>
+<th>Status</th></tr>
+{% for i in fleet.instances %}
+<tr><td>{{ i.instance }}</td>
+<td>{{ i.heartbeat_age|floatformat:0 }}s</td>
+<td>{% if i.live %}live{% else %}expired{% endif %}</td></tr>
+{% endfor %}
+</table>
+<table><tr><th>Work slice</th><th>Owner</th><th>Fencing token</th>
+<th>Lease</th></tr>
+{% for s in fleet.slices %}
+<tr><td>{{ s.slice }} of {{ s.of }}</td><td>{{ s.owner }}</td>
+<td>{{ s.token }}</td>
+<td>{% if s.expired %}expired{% else %}held{% endif %}</td></tr>
+{% endfor %}
+</table>
+{% endif %}
 {% if ops %}
 <h3>Gateway operations</h3>
 <table><tr><th>Indicator</th><th>Value</th></tr>

@@ -38,6 +38,9 @@ PORTAL_GRANTS = {
     # the placement digest from it, but only the daemon's broker books
     # and settles reservations.
     "amp_reservation": {"select"},
+    # Fleet leases: the statistics page renders the fleet digest
+    # (instances, slices, heartbeats); only daemons claim and renew.
+    "amp_lease": {"select"},
     # Back-end registry: read-only for form choices.
     "amp_machine": {"select"},
     "amp_allocation": {"select"},
@@ -55,6 +58,9 @@ DAEMON_GRANTS = {
     "amp_operation": {"select", "insert", "update"},
     # The broker's SU-reservation ledger: daemon-owned too.
     "amp_reservation": {"select", "insert", "update"},
+    # Work-partition leases: claimed/renewed/stolen through
+    # conditional updates; rows are never deleted, only expired.
+    "amp_lease": {"select", "insert", "update"},
     "amp_machine": {"select", "update"},   # queue telemetry
     "amp_allocation": {"select", "update"},  # SU charging
     "amp_profile": {"select"},

@@ -55,11 +55,16 @@ class BreakerEvent:
 class CircuitBreaker:
     """Health tracking for one resource."""
 
-    def __init__(self, resource, clock, policy=None, obs=None):
+    def __init__(self, resource, clock, policy=None, obs=None,
+                 origin=""):
         self.resource = resource
         self.clock = clock
         self.policy = policy or BreakerPolicy()
         self.obs = obs
+        #: Which fleet instance's registry this breaker belongs to.
+        #: Singleton deployments leave it empty and their events carry
+        #: no origin field (byte-stable with every pre-fleet log).
+        self.origin = origin
         self.state = CLOSED
         self.consecutive_failures = 0
         self.opened_at = None
@@ -88,10 +93,11 @@ class CircuitBreaker:
                 help="1 while the resource circuit is open or probing"
             ).labels(resource=self.resource).set(
                 0.0 if to_state == CLOSED else 1.0)
+            extra = {"origin": self.origin} if self.origin else {}
             self.obs.events.emit(
                 "breaker.transition", resource=self.resource,
                 from_state=event.from_state, to_state=to_state,
-                reason=reason)
+                reason=reason, **extra)
 
     # ------------------------------------------------------------------
     def allow(self):
@@ -133,10 +139,14 @@ class CircuitBreaker:
 class BreakerRegistry:
     """Lazy per-resource breakers sharing one clock and policy."""
 
-    def __init__(self, clock, policy=None, obs=None):
+    def __init__(self, clock, policy=None, obs=None, origin=""):
         self.clock = clock
         self.policy = policy or BreakerPolicy()
         self.obs = obs
+        #: Fleet-instance tag stamped onto every transition event this
+        #: registry emits, so each daemon's notification subscriber can
+        #: deliver mail for its own breakers only.
+        self.origin = origin
         self._breakers = {}
 
     def attach_obs(self, obs):
@@ -149,7 +159,7 @@ class BreakerRegistry:
         breaker = self._breakers.get(resource)
         if breaker is None:
             breaker = CircuitBreaker(resource, self.clock, self.policy,
-                                     obs=self.obs)
+                                     obs=self.obs, origin=self.origin)
             self._breakers[resource] = breaker
         return breaker
 

@@ -259,7 +259,10 @@ class FaultInjector:
         """Kill the daemon at the next matching journaled boundary.
 
         ``op`` is a journal operation class (``submit``/``stage_in``/
-        ``stage_out``/``cancel``) or ``"*"``; ``when`` picks the window
+        ``stage_out``/``cancel``), a broker boundary (``reserve``), a
+        lease-protocol boundary (``lease_claim``/``lease_renew``/
+        ``takeover`` — the fleet's claim CAS, renewal CAS, and scoped
+        journal-replay windows), or ``"*"``; ``when`` picks the window
         (see :class:`CrashPoint`); ``skip`` skips that many matching
         boundaries first.  Returns the :class:`CrashPoint` handle.
         """

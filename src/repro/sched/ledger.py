@@ -43,11 +43,19 @@ class SULedger:
     # ------------------------------------------------------------------
     # Reads (set-oriented: the broker calls these once per sweep)
     # ------------------------------------------------------------------
-    def active_reservations(self):
-        """Every RESERVED row, with its simulation, in one query."""
-        return list(ReservationRecord.objects.using(self.db)
-                    .filter(state=RESERVATION_RESERVED)
-                    .select_related("simulation__owner")
+    def active_reservations(self, slice_filter=None):
+        """Every RESERVED row, with its simulation, in one query.
+
+        *slice_filter* — a ``(n_slices, [slice_indexes])`` pair from a
+        fleet instance's lease manager — restricts the read to
+        reservations whose simulation falls in the owned residue
+        classes, so concurrent daemons sweep disjoint sets.
+        """
+        qs = (ReservationRecord.objects.using(self.db)
+              .filter(state=RESERVATION_RESERVED))
+        if slice_filter is not None:
+            qs = qs.filter(simulation_id__mod=slice_filter)
+        return list(qs.select_related("simulation__owner")
                     .order_by("id"))
 
     @staticmethod
@@ -132,7 +140,7 @@ class SULedger:
     # ------------------------------------------------------------------
     # Boot reconciliation (the broker's half of the recovery sweep)
     # ------------------------------------------------------------------
-    def reconcile(self):
+    def reconcile(self, slice_filter=None):
         """Heal reservations a dead daemon left behind.
 
         Decision table, per RESERVED row (one SELECT, bulk writes):
@@ -149,9 +157,11 @@ class SULedger:
         - simulation finished, cancelled, or held for an administrator
           → **release**: the hold must not pin SUs nobody will spend.
 
-        Returns ``(adopted, released)``.
+        Returns ``(adopted, released)``.  Under a fleet, each instance
+        reconciles only its leased residue classes (*slice_filter*),
+        so takeover replay never races a live owner's in-flight work.
         """
-        rows = self.active_reservations()
+        rows = self.active_reservations(slice_filter)
         newest = {}
         for row in rows:
             newest[row.simulation_id] = row

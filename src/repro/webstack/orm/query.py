@@ -118,7 +118,8 @@ class QueryCompiler:
         parts = name.split("__")
         lookup = "exact"
         if len(parts) > 1 and parts[-1] in _LOOKUPS or (
-                len(parts) > 1 and parts[-1] in ("in", "isnull", "range")):
+                len(parts) > 1
+                and parts[-1] in ("in", "isnull", "range", "mod")):
             lookup = parts.pop()
         field_name = "__".join(parts)
         if field_name == "pk":
@@ -147,6 +148,23 @@ class QueryCompiler:
             return (f'{ref} BETWEEN ? AND ?',
                     [field.to_db(field.to_python(lo)),
                      field.to_db(field.to_python(hi))])
+        if lookup == "mod":
+            # ``field__mod=(divisor, remainder)`` or
+            # ``field__mod=(divisor, [r0, r1, ...])`` — residue-class
+            # membership, the primitive behind sliced (partitioned)
+            # sweeps over integer keys.
+            divisor, remainder = value
+            divisor = int(divisor)
+            if divisor <= 0:
+                raise FieldError("mod lookup needs a positive divisor")
+            if isinstance(remainder, (list, tuple, set, frozenset)):
+                remainders = sorted({int(r) for r in remainder})
+                if not remainders:
+                    return "0 = 1", []  # empty residue set matches nothing
+                marks = ", ".join("?" for _ in remainders)
+                return (f'({ref} % ?) IN ({marks})',
+                        [divisor, *remainders])
+            return f'({ref} % ?) = ?', [divisor, int(remainder)]
         template = _LOOKUPS.get(lookup)
         if template is None:
             raise FieldError(f"Unsupported lookup {lookup!r}")

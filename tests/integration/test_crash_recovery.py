@@ -447,3 +447,122 @@ class TestCancelCrashWindow:
             assert_journal_settled(deployment)
         finally:
             close_deployment(deployment)
+
+
+# ----------------------------------------------------------------------
+# Fleet lease-protocol crash windows (multi-daemon kill/restart)
+# ----------------------------------------------------------------------
+
+def fleet_poll(deployment, rounds, interval_s=1800.0):
+    """Drive fleet rounds; returns indexes that crashed along the way."""
+    crashed = []
+    for _ in range(rounds):
+        deployment.clock.advance(interval_s)
+        deployment.poll_fleet_once(on_crash="kill")
+        crashed.extend(deployment.fleet_crashes)
+    return crashed
+
+
+def fleet_poll_until_crash(deployment, max_rounds=20, interval_s=1800.0):
+    for _ in range(max_rounds):
+        crashed = fleet_poll(deployment, 1, interval_s)
+        if crashed:
+            return crashed
+    return []
+
+
+class TestFleetLeaseCrashWindows:
+    """A fleet member dying inside the lease protocol itself must leave
+    its work adoptable — never orphaned, never double-executed."""
+
+    def test_kill_mid_renewal_leaves_work_adoptable(self):
+        deployment = make_deployment()
+        try:
+            user = deployment.create_astronomer("fleetrenew")
+            simulations = submit_direct_sims(deployment, user, 4)
+            deployment.start_fleet(2, lease_ttl_s=3600.0)
+            fleet_poll(deployment, 1)       # claims land, work starts
+            injector = FaultInjector(deployment.fabric,
+                                     deployment.clock)
+            injector.crash("lease_renew", when="before")
+            # daemon-0 sweeps first next round and dies mid-renewal;
+            # the round continues with its peer.
+            crashed = fleet_poll_until_crash(deployment)
+            assert crashed == [0]
+            assert deployment.fleet[0] is None
+            # The unrenewed lease runs out; the survivor steals the
+            # slice, replays its journal scope, and drains everything.
+            deployment.run_fleet_until_idle(poll_interval_s=1800.0,
+                                            max_rounds=100)
+            for simulation in simulations:
+                simulation.refresh_from_db()
+                assert simulation.state == SIM_DONE
+            stolen = deployment.obs.events.of_kind("daemon.lease.stolen")
+            assert stolen and stolen[-1].fields["from_owner"] \
+                == "daemon-0"
+            audit_exactly_once(deployment)
+            assert_journal_settled(deployment)
+        finally:
+            close_deployment(deployment)
+
+    def test_submit_after_crash_on_member_is_adopted_by_peer(self):
+        """The orphan window, fleet edition: daemon-0 dies with a job
+        on the fabric that the database never heard about.  The peer's
+        takeover must adopt it, not resubmit."""
+        deployment = make_deployment()
+        try:
+            user = deployment.create_astronomer("fleetorphan")
+            simulations = submit_direct_sims(deployment, user, 4)
+            deployment.start_fleet(2, lease_ttl_s=3600.0)
+            injector = FaultInjector(deployment.fabric,
+                                     deployment.clock)
+            injector.crash("submit", when="after")
+            crashed = fleet_poll_until_crash(deployment)
+            assert crashed == [0]
+            deployment.run_fleet_until_idle(poll_interval_s=1800.0,
+                                            max_rounds=100)
+            for simulation in simulations:
+                simulation.refresh_from_db()
+                assert simulation.state == SIM_DONE
+            takeovers = deployment.obs.events.of_kind("daemon.takeover")
+            adopted = [e for e in takeovers
+                       if e.fields["instance"] == "daemon-1"
+                       and e.fields["adopted"]]
+            assert adopted, "peer takeover never adopted the orphan"
+            audit_exactly_once(deployment)
+            assert_journal_settled(deployment)
+        finally:
+            close_deployment(deployment)
+
+    @pytest.mark.parametrize("when", ["before", "after"])
+    def test_takeover_crash_windows_are_idempotent(self, when):
+        """Dying inside the takeover itself (before or after the scoped
+        replay) must be recoverable by simply running takeover again."""
+        deployment = make_deployment()
+        try:
+            user = deployment.create_astronomer("fleettakeover")
+            simulations = submit_direct_sims(deployment, user, 4)
+            deployment.start_fleet(2, lease_ttl_s=3600.0)
+            injector = FaultInjector(deployment.fabric,
+                                     deployment.clock)
+            # Phase 1: daemon-0 dies in the orphan window, leaving an
+            # uncommitted submit intent plus its remote job.
+            injector.crash("submit", when="after")
+            assert fleet_poll_until_crash(deployment) == [0]
+            # Phase 2: daemon-1 steals the expired slice but dies
+            # inside the takeover window under test.
+            injector.crash("takeover", when=when)
+            assert fleet_poll_until_crash(deployment) == [1]
+            assert all(d is None for d in deployment.fleet.values())
+            # Phase 3: the replacement (same id) reclaims its slices
+            # immediately and replays the takeover — idempotently.
+            deployment.restart_fleet_daemon(1)
+            deployment.run_fleet_until_idle(poll_interval_s=1800.0,
+                                            max_rounds=100)
+            for simulation in simulations:
+                simulation.refresh_from_db()
+                assert simulation.state == SIM_DONE
+            audit_exactly_once(deployment)
+            assert_journal_settled(deployment)
+        finally:
+            close_deployment(deployment)
