@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli queuewait       # chaining vs sequential (C3)
     python -m repro.cli demo            # end-to-end gateway demo
     python -m repro.cli gantt           # the §6 Gantt tool on a run
+    python -m repro.cli serve           # prefork multi-worker portal
 
 Every command prints the same rows/series the paper reports.
 """
@@ -99,6 +100,38 @@ def cmd_gantt(args):
     return 0
 
 
+def cmd_serve(args):
+    """Serve the portal over real HTTP with prefork workers.
+
+    Each worker process builds its own deployment after the fork (so no
+    SQLite connection crosses a process boundary) and fronts it with
+    the full serving tier; the workers share one cache file, so an
+    entry rendered by any worker serves from every worker, and a write
+    seen by one invalidates it for all.
+    """
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="amp-serve-cache-")
+    cache_path = f"{cache_dir}/cache.sqlite"
+
+    def app_factory(index):
+        from .core import AMPDeployment
+        from .serve import ServeConfig, SqliteSharedStore
+        deployment = AMPDeployment()
+        return deployment.build_portal(serve=ServeConfig(
+            shared_store=SqliteSharedStore(cache_path),
+            worker_index=index))
+
+    from .serve import PreforkServer
+    server = PreforkServer(app_factory, workers=args.workers,
+                           host=args.host, port=args.port)
+    server.start()
+    print(f"AMP portal on {server.url} "
+          f"({server.n_workers} workers; Ctrl-C to drain)")
+    server.serve_forever()
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -128,6 +161,13 @@ def build_parser():
     p = sub.add_parser("gantt", help="the §6 Gantt tool")
     p.add_argument("--seed", type=int, default=3)
     p.set_defaults(fn=cmd_gantt)
+
+    p = sub.add_parser("serve",
+                       help="prefork multi-worker portal server")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000)
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

@@ -11,6 +11,7 @@ from .catalog import SimbadService, StarCatalog
 from .daemon import ExternalMonitor, GridAMPDaemon
 from .leases import LeaseManager
 from .models import (ALL_MODELS, CORE_MODELS, AllocationRecord,
+                     CampaignRecord,
                      GridJobRecord, HOLD_MODEL, HOLD_RESOURCE,
                      JOURNAL_ABORTED, JOURNAL_COMMITTED, JOURNAL_INTENT,
                      KIND_DIRECT, KIND_OPTIMIZATION,
@@ -34,7 +35,8 @@ from .workflow import (DirectRunWorkflow, ModelFailure,
 
 __all__ = [
     "ALL_MODELS", "AMPDeployment", "AUDIENCE_ADMIN", "AUDIENCE_USER",
-    "AllocationRecord", "CORE_MODELS", "DEFAULT_PROJECT",
+    "AllocationRecord", "CORE_MODELS", "CampaignRecord",
+    "DEFAULT_PROJECT",
     "DirectRunWorkflow", "ExternalMonitor", "GridAMPDaemon",
     "GridJobRecord", "HOLD_MODEL", "HOLD_RESOURCE", "JargonLeak",
     "JOURNAL_ABORTED", "JOURNAL_COMMITTED", "JOURNAL_INTENT",

@@ -166,12 +166,24 @@ class AMPDeployment:
                                 f"{username}@ucar.edu", password)
 
     # ------------------------------------------------------------------
-    def build_portal(self, *, debug=False):
-        """Construct (once) the public portal web application."""
+    def build_portal(self, *, debug=False, serve=None):
+        """Construct (once) the public portal web application.
+
+        ``serve`` enables the serving tier (``True`` or a
+        :class:`~repro.serve.ServeConfig`); the default ``None`` keeps
+        the bare pipeline.  The first call's configuration wins — the
+        app is cached.
+        """
         if self.portal_app is None:
             from .portal.site import build_portal_app
-            self.portal_app = build_portal_app(self, debug=debug)
+            self.portal_app = build_portal_app(self, debug=debug,
+                                               serve=serve)
         return self.portal_app
+
+    @property
+    def serve_cache(self):
+        """The portal's response cache, when the serving tier is on."""
+        return getattr(self.portal_app, "serve_cache", None)
 
     def run_daemon_until_idle(self, *, poll_interval_s=300.0,
                               max_polls=100_000):
@@ -325,4 +337,7 @@ class AMPDeployment:
         return rounds
 
     def close(self):
+        cache = self.serve_cache
+        if cache is not None:
+            cache.close()   # detach ORM signal receivers
         self.databases.close()

@@ -323,6 +323,32 @@ class SubmitAuthorization(orm.Model):
         unique_together = [("user_id", "machine_id")]
 
 
+class CampaignRecord(orm.Model):
+    """One bulk parameter-sweep submission through the campaign API.
+
+    The spec the astronomer POSTed is kept verbatim for provenance;
+    the member simulations point back via ``Simulation.campaign``.
+    Both the campaign row and its simulations are written in one
+    transaction, so a campaign either exists complete or not at all.
+    """
+
+    owner = orm.ForeignKey(User, related_name="campaigns")
+    star = orm.ForeignKey(Star, related_name="campaigns")
+    name = orm.CharField(max_length=120, default="")
+    machine_name = orm.CharField(max_length=40, default=MACHINE_AUTO)
+    spec = orm.JSONField(null=True)       # the validated sweep request
+    sim_count = orm.IntegerField(default=0, min_value=0)
+    created = orm.DateTimeField(auto_now_add=True)
+
+    class Meta:
+        table_name = "amp_campaign"
+        ordering = ["-id"]
+
+    def describe(self):
+        label = self.name or f"campaign #{self.pk}"
+        return f"{label} ({self.sim_count} simulations)"
+
+
 class Simulation(orm.Model):
     """One AMP simulation (direct model run or optimization run).
 
@@ -337,6 +363,10 @@ class Simulation(orm.Model):
     observation = orm.ForeignKey(ObservationSet, null=True,
                                  related_name="simulations")
     owner = orm.ForeignKey(User, related_name="simulations")
+    #: Set when the simulation was submitted as part of a bulk
+    #: parameter-sweep campaign (see :class:`CampaignRecord`).
+    campaign = orm.ForeignKey(CampaignRecord, null=True,
+                              related_name="simulations")
     kind = orm.CharField(max_length=16,
                          choices=[(KIND_DIRECT, "Direct model run"),
                                   (KIND_OPTIMIZATION, "Optimization run")])
@@ -588,7 +618,7 @@ class LeaseRecord(orm.Model):
 
 
 CORE_MODELS = [Star, ObservationSet, MachineRecord, AllocationRecord,
-               UserProfile, SubmitAuthorization, Simulation,
-               OperationRecord, ReservationRecord, GridJobRecord,
-               LeaseRecord]
+               UserProfile, SubmitAuthorization, CampaignRecord,
+               Simulation, OperationRecord, ReservationRecord,
+               GridJobRecord, LeaseRecord]
 ALL_MODELS = AUTH_MODELS + CORE_MODELS

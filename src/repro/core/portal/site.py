@@ -13,7 +13,7 @@ from ...webstack import WebApplication, path, render
 from ...webstack.auth import AuthMiddleware
 from ...webstack.templates import Engine
 from ..models import (MachineRecord, SIM_DONE, Simulation, Star)
-from .apps import accounts, feeds, results, stars, submit
+from .apps import accounts, api, feeds, results, stars, submit
 from .captcha import amp_question_bank
 from .templates import TEMPLATES
 
@@ -49,8 +49,19 @@ def home_view(request):
     })
 
 
-def build_portal_app(deployment, *, debug=False):
-    """The public portal WebApplication, bound to the portal role."""
+def build_portal_app(deployment, *, debug=False, serve=None):
+    """The public portal WebApplication, bound to the portal role.
+
+    Parameters
+    ----------
+    serve:
+        Serving-tier assembly: ``None``/``False`` for the bare portal
+        (the seed behaviour), ``True`` for the default
+        :class:`~repro.serve.ServeConfig`, or an explicit config.  When
+        enabled, the pipeline becomes observability → rate limiter →
+        SSL → response cache → auth, and the returned app exposes
+        ``serve_cache`` / ``rate_limiter`` for tests and teardown.
+    """
     from ..catalog import StarCatalog
     ctx = PortalContext(
         catalog=StarCatalog(deployment.databases.portal,
@@ -67,6 +78,9 @@ def build_portal_app(deployment, *, debug=False):
     urlpatterns += results.build_routes(ctx)
     urlpatterns += submit.build_routes(ctx)
     urlpatterns += feeds.build_routes(ctx)
+    # The JSON API mounts unconditionally: its endpoints are plain
+    # views, inert until a client calls them.
+    urlpatterns += api.build_routes(ctx)
     engine = Engine(templates=dict(TEMPLATES))
     from ...webstack.middleware import (ObservabilityMiddleware,
                                         SSLRequiredMiddleware)
@@ -76,11 +90,35 @@ def build_portal_app(deployment, *, debug=False):
         # errors from the inner middleware/views too.
         middleware.append(ObservabilityMiddleware(
             ctx.obs, db=deployment.databases.portal))
-    middleware += [SSLRequiredMiddleware(),
-                   AuthMiddleware(deployment.databases.portal)]
-    return WebApplication(
+    serve_cache = rate_limiter = None
+    if serve:
+        from ...serve import (CacheMiddleware, PortalCache, RateLimiter,
+                              RateLimitMiddleware, ServeConfig,
+                              WallClock, mark_worker_process)
+        config = serve if isinstance(serve, ServeConfig) else ServeConfig()
+        clock = ctx.clock if ctx.clock is not None else WallClock()
+        if config.ratelimit:
+            rate_limiter = RateLimiter(
+                clock, policies=config.rate_policies,
+                default=config.rate_default, obs=ctx.obs)
+            middleware.append(RateLimitMiddleware(rate_limiter))
+    middleware.append(SSLRequiredMiddleware())
+    if serve:
+        if config.cache:
+            serve_cache = PortalCache(
+                clock, shared=config.shared_store,
+                l1_capacity=config.l1_capacity,
+                obs=ctx.obs).connect_invalidation()
+            middleware.append(
+                CacheMiddleware(serve_cache, rules=config.cache_rules))
+        mark_worker_process(ctx.obs, config.worker_index)
+    middleware.append(AuthMiddleware(deployment.databases.portal))
+    app = WebApplication(
         urlpatterns, engine=engine, middleware=middleware,
         db=deployment.databases.portal, debug=debug)
+    app.serve_cache = serve_cache
+    app.rate_limiter = rate_limiter
+    return app
 
 
 def _default_machine(deployment):

@@ -30,6 +30,9 @@ PORTAL_GRANTS = {
     "amp_observation": {"select", "insert"},
     # Submission and monitoring.
     "amp_simulation": {"select", "insert", "update"},
+    # Bulk campaign submissions land through the portal's API; the
+    # campaign row and its simulations insert in one transaction.
+    "amp_campaign": {"select", "insert"},
     "amp_gridjob": {"select"},
     # The operation journal is read-only for the portal (the statistics
     # page digests the last recovery sweep); only the daemon writes it.
@@ -52,6 +55,7 @@ DAEMON_GRANTS = {
     "auth_user": {"select"},                 # e-mail addresses
     "amp_star": {"select"},
     "amp_observation": {"select"},
+    "amp_campaign": {"select"},              # campaign membership
     "amp_simulation": {"select", "update"},
     "amp_gridjob": {"select", "insert", "update"},
     # The write-ahead operation journal: the daemon owns it outright.

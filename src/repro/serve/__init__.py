@@ -1,0 +1,81 @@
+"""repro.serve — the portal's production serving tier.
+
+What the paper left to "Apache + mod_python on a departmental server",
+grown into a real subsystem (see DESIGN.md §10):
+
+- :mod:`repro.serve.workers` — a prefork multi-worker WSGI runner:
+  one listening socket, N forked worker processes with their own
+  per-role database connections, a supervisor that respawns dead
+  workers, and graceful drain on shutdown;
+- :mod:`repro.serve.cache` — a read-through response cache (per-worker
+  L1 LRU over a shared store) with per-route TTLs and *targeted*
+  write invalidation driven by the ORM's post-save/post-delete
+  signals, so results pages never serve a stale state transition;
+- :mod:`repro.serve.ratelimit` — per-route token buckets returning
+  plain-language 429s with ``Retry-After``;
+- :mod:`repro.serve.api` — helpers for the JSON campaign API (error
+  bodies, parameter-sweep validation/expansion).
+
+:class:`ServeConfig` bundles the knobs; ``build_portal_app(...,
+serve=ServeConfig())`` (or ``serve=True`` for defaults) assembles the
+tier in front of the existing portal application.
+"""
+
+from __future__ import annotations
+
+from .cache import (CacheMiddleware, CacheRule, DEFAULT_CACHE_RULES,
+                    InMemorySharedStore, PortalCache, SqliteSharedStore)
+from .ratelimit import (DEFAULT_POLICY, DEFAULT_RATE_POLICIES,
+                        RateLimiter, RateLimitMiddleware, RatePolicy)
+from .workers import PreforkServer, mark_worker_process
+
+__all__ = [
+    "CacheMiddleware", "CacheRule", "DEFAULT_CACHE_RULES",
+    "DEFAULT_POLICY", "DEFAULT_RATE_POLICIES", "InMemorySharedStore",
+    "PortalCache", "PreforkServer", "RateLimiter",
+    "RateLimitMiddleware", "RatePolicy", "ServeConfig",
+    "SqliteSharedStore", "WallClock", "mark_worker_process",
+]
+
+
+class WallClock:
+    """Wall-time stand-in for deployments without a virtual clock
+    (the prefork runner serving real HTTP)."""
+
+    @property
+    def now(self):
+        import time
+        return time.monotonic()
+
+
+class ServeConfig:
+    """Configuration for one serving-tier assembly.
+
+    Parameters
+    ----------
+    cache:
+        Enable the read-through response cache.
+    ratelimit:
+        Enable per-route token-bucket limiting.
+    cache_rules / rate_policies:
+        Overrides for the per-route defaults (None = defaults).
+    shared_store:
+        Cross-worker cache store (None = in-memory, per-process).
+    l1_capacity:
+        Per-worker L1 LRU size.
+    worker_index:
+        This process's worker number, stamped on the
+        ``serve_worker_up`` gauge (the in-process tier is worker 0).
+    """
+
+    def __init__(self, *, cache=True, ratelimit=True, cache_rules=None,
+                 rate_policies=None, rate_default=None,
+                 shared_store=None, l1_capacity=256, worker_index=0):
+        self.cache = cache
+        self.ratelimit = ratelimit
+        self.cache_rules = cache_rules
+        self.rate_policies = rate_policies
+        self.rate_default = rate_default
+        self.shared_store = shared_store
+        self.l1_capacity = l1_capacity
+        self.worker_index = worker_index

@@ -1,0 +1,177 @@
+"""Helpers for the portal's JSON campaign API.
+
+The machinery lives here, framework-adjacent and model-free: request
+parsing, the plain-language error body convention, and parameter-sweep
+expansion/validation.  The portal's API application
+(:mod:`repro.core.portal.apps.api`) supplies the models and bounds.
+
+Error convention — every non-2xx body is::
+
+    {"error": {"message": <one plain sentence>,
+               "fields": {<field>: [<plain sentences>], ...}}}
+
+No grid, ORM, or HTTP jargon in any message; the reader is an
+astronomer with a script, not a gateway operator.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class ApiError(Exception):
+    """Raised by API helpers; the view turns it into a JSON response."""
+
+    def __init__(self, status, message, fields=None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.fields = dict(fields or {})
+
+
+def error_response(status, message, fields=None):
+    from ..webstack.http import JsonResponse
+    body = {"error": {"message": message}}
+    if fields:
+        body["error"]["fields"] = {name: list(messages)
+                                   for name, messages in fields.items()}
+    return JsonResponse(body, status=status)
+
+
+def parse_json_body(request, *, max_bytes=1_000_000):
+    """The request body as a dict, or an :class:`ApiError` explaining
+    exactly what to fix."""
+    body = request.body
+    if len(body) > max_bytes:
+        raise ApiError(400, "The request body is too large for this "
+                            "service. Split the campaign into smaller "
+                            "requests.")
+    if not body:
+        raise ApiError(400, "The request body is empty. Send a JSON "
+                            "object describing the campaign.")
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        raise ApiError(400, "The request body is not valid JSON.")
+    if not isinstance(data, dict):
+        raise ApiError(400, "The request body must be a JSON object.")
+    return data
+
+
+# ----------------------------------------------------------------------
+# Parameter sweeps
+# ----------------------------------------------------------------------
+
+def _expand_axis(name, spec, low, high, errors):
+    """One sweep axis -> sorted list of float values (or record errors).
+
+    Accepted shapes: a single number, a list of numbers, or a range
+    object ``{"start": a, "stop": b, "step": s}`` (inclusive of *stop*
+    when it lands on the grid).
+    """
+    field = f"sweep.{name}"
+
+    def bad(message):
+        errors.setdefault(field, []).append(message)
+        return None
+
+    if isinstance(spec, bool):
+        return bad("This value must be a number, a list of numbers, or "
+                   "a start/stop/step range.")
+    if isinstance(spec, (int, float)):
+        values = [float(spec)]
+    elif isinstance(spec, list):
+        if not spec:
+            return bad("The list of values is empty.")
+        if not all(isinstance(v, (int, float))
+                   and not isinstance(v, bool) for v in spec):
+            return bad("Every value in the list must be a number.")
+        values = [float(v) for v in spec]
+    elif isinstance(spec, dict):
+        unknown = set(spec) - {"start", "stop", "step"}
+        if unknown:
+            return bad("A range is described by start, stop, and step "
+                       f"only (found: {', '.join(sorted(unknown))}).")
+        try:
+            start = float(spec["start"])
+            stop = float(spec["stop"])
+            step = float(spec["step"])
+        except (KeyError, TypeError, ValueError):
+            return bad("A range needs numeric start, stop, and step "
+                       "values.")
+        if step <= 0:
+            return bad("The step must be greater than zero.")
+        if stop < start:
+            return bad(f"The range is inverted: start ({start:g}) is "
+                       f"greater than stop ({stop:g}).")
+        values, k = [], 0
+        # Half-step tolerance so stop is included when it lands on the
+        # grid despite float rounding.
+        while start + k * step <= stop + step * 1e-9:
+            values.append(round(start + k * step, 12))
+            k += 1
+    else:
+        return bad("This value must be a number, a list of numbers, or "
+                   "a start/stop/step range.")
+
+    out_of_bounds = [v for v in values if v < low or v > high]
+    if out_of_bounds:
+        return bad(f"Value {out_of_bounds[0]:g} is outside the allowed "
+                   f"range {low:g} to {high:g}.")
+    return values
+
+
+def expand_sweep(sweep, bounds, *, max_points=5000):
+    """Expand a sweep spec into the full parameter grid.
+
+    Parameters
+    ----------
+    sweep:
+        ``{parameter: axis-spec}`` — every parameter in *bounds* must
+        appear, no others.
+    bounds:
+        ``{parameter: (low, high)}`` in canonical order.
+    max_points:
+        Ceiling on the grid size (one simulation per point).
+
+    Returns ``(points, errors)``: *points* is a list of
+    ``{parameter: value}`` dicts in deterministic order, *errors* maps
+    field names to plain-language messages.  A non-empty *errors*
+    means the whole sweep is rejected — no partial grid.
+    """
+    errors = {}
+    if not isinstance(sweep, dict):
+        return [], {"sweep": ["Describe the sweep as a JSON object "
+                              "with one entry per parameter."]}
+    names = list(bounds)
+    for name in sweep:
+        if name not in bounds:
+            errors.setdefault(f"sweep.{name}", []).append(
+                "This is not a parameter of the stellar model. "
+                f"Expected: {', '.join(names)}.")
+    axes = {}
+    for name in names:
+        if name not in sweep:
+            errors.setdefault(f"sweep.{name}", []).append(
+                "This parameter is required (use a single number to "
+                "hold it fixed).")
+            continue
+        low, high = bounds[name]
+        values = _expand_axis(name, sweep[name], low, high, errors)
+        if values is not None:
+            axes[name] = values
+    if errors:
+        return [], errors
+    total = 1
+    for name in names:
+        total *= len(axes[name])
+    if total > max_points:
+        return [], {"sweep": [
+            f"This sweep expands to {total} simulations; the most one "
+            f"campaign may submit is {max_points}. Split it into "
+            "smaller campaigns."]}
+    points = [{}]
+    for name in names:
+        points = [{**point, name: value}
+                  for point in points for value in axes[name]]
+    return points, {}

@@ -1,0 +1,234 @@
+"""Prefork multi-worker WSGI serving.
+
+The paper's production posture put Django behind Apache's process pool;
+this module is that pool, stdlib-only.  The supervisor binds one
+listening socket and forks N real worker processes that all ``accept()``
+on it — the kernel load-balances connections across them.  Each worker
+builds its *own* application (and therefore its own per-role reader
+database connections) after the fork via ``app_factory(worker_index)``,
+so no SQLite connection is ever shared across a process boundary.
+
+Lifecycle:
+
+- :meth:`PreforkServer.start` forks the workers;
+- :meth:`PreforkServer.supervise_once` reaps and respawns dead workers
+  (call it in a loop, or use :meth:`serve_forever`);
+- :meth:`PreforkServer.shutdown` drains gracefully: SIGTERM asks each
+  worker to finish its in-flight request and exit; stragglers past the
+  deadline are killed.
+
+The parent process never serves requests; it only supervises.  Worker
+liveness is exported as gauges (``serve_workers_alive``,
+``serve_worker_up{worker=...}``) on the supervisor's observability
+facade when one is provided.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
+
+
+class _QuietHandler(WSGIRequestHandler):
+    def log_message(self, format, *args):  # noqa: A002 - wsgiref API
+        pass
+
+
+class _WorkerWSGIServer(WSGIServer):
+    """WSGI server running on an inherited (already-listening) socket."""
+
+    allow_reuse_address = True
+
+    def __init__(self, listen_sock, handler_class=_QuietHandler):
+        super().__init__(listen_sock.getsockname(), handler_class,
+                         bind_and_activate=False)
+        self.socket.close()               # the unbound placeholder
+        self.socket = listen_sock
+        host, port = listen_sock.getsockname()[:2]
+        self.server_name = host
+        self.server_port = port
+        self.setup_environ()
+
+
+def mark_worker_process(obs, index):
+    """Stamp this process's identity gauges (called inside a worker)."""
+    if obs is None:
+        return
+    obs.metrics.gauge(
+        "serve_worker_up",
+        help="1 while this worker process is serving").labels(
+        worker=str(index)).set(1)
+
+
+class PreforkServer:
+    """Fork-per-worker HTTP serving over one shared listening socket.
+
+    Parameters
+    ----------
+    app_factory:
+        ``app_factory(worker_index) -> WSGI app``, called *inside* each
+        worker after the fork.  This is where per-worker database
+        connections are (re)opened.
+    workers:
+        Number of worker processes.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port`).
+    obs:
+        Optional supervisor-side observability facade for worker
+        gauges/counters.
+    """
+
+    def __init__(self, app_factory, *, workers=2, host="127.0.0.1",
+                 port=0, backlog=64, obs=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.app_factory = app_factory
+        self.n_workers = int(workers)
+        self.obs = obs
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self.pids = {}         # worker index -> pid
+        self.respawns = 0
+        self._draining = False
+
+    @property
+    def url(self):
+        return f"http://{self.host}:{self.port}"
+
+    # -- worker side ---------------------------------------------------
+    def _worker_main(self, index):   # pragma: no cover - child process
+        status = 1
+        try:
+            # A drain request during startup (before the server exists,
+            # so before anything can be in flight) is a clean exit —
+            # without this, a SIGTERM racing the app build would kill
+            # the worker with the signal's default action.
+            signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+            app = self.app_factory(index)
+            server = _WorkerWSGIServer(self._sock)
+            server.set_app(app)
+            # Graceful drain: finish the in-flight request, then stop
+            # accepting.  shutdown() must not run on the signal frame
+            # (it blocks until serve_forever exits), so hand it to a
+            # thread.
+            def drain(signum, frame):
+                threading.Thread(target=server.shutdown,
+                                 daemon=True).start()
+            signal.signal(signal.SIGTERM, drain)
+            server.serve_forever(poll_interval=0.05)
+            status = 0
+        finally:
+            # Never unwind into the parent's interpreter state (test
+            # harness, atexit hooks): a forked worker always _exits.
+            os._exit(status)
+
+    # -- supervisor side -----------------------------------------------
+    def _spawn(self, index):
+        pid = os.fork()
+        if pid == 0:
+            self._worker_main(index)     # never returns
+        self.pids[index] = pid
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "serve_worker_up",
+                help="1 while this worker process is serving").labels(
+                worker=str(index)).set(1)
+        return pid
+
+    def start(self):
+        for index in range(self.n_workers):
+            self._spawn(index)
+        self._update_alive_gauge()
+        return self
+
+    def _update_alive_gauge(self):
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "serve_workers_alive",
+                help="Live worker processes").set(len(self.pids))
+
+    def supervise_once(self):
+        """Reap exited workers; respawn them unless draining.
+
+        Returns the list of worker indexes respawned.
+        """
+        respawned = []
+        for index, pid in list(self.pids.items()):
+            done, _status = os.waitpid(pid, os.WNOHANG)
+            if done == 0:
+                continue
+            del self.pids[index]
+            if self.obs is not None:
+                self.obs.metrics.gauge(
+                    "serve_worker_up", help="").labels(
+                    worker=str(index)).set(0)
+            if not self._draining:
+                self._spawn(index)
+                self.respawns += 1
+                respawned.append(index)
+                if self.obs is not None:
+                    self.obs.metrics.counter(
+                        "serve_worker_respawns_total",
+                        help="Workers respawned after unexpected exit"
+                    ).inc()
+                    self.obs.events.emit("serve.worker.respawn",
+                                         worker=index)
+        self._update_alive_gauge()
+        return respawned
+
+    def serve_forever(self, poll_interval=0.5):  # pragma: no cover
+        """Supervise until interrupted (the CLI's blocking loop)."""
+        try:
+            while True:
+                self.supervise_once()
+                time.sleep(poll_interval)
+        except KeyboardInterrupt:
+            self.shutdown()
+
+    def kill_worker(self, index):
+        """Hard-kill one worker (the soak harness's crash injector)."""
+        os.kill(self.pids[index], signal.SIGKILL)
+
+    def shutdown(self, timeout=10.0):
+        """Graceful drain: returns {index: exit_status} once all exit."""
+        self._draining = True
+        for pid in self.pids.values():
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + timeout
+        statuses = {}
+        for index, pid in list(self.pids.items()):
+            remaining = deadline - time.monotonic()
+            statuses[index] = self._reap(pid, max(0.0, remaining))
+            del self.pids[index]
+            if self.obs is not None:
+                self.obs.metrics.gauge(
+                    "serve_worker_up", help="").labels(
+                    worker=str(index)).set(0)
+        self._update_alive_gauge()
+        self._sock.close()
+        return statuses
+
+    @staticmethod
+    def _reap(pid, timeout):
+        deadline = time.monotonic() + timeout
+        while True:
+            done, status = os.waitpid(pid, os.WNOHANG)
+            if done:
+                return os.waitstatus_to_exitcode(status)
+            if time.monotonic() >= deadline:
+                os.kill(pid, signal.SIGKILL)
+                _, status = os.waitpid(pid, 0)
+                return os.waitstatus_to_exitcode(status)
+            time.sleep(0.02)

@@ -20,7 +20,8 @@ imports the very same model definitions the portal serves.
 
 from . import admin, auth, forms, orm, signals, templates
 from .application import WebApplication, render
-from .pagination import EmptyPage, Page, Paginator
+from .pagination import (CursorPage, CursorPaginator, EmptyPage,
+                         InvalidCursor, Page, Paginator)
 from .http import (Http404, HttpRequest, HttpResponse,
                    HttpResponseBadRequest, HttpResponseForbidden,
                    HttpResponseNotAllowed, HttpResponseNotFound,
@@ -34,7 +35,8 @@ __all__ = [
     "HttpResponseBadRequest", "HttpResponseForbidden",
     "HttpResponseNotAllowed", "HttpResponseNotFound",
     "HttpResponseRedirect", "HttpResponseServerError", "JsonResponse",
-    "EmptyPage", "Page", "Paginator", "URLResolver", "WebApplication",
+    "CursorPage", "CursorPaginator", "EmptyPage", "InvalidCursor",
+    "Page", "Paginator", "URLResolver", "WebApplication",
     "admin", "auth", "forms", "include", "orm", "path", "render",
     "signals", "templates",
 ]

@@ -81,8 +81,10 @@ class WebApplication:
                 short_circuit = mw.process_request(request)
                 if short_circuit is not None:
                     return short_circuit
-        route, route_name, kwargs = self.resolver.resolve_route(
-            request.path)
+        match = getattr(request, "_route_match", None)
+        if match is None:   # no middleware resolved it eagerly
+            match = self.resolver.resolve_route(request.path)
+        route, route_name, kwargs = match
         request.resolver_kwargs = kwargs
         request.route_name = route_name
         view = route.view

@@ -9,7 +9,8 @@ REASON_PHRASES = {
     301: "Moved Permanently", 302: "Found", 304: "Not Modified",
     400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
     404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
-    410: "Gone", 500: "Internal Server Error", 503: "Service Unavailable",
+    410: "Gone", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 

@@ -76,10 +76,33 @@ class ObservabilityMiddleware:
         self.obs = obs
         self.db = db
 
+    @staticmethod
+    def resolve_route(request):
+        """Stamp ``request.route_name`` (and cache the full match) now,
+        before any later middleware can short-circuit.
+
+        Without this, responses produced by middleware — SSL redirects,
+        rate-limit 429s, cache hits — never reach the URL resolver and
+        every route's latency collapses into one ``<unrouted>`` bucket.
+        The resolved triple is cached on the request so the application
+        dispatch reuses it instead of resolving twice.
+        """
+        from .http import Http404
+        app = getattr(request, "app", None)
+        if app is None or getattr(request, "_route_match", None):
+            return
+        try:
+            match = app.resolver.resolve_route(request.path)
+        except Http404:
+            return
+        request._route_match = match
+        request.route_name = match[1]
+
     def process_request(self, request):
         request._obs_started_at = self.obs.clock.now
         if self.db is not None:
             request._obs_queries_before = self.db.queries_executed
+        self.resolve_route(request)
         return None
 
     def process_response(self, request, response):

@@ -356,17 +356,24 @@ class Model(metaclass=ModelMeta):
                    f'WHERE "{meta.pk.column}" = ?')
             database.execute(sql, values + [meta.pk.to_db(self.pk)],
                              operation="update", table=meta.table_name)
+        from ..signals import post_save
+        post_save.send(type(self), instance=self, created=adding,
+                       db=database)
         return self
 
     def delete(self):
         database = self._db_for_write()
         meta = self._meta
+        deleted_pk = self.pk
         database.execute(
             f'DELETE FROM "{meta.table_name}" WHERE "{meta.pk.column}" = ?',
             [meta.pk.to_db(self.pk)], operation="delete",
             table=meta.table_name)
         self.pk = None
         self._state_adding = True
+        from ..signals import post_delete
+        post_delete.send(type(self), instance=self, pk=deleted_pk,
+                         db=database)
 
     def refresh_from_db(self):
         fresh = type(self).objects.using(self._db_for_write()).get(pk=self.pk)

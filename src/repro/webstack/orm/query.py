@@ -626,6 +626,10 @@ class QuerySet:
         sql = f'DELETE FROM "{self.model._meta.table_name}"' + where
         cur = self.db.execute(sql, params, operation="delete",
                               table=self.model._meta.table_name)
+        if cur.rowcount:
+            from ..signals import post_delete
+            post_delete.send(self.model, instance=None,
+                             rows=cur.rowcount, db=self.db)
         return cur.rowcount
 
     def update(self, **values):
@@ -650,6 +654,10 @@ class QuerySet:
         sql = (f'UPDATE "{meta.table_name}" SET ' + ", ".join(sets) + where)
         cur = self.db.execute(sql, params + wparams, operation="update",
                               table=meta.table_name)
+        if cur.rowcount:
+            from ..signals import post_save
+            post_save.send(self.model, instance=None, created=False,
+                           rows=cur.rowcount, db=self.db)
         return cur.rowcount
 
     #: Keep one statement comfortably inside SQLite's bound-parameter
@@ -715,6 +723,10 @@ class QuerySet:
             cur = self.db.execute(sql, params, operation="update",
                                   table=meta.table_name)
             total += cur.rowcount
+        if total:
+            from ..signals import post_save
+            post_save.send(self.model, instance=None, created=False,
+                           instances=objs, rows=total, db=self.db)
         return total
 
     def bulk_create(self, objects, batch_size=None):
@@ -767,6 +779,9 @@ class QuerySet:
                 obj.pk = cur.lastrowid - len(chunk) + 1 + offset
                 obj._state_adding = False
                 obj._state_db = self.db
+        from ..signals import post_save
+        post_save.send(self.model, instance=None, created=True,
+                       instances=fresh, rows=len(fresh), db=self.db)
         return objs
 
     def values(self, *names):

@@ -2,10 +2,17 @@
 
 Works with QuerySets (sliced lazily — one COUNT plus one LIMIT/OFFSET
 query per page) and with plain sequences.
+
+:class:`CursorPaginator` is the API-facing variant: keyset pagination
+over the primary key, so deep pages cost one indexed range scan instead
+of an OFFSET walk, and a client paging through a live table never sees
+a row twice when earlier rows are inserted or deleted mid-walk.
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
 import math
 
 
@@ -93,3 +100,84 @@ class Paginator:
             except (TypeError, ValueError):
                 return self.page(1)
             return self.page(min(max(number, 1), self.num_pages))
+
+
+class InvalidCursor(Exception):
+    """The client supplied a cursor we did not mint (or it was mangled
+    in transit).  API views turn this into a plain-language 400."""
+
+
+class CursorPage:
+    """One keyset page: the objects plus the opaque continuation token."""
+
+    def __init__(self, objects, next_cursor):
+        self.object_list = list(objects)
+        self.next_cursor = next_cursor
+
+    def __iter__(self):
+        return iter(self.object_list)
+
+    def __len__(self):
+        return len(self.object_list)
+
+    @property
+    def has_next(self):
+        return self.next_cursor is not None
+
+
+class CursorPaginator:
+    """Keyset (cursor) pagination over a QuerySet's primary key.
+
+    Pages are ordered by descending pk (newest first — the natural feed
+    order for an append-mostly table).  The cursor is an opaque token
+    encoding the last pk the client saw; the next page is everything
+    strictly older.  One LIMIT'ed indexed query per page, no COUNT.
+
+    Parameters
+    ----------
+    queryset:
+        Base QuerySet; any filters should already be applied.  The
+        paginator imposes its own ordering.
+    per_page:
+        Page size; also the ceiling for client-requested sizes.
+    """
+
+    def __init__(self, queryset, per_page=50):
+        if per_page < 1:
+            raise ValueError("per_page must be >= 1")
+        self.queryset = queryset
+        self.per_page = int(per_page)
+
+    @staticmethod
+    def encode_cursor(pk):
+        raw = f"pk:{int(pk)}".encode("ascii")
+        return base64.urlsafe_b64encode(raw).decode("ascii")
+
+    @staticmethod
+    def decode_cursor(token):
+        try:
+            raw = base64.urlsafe_b64decode(token.encode("ascii"))
+            tag, _, value = raw.decode("ascii").partition(":")
+            if tag != "pk":
+                raise ValueError(tag)
+            return int(value)
+        except (ValueError, UnicodeError, binascii.Error):
+            raise InvalidCursor(
+                "The page marker is not one this service issued. "
+                "Request the first page again without a marker.")
+
+    def page(self, cursor=None, limit=None):
+        """Return the :class:`CursorPage` after *cursor* (None = first)."""
+        size = self.per_page if limit is None \
+            else max(1, min(int(limit), self.per_page))
+        qs = self.queryset.order_by("-pk")
+        if cursor is not None:
+            qs = qs.filter(pk__lt=self.decode_cursor(cursor))
+        # Fetch one extra row: its presence proves there is a next page
+        # without a COUNT.
+        rows = list(qs[:size + 1])
+        has_more = len(rows) > size
+        rows = rows[:size]
+        next_cursor = self.encode_cursor(rows[-1].pk) \
+            if has_more and rows else None
+        return CursorPage(rows, next_cursor)

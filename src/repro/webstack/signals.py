@@ -54,8 +54,17 @@ class Signal:
 
 
 # Framework-level signals.
+#
+# ``post_save`` and ``post_delete`` are sent by the ORM on every
+# mutation path — ``Model.save``/``Model.delete`` with the instance,
+# and the set-oriented ``QuerySet`` writes (``update``, ``delete``,
+# ``bulk_create``, ``bulk_update``) with ``instances`` where the rows
+# are in hand and ``instance=None`` otherwise.  The serving tier's
+# cache invalidation hangs off these; with no receivers connected the
+# send is a no-op over an empty list.
 pre_save = Signal("pre_save")
 post_save = Signal("post_save")
+post_delete = Signal("post_delete")
 request_started = Signal("request_started")
 request_finished = Signal("request_finished")
 user_logged_in = Signal("user_logged_in")

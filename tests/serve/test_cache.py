@@ -1,0 +1,124 @@
+"""Unit tests for the two-layer tag-versioned cache."""
+
+import pytest
+
+from repro.hpc.simclock import SimClock
+from repro.serve import (InMemorySharedStore, PortalCache,
+                         SqliteSharedStore)
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+def test_read_through_computes_once(clock):
+    cache = PortalCache(clock)
+    calls = []
+
+    def loader():
+        calls.append(1)
+        return "page"
+
+    assert cache.read_through("k", loader, ttl=60) == "page"
+    assert cache.read_through("k", loader, ttl=60) == "page"
+    assert len(calls) == 1
+
+
+def test_ttl_expires_against_the_clock(clock):
+    cache = PortalCache(clock)
+    cache.set("k", "v", ttl=30)
+    assert cache.get("k") == "v"
+    clock.advance(31)
+    assert cache.get("k") is None
+
+
+def test_l1_lru_evicts_oldest(clock):
+    cache = PortalCache(clock, l1_capacity=2)
+    cache.set("a", 1, ttl=600)
+    cache.set("b", 2, ttl=600)
+    cache.get("a")            # refresh a
+    cache.set("c", 3, ttl=600)
+    assert cache.l1_entries == 2
+    # b was least recently used; it fell out of L1 but survives in L2.
+    assert cache.get("b") == 2
+
+
+def test_tag_invalidation_is_targeted(clock):
+    cache = PortalCache(clock)
+    cache.set("sim-page", "s", tags={"sim:1", "sims"}, ttl=600)
+    cache.set("star-page", "t", tags={"star:7"}, ttl=600)
+    cache.invalidate({"sim:1"})
+    assert cache.get("sim-page") is None
+    assert cache.get("star-page") == "t"
+
+
+def test_shared_tag_invalidation_crosses_instances(clock):
+    """A 'write' seen by one worker's cache makes every other worker's
+    L1 copy stale — the tag version lives in the shared store."""
+    shared = InMemorySharedStore()
+    worker_a = PortalCache(clock, shared=shared)
+    worker_b = PortalCache(clock, shared=shared)
+    worker_a.set("k", "v", tags={"sims"}, ttl=600)
+    assert worker_b.get("k") == "v"     # promoted into b's L1
+    worker_a.invalidate({"sims"})
+    assert worker_b.get("k") is None    # b's L1 copy fails the check
+    assert worker_a.get("k") is None
+
+
+def test_sqlite_store_round_trips_entries(tmp_path, clock):
+    shared = SqliteSharedStore(str(tmp_path / "cache.sqlite"))
+    cache = PortalCache(clock, shared=shared)
+    frozen = (200, b"<html>ok</html>", {"Content-Type": "text/html"})
+    cache.set("page", frozen, tags={"stars"}, ttl=600)
+
+    # A second process (modelled as a second store on the same file).
+    shared2 = SqliteSharedStore(str(tmp_path / "cache.sqlite"))
+    other = PortalCache(clock, shared=shared2)
+    assert other.get("page") == frozen
+    cache.invalidate({"stars"})
+    assert other.get("page") is None
+    shared.close()
+    shared2.close()
+
+
+def test_model_write_purges_via_signals(deployment, astronomer):
+    """An ORM save through any role connection bumps the right tags."""
+    from repro.serve import PortalCache
+    from tests.core.conftest import submit_direct
+    cache = PortalCache(deployment.clock).connect_invalidation()
+    try:
+        cache.set("list", "page", tags={"sims"}, ttl=600)
+        cache.set("suggest", "names", tags={"star-suggest"}, ttl=600)
+        submit_direct(deployment, astronomer)
+        assert cache.get("list") is None
+        assert cache.get("suggest") == "names"
+    finally:
+        cache.close()
+
+
+def test_disconnected_cache_ignores_writes(deployment, astronomer):
+    from repro.serve import PortalCache
+    from tests.core.conftest import submit_direct
+    cache = PortalCache(deployment.clock).connect_invalidation()
+    cache.close()
+    cache.set("list", "page", tags={"sims"}, ttl=600)
+    submit_direct(deployment, astronomer)
+    assert cache.get("list") == "page"
+
+
+def test_hit_miss_counters(deployment):
+    obs = deployment.obs
+    cache = PortalCache(deployment.clock, obs=obs)
+    cache.get("k", route="sim-list")             # miss
+    cache.set("k", "v", tags={"sims"}, ttl=600)
+    cache.get("k", route="sim-list")             # hit (l1)
+    metrics = obs.metrics
+    assert metrics.value("serve_cache_misses_total",
+                         route="sim-list") == 1
+    assert metrics.value("serve_cache_hits_total",
+                         route="sim-list", layer="l1") == 1
+    # The counters are part of /metrics exposition.
+    text = metrics.render_prometheus()
+    assert "serve_cache_hits_total" in text
+    assert "serve_cache_l1_entries" in text

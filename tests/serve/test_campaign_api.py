@@ -1,0 +1,235 @@
+"""The JSON API: cursor pagination, filters, and atomic campaign
+submission with plain-language whole-batch rejection."""
+
+import json
+
+import pytest
+
+from repro.core import CampaignRecord, Simulation
+from repro.core.models import KIND_DIRECT
+
+
+def _get(client, path):
+    response = client.get(path)
+    return response, json.loads(response.text)
+
+
+def _post(client, payload):
+    response = client.post("/api/v1/campaigns", json_body=payload)
+    return response, json.loads(response.text)
+
+
+@pytest.fixture()
+def star(deployment):
+    star, _ = deployment.catalog.search("16 Cyg B")
+    return star
+
+
+def _seed_sims(deployment, user, star, n):
+    sims = [Simulation(star_id=star.pk, owner_id=user.pk,
+                       kind=KIND_DIRECT, machine_name="kraken",
+                       parameters={"mass": 1.0 + i * 1e-4, "z": 0.02,
+                                   "y": 0.27, "alpha": 2.0, "age": 4.5})
+            for i in range(n)]
+    Simulation.objects.using(deployment.databases.admin).bulk_create(sims)
+    return sims
+
+
+SWEEP = {"mass": {"start": 1.0, "stop": 1.04, "step": 0.01},
+         "z": [0.02, 0.03], "y": 0.27, "alpha": 2.0, "age": 4.5}
+
+
+# ----------------------------------------------------------------------
+# GET /api/v1/simulations
+# ----------------------------------------------------------------------
+
+def test_pagination_walks_every_simulation_once(client, deployment,
+                                                astronomer, star):
+    _seed_sims(deployment, astronomer, star, 120)
+    seen, cursor, pages = [], None, 0
+    while True:
+        path = "/api/v1/simulations?limit=50"
+        if cursor:
+            path += f"&cursor={cursor}"
+        response, body = _get(client, path)
+        assert response.status_code == 200
+        seen.extend(s["id"] for s in body["simulations"])
+        pages += 1
+        cursor = body["next_cursor"]
+        if cursor is None:
+            break
+    assert pages == 3
+    assert len(seen) == 120
+    assert len(set(seen)) == 120            # no overlap between pages
+    assert seen == sorted(seen, reverse=True)   # newest first
+
+
+def test_list_payload_shape(client, deployment, astronomer, star):
+    _seed_sims(deployment, astronomer, star, 1)
+    _, body = _get(client, "/api/v1/simulations")
+    (sim,) = body["simulations"]
+    assert sim["star"] == star.pk
+    assert sim["kind"] == KIND_DIRECT
+    assert sim["state"] == "QUEUED"
+    assert sim["machine"] == "kraken"
+    assert sim["campaign"] is None
+    assert "parameters" not in sim          # deferred payload columns
+
+
+def test_filters_narrow_the_list(client, deployment, astronomer, star):
+    _seed_sims(deployment, astronomer, star, 5)
+    Simulation.objects.using(deployment.databases.admin).filter(
+        pk=1).update(state="DONE")
+    _, body = _get(client, "/api/v1/simulations?state=DONE")
+    assert [s["id"] for s in body["simulations"]] == [1]
+    _, body = _get(client, f"/api/v1/simulations?star={star.pk}")
+    assert len(body["simulations"]) == 5
+
+
+def test_bad_filters_are_rejected_in_plain_language(client):
+    response, body = _get(client, "/api/v1/simulations?state=BROKEN")
+    assert response.status_code == 400
+    assert "state" in body["error"]["fields"]
+    response, body = _get(client, "/api/v1/simulations?star=abc")
+    assert response.status_code == 400
+    response, body = _get(client, "/api/v1/simulations?limit=0")
+    assert response.status_code == 400
+
+
+def test_invalid_cursor_is_a_400_not_a_crash(client):
+    response, body = _get(client,
+                          "/api/v1/simulations?cursor=garbage!!")
+    assert response.status_code == 400
+    assert "cursor" in body["error"]["message"]
+
+
+# ----------------------------------------------------------------------
+# POST /api/v1/campaigns
+# ----------------------------------------------------------------------
+
+def test_campaign_creates_whole_sweep_atomically(client, deployment,
+                                                 astronomer, star):
+    client.login("metcalfe", "pw12345")
+    response, body = _post(client, {"star": star.pk, "name": "grid-1",
+                                    "sweep": SWEEP})
+    assert response.status_code == 201
+    assert body["created"] == 10            # 5 masses x 2 metallicities
+    assert len(body["simulations"]) == 10
+    campaign = CampaignRecord.objects.using(
+        deployment.databases.admin).get(pk=body["campaign"])
+    assert campaign.sim_count == 10
+    assert campaign.spec == SWEEP
+    members = list(Simulation.objects.using(
+        deployment.databases.admin).filter(campaign_id=campaign.pk))
+    assert len(members) == 10
+    assert {tuple(sorted(m.parameters.items())) for m in members} == {
+        tuple(sorted({"mass": round(1.0 + i * 0.01, 12), "z": z,
+                      "y": 0.27, "alpha": 2.0, "age": 4.5}.items()))
+        for i in range(5) for z in (0.02, 0.03)}
+
+
+def test_campaign_by_star_name(client, deployment, astronomer, star):
+    client.login("metcalfe", "pw12345")
+    response, body = _post(client, {"star": star.name, "sweep": SWEEP})
+    assert response.status_code == 201
+
+
+def test_anonymous_campaign_is_401(client, star):
+    response, body = _post(client, {"star": star.pk, "sweep": SWEEP})
+    assert response.status_code == 401
+    assert "Sign in" in body["error"]["message"]
+
+
+def test_invalid_sweep_rejects_whole_batch(client, deployment,
+                                           astronomer, star):
+    """An inverted range plus an unknown machine: both problems are
+    reported, each in plain language, and nothing is created."""
+    client.login("metcalfe", "pw12345")
+    response, body = _post(client, {
+        "star": star.pk, "machine": "bluewaters",
+        "sweep": {"mass": {"start": 1.5, "stop": 1.0, "step": 0.1},
+                  "z": 0.02, "y": 0.27, "alpha": 2.0, "age": 4.5}})
+    assert response.status_code == 400
+    fields = body["error"]["fields"]
+    assert "inverted" in fields["sweep.mass"][0]
+    assert "bluewaters" in fields["machine"][0]
+    for messages in fields.values():
+        joined = " ".join(messages)
+        for jargon in ("ValueError", "Traceback", "IntegrityError",
+                       "SQL", "queryset"):
+            assert jargon not in joined
+    admin = deployment.databases.admin
+    assert CampaignRecord.objects.using(admin).count() == 0
+    assert Simulation.objects.using(admin).count() == 0
+
+
+def test_out_of_bounds_and_unknown_parameters(client, deployment,
+                                              astronomer, star):
+    client.login("metcalfe", "pw12345")
+    response, body = _post(client, {
+        "star": star.pk,
+        "sweep": {"mass": 9.9, "z": 0.02, "y": 0.27, "alpha": 2.0,
+                  "age": 4.5, "spin": 0.5}})
+    assert response.status_code == 400
+    fields = body["error"]["fields"]
+    assert "sweep.mass" in fields           # outside 0.75..1.75
+    assert "sweep.spin" in fields           # not a model parameter
+
+
+def test_missing_parameter_is_named(client, deployment, astronomer,
+                                    star):
+    client.login("metcalfe", "pw12345")
+    response, body = _post(client, {
+        "star": star.pk,
+        "sweep": {"mass": 1.0, "z": 0.02, "y": 0.27, "alpha": 2.0}})
+    assert response.status_code == 400
+    assert "sweep.age" in body["error"]["fields"]
+
+
+def test_oversized_grid_is_refused(client, deployment, astronomer,
+                                   star):
+    client.login("metcalfe", "pw12345")
+    response, body = _post(client, {
+        "star": star.pk,
+        "sweep": {"mass": {"start": 0.75, "stop": 1.75, "step": 0.01},
+                  "z": {"start": 0.002, "stop": 0.05, "step": 0.0005},
+                  "y": 0.27, "alpha": 2.0, "age": 4.5}})
+    assert response.status_code == 400
+    assert "sweep" in body["error"]["fields"]
+    assert Simulation.objects.using(
+        deployment.databases.admin).count() == 0
+
+
+def test_unauthorized_machine_is_refused(client, deployment, star):
+    from repro.core import SubmitAuthorization
+    guest = deployment.create_astronomer("guest", password="pw12345")
+    SubmitAuthorization.objects.using(deployment.databases.admin).filter(
+        user_id=guest.pk).update(active=False)
+    client.login("guest", "pw12345")
+    response, body = _post(client, {"star": star.pk, "sweep": SWEEP})
+    assert response.status_code == 400
+    assert "machine" in body["error"]["fields"]
+
+
+# ----------------------------------------------------------------------
+# GET /api/v1/campaigns/<id>
+# ----------------------------------------------------------------------
+
+def test_campaign_detail_reports_state_counts(client, deployment,
+                                              astronomer, star):
+    client.login("metcalfe", "pw12345")
+    _, body = _post(client, {"star": star.pk, "sweep": SWEEP})
+    pk = body["campaign"]
+    Simulation.objects.using(deployment.databases.admin).filter(
+        pk=body["simulations"][0]).update(state="DONE")
+    response, detail = _get(client, f"/api/v1/campaigns/{pk}")
+    assert response.status_code == 200
+    campaign = detail["campaign"]
+    assert campaign["simulations"] == 10
+    assert campaign["states"] == {"DONE": 1, "QUEUED": 9}
+
+
+def test_campaign_detail_404(client):
+    response, body = _get(client, "/api/v1/campaigns/999")
+    assert response.status_code == 404
+    assert "campaign" in body["error"]["message"]

@@ -1,0 +1,91 @@
+"""Prefork runner smoke: real sockets, real forks, graceful drain.
+
+Marked ``serve``: excluded from the tier-1 suite (it forks processes
+and binds ports), run by the dedicated CI job.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import PreforkServer, ServeConfig, SqliteSharedStore
+
+pytestmark = pytest.mark.serve
+
+
+def _app_factory(cache_path):
+    def factory(index):
+        from repro.core import AMPDeployment
+        deployment = AMPDeployment()
+        return deployment.build_portal(serve=ServeConfig(
+            shared_store=SqliteSharedStore(cache_path),
+            worker_index=index))
+    return factory
+
+
+def _get(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    server = PreforkServer(
+        _app_factory(str(tmp_path / "cache.sqlite")), workers=2)
+    server.start()
+    yield server
+    if server.pids:
+        server.shutdown(timeout=10)
+
+
+def test_two_workers_serve_fifty_requests_and_drain(server):
+    paths = ["/", "/stars/", "/api/v1/simulations", "/statistics/",
+             "/metrics"]
+    for i in range(50):
+        status, body = _get(server.url + paths[i % len(paths)])
+        assert status == 200
+        assert body
+    statuses = server.shutdown(timeout=10)
+    assert sorted(statuses) == [0, 1]
+    assert set(statuses.values()) == {0}       # clean graceful exits
+
+
+def test_api_serves_json_over_real_http(server):
+    status, body = _get(server.url + "/api/v1/simulations")
+    assert status == 200
+    assert json.loads(body) == {"simulations": [], "next_cursor": None}
+    status, _ = _get(server.url + "/metrics")
+    assert status == 200
+
+
+def test_killed_worker_is_respawned(server):
+    import time
+    assert _get(server.url + "/")[0] == 200
+    dead_pid = server.pids[0]
+    server.kill_worker(0)
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        if server.supervise_once():
+            break
+        time.sleep(0.05)
+    assert server.pids[0] != dead_pid
+    assert server.respawns == 1
+    # The replacement (and the survivor) keep serving.
+    for _ in range(10):
+        assert _get(server.url + "/stars/")[0] == 200
+    statuses = server.shutdown(timeout=10)
+    assert set(statuses.values()) == {0}
+
+
+def test_campaign_post_rejected_anonymously_over_http(server):
+    request = urllib.request.Request(
+        server.url + "/api/v1/campaigns",
+        data=json.dumps({"star": 1, "sweep": {}}).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    assert excinfo.value.code == 401
+    body = json.loads(excinfo.value.read())
+    assert "Sign in" in body["error"]["message"]
