@@ -103,26 +103,23 @@ def cmd_gantt(args):
 def cmd_serve(args):
     """Serve the portal over real HTTP with prefork workers.
 
-    Each worker process builds its own deployment after the fork (so no
-    SQLite connection crosses a process boundary) and fronts it with
-    the full serving tier; the workers share one cache file, so an
-    entry rendered by any worker serves from every worker, and a write
-    seen by one invalidates it for all.
+    The supervisor creates and seeds one file-backed database and one
+    cache file before forking; each worker process then builds its own
+    deployment against them after the fork.  No SQLite connection
+    crosses a process boundary, yet every worker serves the same rows
+    — a write handled by any worker is visible through all of them —
+    and an entry rendered by any worker serves from every worker
+    while a write seen by one invalidates it for all.  The tier runs
+    on wall time, not the deployments' virtual clocks.
     """
     import tempfile
 
-    cache_dir = tempfile.mkdtemp(prefix="amp-serve-cache-")
-    cache_path = f"{cache_dir}/cache.sqlite"
+    run_dir = tempfile.mkdtemp(prefix="amp-serve-")
 
-    def app_factory(index):
-        from .core import AMPDeployment
-        from .serve import ServeConfig, SqliteSharedStore
-        deployment = AMPDeployment()
-        return deployment.build_portal(serve=ServeConfig(
-            shared_store=SqliteSharedStore(cache_path),
-            worker_index=index))
-
+    from .core import build_prefork_app_factory
     from .serve import PreforkServer
+    app_factory = build_prefork_app_factory(
+        f"{run_dir}/portal.sqlite", f"{run_dir}/cache.sqlite")
     server = PreforkServer(app_factory, workers=args.workers,
                            host=args.host, port=args.port)
     server.start()

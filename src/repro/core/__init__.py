@@ -6,7 +6,8 @@ security role scheme, notifications, the §6 Gantt tool, the portal, and
 a one-call full deployment (:class:`~repro.core.bootstrap.AMPDeployment`).
 """
 
-from .bootstrap import AMPDeployment, DEFAULT_PROJECT
+from .bootstrap import (AMPDeployment, DEFAULT_PROJECT,
+                        build_prefork_app_factory)
 from .catalog import SimbadService, StarCatalog
 from .daemon import ExternalMonitor, GridAMPDaemon
 from .leases import LeaseManager
@@ -52,6 +53,6 @@ __all__ = [
     "SIM_PREJOB", "SIM_QUEUED", "SIM_RUNNING", "SIM_STATES",
     "SimbadService", "Simulation", "StagingError", "Star", "StarCatalog",
     "SubmitAuthorization", "UserProfile", "WorkflowManager",
-    "audit_role_separation", "build_role_registry",
-    "generate_input_files",
+    "audit_role_separation", "build_prefork_app_factory",
+    "build_role_registry", "generate_input_files",
 ]

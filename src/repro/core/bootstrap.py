@@ -40,7 +40,7 @@ DEFAULT_PROJECT = "TG-AST090056"
 class AMPDeployment:
     def __init__(self, *, machines=None, su_grant=5_000_000.0,
                  seed_catalog=True, observability=True,
-                 placement_policy="least-wait"):
+                 placement_policy="least-wait", database_uri=None):
         self.machines = list(machines or TABLE1_MACHINES)
         self.machine_specs = {m.name: m for m in self.machines}
         self.placement_policy = placement_policy
@@ -53,8 +53,14 @@ class AMPDeployment:
         # (breaker-transition notifications) run either way.
         self.obs = Observability(self.clock, enabled=observability)
 
-        # Shared database, role-scoped connections.
-        self.databases = DeploymentDatabases(build_role_registry())
+        # Shared database, role-scoped connections.  ``database_uri``
+        # points several deployments (e.g. prefork worker processes)
+        # at one file-backed store; schema creation, catalog seeding,
+        # and machine registration are all idempotent, so opening an
+        # already-populated database loads rows instead of
+        # duplicating them.
+        self.databases = DeploymentDatabases(build_role_registry(),
+                                             uri=database_uri)
         create_all(ALL_MODELS, self.databases.admin)
         bind(ALL_MODELS, self.databases.admin)
         self._observe_databases()
@@ -117,24 +123,41 @@ class AMPDeployment:
 
     # ------------------------------------------------------------------
     def _register_machines(self, su_grant):
+        """Ensure the back-end registry rows exist (idempotent).
+
+        A deployment opening an already-seeded shared database — a
+        prefork worker after the supervisor created it — loads the
+        existing machine and allocation rows instead of inserting
+        duplicates.
+        """
         admin = self.databases.admin
         self.machine_records = {}
         self.allocations = {}
+        existing = {record.name: record
+                    for record in MachineRecord.objects.using(admin)}
+        existing_allocations = {
+            allocation.machine_id: allocation
+            for allocation in AllocationRecord.objects.using(
+                admin).filter(project=DEFAULT_PROJECT)}
         for machine in self.machines:
-            record = MachineRecord(
-                name=machine.name,
-                display_name=DISPLAY_NAMES.get(machine.name,
-                                               machine.name.title()),
-                site=machine.site, enabled=True,
-                backend=getattr(machine, "backend", "gram"),
-                default_walltime_s=min(6 * 3600.0,
-                                       machine.max_walltime_s))
-            record.save(db=admin)
+            record = existing.get(machine.name)
+            if record is None:
+                record = MachineRecord(
+                    name=machine.name,
+                    display_name=DISPLAY_NAMES.get(machine.name,
+                                                   machine.name.title()),
+                    site=machine.site, enabled=True,
+                    backend=getattr(machine, "backend", "gram"),
+                    default_walltime_s=min(6 * 3600.0,
+                                           machine.max_walltime_s))
+                record.save(db=admin)
             self.machine_records[machine.name] = record
-            allocation = AllocationRecord(
-                project=DEFAULT_PROJECT, machine_id=record.pk,
-                su_granted=su_grant)
-            allocation.save(db=admin)
+            allocation = existing_allocations.get(record.pk)
+            if allocation is None:
+                allocation = AllocationRecord(
+                    project=DEFAULT_PROJECT, machine_id=record.pk,
+                    su_granted=su_grant)
+                allocation.save(db=admin)
             self.allocations[machine.name] = allocation
 
     # ------------------------------------------------------------------
@@ -341,3 +364,31 @@ class AMPDeployment:
         if cache is not None:
             cache.close()   # detach ORM signal receivers
         self.databases.close()
+
+
+def build_prefork_app_factory(database_path, cache_path):
+    """Worker app factory for real-HTTP prefork serving.
+
+    Creates and seeds one file-backed deployment database up front —
+    in the supervisor, before any fork — then returns an
+    ``app_factory(index)`` whose per-worker deployments all open *that*
+    database.  Every worker therefore reads and writes the same rows
+    (a signup or campaign POST handled by one worker is immediately
+    visible through every other), while each still opens its own
+    SQLite connections after the fork, so none crosses a process
+    boundary.  The serving tier is measured against a
+    :class:`~repro.serve.WallClock`: a worker's private SimClock never
+    advances while serving real HTTP, which would freeze cache TTLs
+    and rate-limit refills.
+    """
+    AMPDeployment(database_uri=database_path).close()
+
+    def app_factory(index):
+        from ..serve import ServeConfig, SqliteSharedStore, WallClock
+        deployment = AMPDeployment(database_uri=database_path)
+        return deployment.build_portal(serve=ServeConfig(
+            clock=WallClock(),
+            shared_store=SqliteSharedStore(cache_path),
+            worker_index=index))
+
+    return app_factory

@@ -96,7 +96,14 @@ def build_portal_app(deployment, *, debug=False, serve=None):
                               RateLimitMiddleware, ServeConfig,
                               WallClock, mark_worker_process)
         config = serve if isinstance(serve, ServeConfig) else ServeConfig()
-        clock = ctx.clock if ctx.clock is not None else WallClock()
+        # The config's clock wins: real-HTTP serving passes a
+        # WallClock there, because the deployment's SimClock only
+        # advances when harness code advances it — inheriting it in a
+        # prefork worker would freeze TTLs and rate-limit refills.
+        if config.clock is not None:
+            clock = config.clock
+        else:
+            clock = ctx.clock if ctx.clock is not None else WallClock()
         if config.ratelimit:
             rate_limiter = RateLimiter(
                 clock, policies=config.rate_policies,

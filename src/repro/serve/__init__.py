@@ -57,6 +57,15 @@ class ServeConfig:
         Enable the read-through response cache.
     ratelimit:
         Enable per-route token-bucket limiting.
+    clock:
+        Clock the cache TTLs and rate-limit buckets are measured
+        against.  ``None`` inherits the deployment's virtual clock
+        (tests and benches advance it explicitly), falling back to
+        :class:`WallClock`.  Real-HTTP serving — the prefork runner —
+        must pass a :class:`WallClock`: a deployment's
+        :class:`~repro.hpc.simclock.SimClock` never advances on its
+        own, so under it token buckets would never refill and cached
+        entries would never expire.
     cache_rules / rate_policies:
         Overrides for the per-route defaults (None = defaults).
     shared_store:
@@ -68,11 +77,12 @@ class ServeConfig:
         ``serve_worker_up`` gauge (the in-process tier is worker 0).
     """
 
-    def __init__(self, *, cache=True, ratelimit=True, cache_rules=None,
-                 rate_policies=None, rate_default=None,
+    def __init__(self, *, cache=True, ratelimit=True, clock=None,
+                 cache_rules=None, rate_policies=None, rate_default=None,
                  shared_store=None, l1_capacity=256, worker_index=0):
         self.cache = cache
         self.ratelimit = ratelimit
+        self.clock = clock
         self.cache_rules = cache_rules
         self.rate_policies = rate_policies
         self.rate_default = rate_default

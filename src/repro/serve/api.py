@@ -62,12 +62,15 @@ def parse_json_body(request, *, max_bytes=1_000_000):
 # Parameter sweeps
 # ----------------------------------------------------------------------
 
-def _expand_axis(name, spec, low, high, errors):
+def _expand_axis(name, spec, low, high, errors, max_values=5000):
     """One sweep axis -> sorted list of float values (or record errors).
 
     Accepted shapes: a single number, a list of numbers, or a range
     object ``{"start": a, "stop": b, "step": s}`` (inclusive of *stop*
-    when it lands on the grid).
+    when it lands on the grid).  Range expansion is bounded *during*
+    the loop: a tiny step inside the physics bounds must be rejected
+    after ``max_values`` iterations, not expanded in full first — an
+    unbounded loop here would let one request pin a worker's CPU.
     """
     field = f"sweep.{name}"
 
@@ -108,6 +111,12 @@ def _expand_axis(name, spec, low, high, errors):
         # Half-step tolerance so stop is included when it lands on the
         # grid despite float rounding.
         while start + k * step <= stop + step * 1e-9:
+            if len(values) >= max_values:
+                return bad(
+                    f"This range expands to more than {max_values} "
+                    f"values; the most one campaign may submit is "
+                    f"{max_values} simulations. Use a larger step or "
+                    "split it into smaller campaigns.")
             values.append(round(start + k * step, 12))
             k += 1
     else:
@@ -157,7 +166,8 @@ def expand_sweep(sweep, bounds, *, max_points=5000):
                 "hold it fixed).")
             continue
         low, high = bounds[name]
-        values = _expand_axis(name, sweep[name], low, high, errors)
+        values = _expand_axis(name, sweep[name], low, high, errors,
+                              max_values=max_points)
         if values is not None:
             axes[name] = values
     if errors:

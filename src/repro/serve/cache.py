@@ -102,12 +102,24 @@ class SqliteSharedStore:
     Each worker process opens its own connection to one cache file;
     entries are pickled response tuples.  Tag versions live in their
     own table, so the L1 freshness check is one tiny indexed SELECT.
+
+    The file is kept bounded by :meth:`prune` (called by
+    :meth:`PortalCache.set`, amortised over writes): expired rows are
+    deleted and the table is capped at *capacity* entries — without
+    it, unique-query anonymous traffic would grow the file without
+    bound, since an expired row is otherwise only removed when that
+    exact key is read again.
     """
 
-    def __init__(self, path):
+    #: ``set`` calls between prune sweeps (amortises the DELETEs).
+    PRUNE_EVERY = 64
+
+    def __init__(self, path, capacity=8192):
         self.path = path
+        self.capacity = int(capacity)
         self._local = threading.local()
-        self.evictions = 0    # sqlite store does not evict; TTL prunes
+        self.evictions = 0
+        self._sets_since_prune = 0
         self._connection().executescript(
             "CREATE TABLE IF NOT EXISTS cache_entries ("
             " key TEXT PRIMARY KEY, value BLOB, expires_at REAL,"
@@ -150,6 +162,33 @@ class SqliteSharedStore:
     def delete(self, key):
         self._connection().execute(
             "DELETE FROM cache_entries WHERE key = ?", (key,))
+
+    def prune(self, now, *, force=False):
+        """Drop expired rows and cap the table; returns rows removed.
+
+        Runs a real sweep only every :data:`PRUNE_EVERY` calls (every
+        call on ``force=True``); when over *capacity* afterwards, the
+        soonest-to-expire entries are evicted first.
+        """
+        self._sets_since_prune += 1
+        if not force and self._sets_since_prune < self.PRUNE_EVERY:
+            return 0
+        self._sets_since_prune = 0
+        conn = self._connection()
+        removed = conn.execute(
+            "DELETE FROM cache_entries WHERE expires_at <= ?",
+            (now,)).rowcount
+        excess = conn.execute(
+            "SELECT COUNT(*) FROM cache_entries").fetchone()[0] \
+            - self.capacity
+        if excess > 0:
+            conn.execute(
+                "DELETE FROM cache_entries WHERE key IN ("
+                " SELECT key FROM cache_entries"
+                " ORDER BY expires_at LIMIT ?)", (excess,))
+            removed += excess
+        self.evictions += max(0, removed)
+        return removed
 
     def tag_versions(self, tags):
         tags = list(tags)
@@ -265,11 +304,21 @@ class PortalCache:
         self._count("serve_cache_misses_total", route=route)
         return None
 
-    def set(self, key, value, *, tags=(), ttl=60.0):
-        """Store *value* under *key*, pinned to the current tag versions."""
-        entry = CacheEntry(value, self.clock.now + ttl,
-                           self.shared.tag_versions(tags))
+    def set(self, key, value, *, tags=(), ttl=60.0, tag_versions=None):
+        """Store *value* under *key*, pinned to tag versions.
+
+        ``tag_versions`` is the snapshot taken *before* the value was
+        rendered (see :meth:`read_through`); when omitted, the current
+        versions are read — only safe when no time passed between
+        rendering and storing.
+        """
+        if tag_versions is None:
+            tag_versions = self.shared.tag_versions(tags)
+        entry = CacheEntry(value, self.clock.now + ttl, tag_versions)
         self.shared.set(key, entry)
+        prune = getattr(self.shared, "prune", None)
+        if prune is not None:
+            prune(self.clock.now)
         with self._lock:
             self._l1[key] = entry
             self._l1.move_to_end(key)
@@ -283,11 +332,20 @@ class PortalCache:
 
     def read_through(self, key, loader, *, tags=(), ttl=60.0,
                      route="<anon>"):
-        """``get`` or compute-and-``set``: the canonical usage."""
+        """``get`` or compute-and-``set``: the canonical usage.
+
+        Tag versions are snapshotted *before* the loader runs: a write
+        that commits while the value renders bumps a tag past the
+        snapshot, so the entry stored here is already stale and the
+        next read re-renders — the loader's result can never be pinned
+        to post-write versions.
+        """
         value = self.get(key, route=route)
         if value is None:
+            versions = self.shared.tag_versions(tags)
             value = loader()
-            self.set(key, value, tags=tags, ttl=ttl)
+            self.set(key, value, tags=tags, ttl=ttl,
+                     tag_versions=versions)
         return value
 
     def invalidate(self, tags):
@@ -487,8 +545,10 @@ class CacheMiddleware:
 
     def process_request(self, request):
         from ..webstack.http import HttpResponse
+        from ..webstack.middleware import ObservabilityMiddleware
         if request.method != "GET":
             return None
+        ObservabilityMiddleware.resolve_route(request)
         route = getattr(request, "route_name", None)
         rule = self.rules.get(route)
         if rule is None or request.COOKIES.get("sessionid"):
@@ -502,7 +562,16 @@ class CacheMiddleware:
             response["X-Cache"] = "hit"
             request._cache_hit = True
             return response
-        request._cache_fill = (key, rule, route)
+        match = getattr(request, "_route_match", None)
+        kwargs = match[2] if match else {}
+        tags = rule.tags(kwargs)
+        # Snapshot the tag versions *now*, before the view renders: a
+        # write that commits while the view runs bumps a tag past this
+        # snapshot, so the entry stored in process_response is already
+        # stale — pre-write content is never pinned to post-write
+        # versions.
+        versions = self.cache.shared.tag_versions(tags)
+        request._cache_fill = (key, rule, route, tags, versions)
         return None
 
     def process_response(self, request, response):
@@ -511,14 +580,10 @@ class CacheMiddleware:
             return response
         if response.status_code != 200 or response.cookies:
             return response
-        key, rule, route = fill
-        kwargs = getattr(request, "resolver_kwargs", None)
-        if kwargs is None:
-            match = getattr(request, "_route_match", None)
-            kwargs = match[2] if match else {}
+        key, rule, route, tags, versions = fill
         frozen = (response.status_code, bytes(response.content),
                   dict(response.headers))
-        self.cache.set(key, frozen, tags=rule.tags(kwargs),
-                       ttl=rule.ttl)
+        self.cache.set(key, frozen, tags=tags, ttl=rule.ttl,
+                       tag_versions=versions)
         response["X-Cache"] = "miss"
         return response

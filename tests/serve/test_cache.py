@@ -25,6 +25,22 @@ def test_read_through_computes_once(clock):
     assert len(calls) == 1
 
 
+def test_write_during_render_is_not_pinned_stale(clock):
+    """A write that bumps a tag while the loader renders must leave
+    the stored entry stale: versions are snapshotted pre-render, so
+    the next read re-renders instead of serving pre-write content
+    until the TTL."""
+    cache = PortalCache(clock)
+
+    def loader():
+        cache.invalidate({"sims"})      # the interleaved write
+        return "pre-write page"
+
+    assert cache.read_through("k", loader, tags={"sims"},
+                              ttl=600) == "pre-write page"
+    assert cache.get("k") is None       # already stale, not pinned
+
+
 def test_ttl_expires_against_the_clock(clock):
     cache = PortalCache(clock)
     cache.set("k", "v", ttl=30)
@@ -80,6 +96,45 @@ def test_sqlite_store_round_trips_entries(tmp_path, clock):
     assert other.get("page") is None
     shared.close()
     shared2.close()
+
+
+def test_sqlite_store_prunes_expired_and_caps_size(tmp_path, clock):
+    """The shared file does not grow without bound: expired rows are
+    swept and the table is capped, soonest-to-expire evicted first."""
+    shared = SqliteSharedStore(str(tmp_path / "cache.sqlite"),
+                               capacity=4)
+    cache = PortalCache(clock, shared=shared)
+    for i in range(8):
+        cache.set(f"short{i}", i, ttl=10)
+    clock.advance(11)
+    assert shared.prune(clock.now, force=True) == 8
+    count = shared._connection().execute(
+        "SELECT COUNT(*) FROM cache_entries").fetchone()[0]
+    assert count == 0
+    for i in range(8):                   # fresh entries over capacity
+        cache.set(f"fresh{i}", i, ttl=600)
+    shared.prune(clock.now, force=True)
+    count = shared._connection().execute(
+        "SELECT COUNT(*) FROM cache_entries").fetchone()[0]
+    assert count == 4
+    assert shared.evictions >= 4
+    shared.close()
+
+
+def test_sqlite_prune_is_amortised_over_sets(tmp_path, clock):
+    shared = SqliteSharedStore(str(tmp_path / "cache.sqlite"))
+    cache = PortalCache(clock, shared=shared)
+    cache.set("k0", "v", ttl=5)
+    clock.advance(6)
+    # Under PRUNE_EVERY sets: the expired row may linger...
+    for i in range(SqliteSharedStore.PRUNE_EVERY):
+        cache.set(f"k{i + 1}", "v", ttl=600)
+    # ...but a full window of writes guarantees a sweep ran.
+    count = shared._connection().execute(
+        "SELECT COUNT(*) FROM cache_entries WHERE key = 'k0'"
+    ).fetchone()[0]
+    assert count == 0
+    shared.close()
 
 
 def test_model_write_purges_via_signals(deployment, astronomer):

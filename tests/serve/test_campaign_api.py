@@ -200,6 +200,26 @@ def test_oversized_grid_is_refused(client, deployment, astronomer,
         deployment.databases.admin).count() == 0
 
 
+def test_microscopic_step_is_refused_without_expanding(client,
+                                                       deployment,
+                                                       astronomer, star):
+    """A step of 1e-12 inside the physics bounds would expand to ~1e12
+    values; the axis must be rejected after the ceiling, not expanded
+    in full first (a worker-hang regression)."""
+    import time
+    client.login("metcalfe", "pw12345")
+    started = time.monotonic()
+    response, body = _post(client, {
+        "star": star.pk,
+        "sweep": {"mass": {"start": 1.0, "stop": 1.01, "step": 1e-12},
+                  "z": 0.02, "y": 0.27, "alpha": 2.0, "age": 4.5}})
+    assert time.monotonic() - started < 5.0
+    assert response.status_code == 400
+    assert "sweep.mass" in body["error"]["fields"]
+    assert Simulation.objects.using(
+        deployment.databases.admin).count() == 0
+
+
 def test_unauthorized_machine_is_refused(client, deployment, star):
     from repro.core import SubmitAuthorization
     guest = deployment.create_astronomer("guest", password="pw12345")

@@ -102,6 +102,36 @@ def test_queryset_update_reaches_detail_pages(client, deployment,
     assert "RUNNING" in response.text
 
 
+def test_write_during_render_is_not_pinned_stale(client, deployment,
+                                                 astronomer):
+    """A write that commits while the view renders must not pin the
+    pre-write page to the post-write tag versions: the middleware
+    snapshots versions before the view runs, so the stored entry is
+    already stale and the very next read re-renders."""
+    sim = submit_direct(deployment, astronomer)
+    path = f"/simulations/{sim.pk}/"
+    app = deployment.portal_app
+    route, _name, _kwargs = app.resolver.resolve_route(path)
+    original = route.view
+
+    def racing_view(request, **kwargs):
+        response = original(request, **kwargs)   # renders QUEUED
+        Simulation.objects.using(deployment.databases.daemon).filter(
+            pk=sim.pk).update(state="RUNNING")   # commits mid-request
+        return response
+
+    route.view = racing_view
+    try:
+        response = client.get(path)
+        assert _cache_header(response) == "miss"
+        assert "RUNNING" not in response.text    # pre-write render
+    finally:
+        route.view = original
+    response = client.get(path)
+    assert _cache_header(response) == "miss"     # stale, not served
+    assert "RUNNING" in response.text
+
+
 def test_logged_in_requests_bypass_the_cache(client, deployment,
                                              astronomer):
     anon = Client(deployment.portal_app)

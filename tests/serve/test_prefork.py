@@ -6,23 +6,15 @@ and binds ports), run by the dedicated CI job.
 
 import json
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import pytest
 
-from repro.serve import PreforkServer, ServeConfig, SqliteSharedStore
+from repro.core import build_prefork_app_factory
+from repro.serve import PreforkServer
 
 pytestmark = pytest.mark.serve
-
-
-def _app_factory(cache_path):
-    def factory(index):
-        from repro.core import AMPDeployment
-        deployment = AMPDeployment()
-        return deployment.build_portal(serve=ServeConfig(
-            shared_store=SqliteSharedStore(cache_path),
-            worker_index=index))
-    return factory
 
 
 def _get(url, timeout=10):
@@ -32,8 +24,9 @@ def _get(url, timeout=10):
 
 @pytest.fixture()
 def server(tmp_path):
-    server = PreforkServer(
-        _app_factory(str(tmp_path / "cache.sqlite")), workers=2)
+    factory = build_prefork_app_factory(
+        str(tmp_path / "portal.sqlite"), str(tmp_path / "cache.sqlite"))
+    server = PreforkServer(factory, workers=2)
     server.start()
     yield server
     if server.pids:
@@ -76,6 +69,35 @@ def test_killed_worker_is_respawned(server):
     for _ in range(10):
         assert _get(server.url + "/stars/")[0] == 200
     statuses = server.shutdown(timeout=10)
+    assert set(statuses.values()) == {0}
+
+
+def test_workers_share_one_database(tmp_path):
+    """A row written through a supervisor-side connection before the
+    fork is served by *every* worker: one database, not one per
+    process.  Unique query strings defeat the shared cache, so each
+    request is rendered live by whichever worker accepted it."""
+    from repro.core import AMPDeployment
+    from repro.core.models import Star
+    db_path = str(tmp_path / "portal.sqlite")
+    factory = build_prefork_app_factory(
+        db_path, str(tmp_path / "cache.sqlite"))
+    seeded = AMPDeployment(database_uri=db_path)
+    Star(name="Prefork Shared Star", source="local").save(
+        db=seeded.databases.admin)
+    seeded.close()
+    server = PreforkServer(factory, workers=2).start()
+    query = urllib.parse.quote("Prefork Shared Star")
+    try:
+        for _ in range(20):
+            # The search hits the serving worker's database before
+            # redirecting to the star's detail page.
+            status, body = _get(
+                server.url + f"/stars/search/?q={query}")
+            assert status == 200
+            assert b"Prefork Shared Star" in body
+    finally:
+        statuses = server.shutdown(timeout=10)
     assert set(statuses.values()) == {0}
 
 
