@@ -119,9 +119,13 @@ def cmd_serve(args):
     from .core import build_prefork_app_factory
     from .serve import PreforkServer
     app_factory = build_prefork_app_factory(
-        f"{run_dir}/portal.sqlite", f"{run_dir}/cache.sqlite")
-    server = PreforkServer(app_factory, workers=args.workers,
-                           host=args.host, port=args.port)
+        f"{run_dir}/portal.sqlite", f"{run_dir}/cache.sqlite",
+        db_fault_trigger=args.db_fault_trigger)
+    server = PreforkServer(
+        app_factory, workers=args.workers, host=args.host,
+        port=args.port, watchdog_s=args.watchdog or None,
+        max_requests=args.max_requests or None,
+        socket_timeout_s=args.socket_timeout or None)
     server.start()
     print(f"AMP portal on {server.url} "
           f"({server.n_workers} workers; Ctrl-C to drain)")
@@ -164,6 +168,17 @@ def build_parser():
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--watchdog", type=float, default=30.0,
+                   help="per-request watchdog seconds (0 disables)")
+    p.add_argument("--max-requests", type=int, default=0,
+                   help="recycle a worker after this many requests "
+                        "(0 disables)")
+    p.add_argument("--socket-timeout", type=float, default=10.0,
+                   help="per-connection socket timeout seconds "
+                        "(0 disables)")
+    p.add_argument("--db-fault-trigger", default=None,
+                   help="path of a trigger file: while it exists, "
+                        "database statements fail (overload demo)")
     p.set_defaults(fn=cmd_serve)
     return parser
 

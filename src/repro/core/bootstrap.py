@@ -366,7 +366,9 @@ class AMPDeployment:
         self.databases.close()
 
 
-def build_prefork_app_factory(database_path, cache_path):
+def build_prefork_app_factory(database_path, cache_path, *,
+                              db_fault_trigger=None,
+                              health_recovery_s=None):
     """Worker app factory for real-HTTP prefork serving.
 
     Creates and seeds one file-backed deployment database up front —
@@ -380,15 +382,34 @@ def build_prefork_app_factory(database_path, cache_path):
     :class:`~repro.serve.WallClock`: a worker's private SimClock never
     advances while serving real HTTP, which would freeze cache TTLs
     and rate-limit refills.
+
+    Parameters
+    ----------
+    db_fault_trigger:
+        Optional path of a *trigger file*: while it exists, every
+        worker's database statements fail as if the database were
+        down (the cross-process chaos switch the overload smoke test
+        and the CI readiness-flip check use).
+    health_recovery_s:
+        Optional override for the health tracker's recovery quiet
+        period (short in smoke tests so readiness flips back fast).
     """
     AMPDeployment(database_uri=database_path).close()
 
     def app_factory(index):
-        from ..serve import ServeConfig, SqliteSharedStore, WallClock
+        from ..serve import (DbFaultInjector, ServeConfig,
+                             SqliteSharedStore, WallClock)
         deployment = AMPDeployment(database_uri=database_path)
+        clock = WallClock()
+        db_fault = None
+        if db_fault_trigger is not None:
+            db_fault = DbFaultInjector(clock,
+                                       trigger_file=db_fault_trigger)
         return deployment.build_portal(serve=ServeConfig(
-            clock=WallClock(),
+            clock=clock,
             shared_store=SqliteSharedStore(cache_path),
-            worker_index=index))
+            worker_index=index,
+            db_fault=db_fault,
+            health_recovery_s=health_recovery_s))
 
     return app_factory

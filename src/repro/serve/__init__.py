@@ -6,13 +6,20 @@ grown into a real subsystem (see DESIGN.md §10):
 - :mod:`repro.serve.workers` — a prefork multi-worker WSGI runner:
   one listening socket, N forked worker processes with their own
   per-role database connections, a supervisor that respawns dead
-  workers, and graceful drain on shutdown;
+  workers (with crash-loop backoff), per-request watchdogs, and
+  graceful drain on shutdown;
 - :mod:`repro.serve.cache` — a read-through response cache (per-worker
-  L1 LRU over a shared store) with per-route TTLs and *targeted*
-  write invalidation driven by the ORM's post-save/post-delete
-  signals, so results pages never serve a stale state transition;
+  L1 LRU over a shared store) with per-route TTLs, *targeted* write
+  invalidation driven by the ORM's post-save/post-delete signals, and
+  a stale-grace window for brownout serving;
 - :mod:`repro.serve.ratelimit` — per-route token buckets returning
   plain-language 429s with ``Retry-After``;
+- :mod:`repro.serve.admission` — per-worker admission control (shed
+  excess load *before* any database work, by priority class) and
+  per-request deadlines enforced at the connection layer;
+- :mod:`repro.serve.health` — database health tracking, brownout
+  degradation, fault injection, and the ``/healthz``/``/readyz``
+  probe endpoints;
 - :mod:`repro.serve.api` — helpers for the JSON campaign API (error
   bodies, parameter-sweep validation/expansion).
 
@@ -23,18 +30,32 @@ tier in front of the existing portal application.
 
 from __future__ import annotations
 
+from .admission import (AdmissionController, AdmissionMiddleware,
+                        AdmissionPolicy, DEFAULT_ROUTE_CLASSES,
+                        DeadlineMiddleware, DeadlinePolicy,
+                        DeadlineScopeMiddleware, PRIORITY_BULK,
+                        PRIORITY_CRITICAL, PRIORITY_INTERACTIVE)
 from .cache import (CacheMiddleware, CacheRule, DEFAULT_CACHE_RULES,
-                    InMemorySharedStore, PortalCache, SqliteSharedStore)
+                    EXEMPT_ROUTES, InMemorySharedStore, PortalCache,
+                    SqliteSharedStore)
+from .health import (BrownoutMiddleware, DEFAULT_BROWNOUT_ROUTES,
+                     DbFaultInjector, HealthTracker, build_health_routes)
 from .ratelimit import (DEFAULT_POLICY, DEFAULT_RATE_POLICIES,
                         RateLimiter, RateLimitMiddleware, RatePolicy)
-from .workers import PreforkServer, mark_worker_process
+from .workers import (PreforkServer, WATCHDOG_EXIT, mark_worker_process)
 
 __all__ = [
-    "CacheMiddleware", "CacheRule", "DEFAULT_CACHE_RULES",
-    "DEFAULT_POLICY", "DEFAULT_RATE_POLICIES", "InMemorySharedStore",
+    "AdmissionController", "AdmissionMiddleware", "AdmissionPolicy",
+    "BrownoutMiddleware", "CacheMiddleware", "CacheRule",
+    "DEFAULT_BROWNOUT_ROUTES", "DEFAULT_CACHE_RULES", "DEFAULT_POLICY",
+    "DEFAULT_RATE_POLICIES", "DEFAULT_ROUTE_CLASSES", "DbFaultInjector",
+    "DeadlineMiddleware", "DeadlinePolicy", "DeadlineScopeMiddleware",
+    "EXEMPT_ROUTES", "HealthTracker", "InMemorySharedStore",
+    "PRIORITY_BULK", "PRIORITY_CRITICAL", "PRIORITY_INTERACTIVE",
     "PortalCache", "PreforkServer", "RateLimiter",
     "RateLimitMiddleware", "RatePolicy", "ServeConfig",
-    "SqliteSharedStore", "WallClock", "mark_worker_process",
+    "SqliteSharedStore", "WATCHDOG_EXIT", "WallClock",
+    "build_health_routes", "mark_worker_process",
 ]
 
 
@@ -57,6 +78,16 @@ class ServeConfig:
         Enable the read-through response cache.
     ratelimit:
         Enable per-route token-bucket limiting.
+    admission:
+        Enable per-worker admission control (shed load beyond the
+        concurrency limit with fast 503s, by priority class).
+    deadlines:
+        Enable per-request time budgets enforced at the database
+        connection layer (504 once a request's budget is spent).
+    health:
+        Enable database health tracking, brownout degradation, stale
+        cache serving while degraded, and the ``/healthz``/``/readyz``
+        endpoints.
     clock:
         Clock the cache TTLs and rate-limit buckets are measured
         against.  ``None`` inherits the deployment's virtual clock
@@ -68,6 +99,22 @@ class ServeConfig:
         entries would never expire.
     cache_rules / rate_policies:
         Overrides for the per-route defaults (None = defaults).
+    admission_policy / route_classes / deadline_policy:
+        Overrides for the admission and deadline defaults.
+    brownout_routes:
+        Routes the brownout page covers while degraded (None =
+        :data:`~repro.serve.health.DEFAULT_BROWNOUT_ROUTES`).
+    db_fault:
+        Optional ``callable(operation, table)`` installed behind the
+        health tracker's fault hook — the chaos/test injection point
+        (see :class:`~repro.serve.health.DbFaultInjector`).
+    stale_grace_s:
+        Seconds past expiry a cached page stays servable as *stale*
+        (brownout raw material; 0 disables stale retention).
+    health_window / health_error_threshold / health_min_samples /
+    health_recovery_s / health_slow_statement_s:
+        Sliding-window shape for the degradation detector (None =
+        :class:`~repro.serve.health.HealthTracker` defaults).
     shared_store:
         Cross-worker cache store (None = in-memory, per-process).
     l1_capacity:
@@ -77,15 +124,35 @@ class ServeConfig:
         ``serve_worker_up`` gauge (the in-process tier is worker 0).
     """
 
-    def __init__(self, *, cache=True, ratelimit=True, clock=None,
+    def __init__(self, *, cache=True, ratelimit=True, admission=True,
+                 deadlines=True, health=True, clock=None,
                  cache_rules=None, rate_policies=None, rate_default=None,
+                 admission_policy=None, route_classes=None,
+                 deadline_policy=None, brownout_routes=None,
+                 db_fault=None, stale_grace_s=300.0, health_window=None,
+                 health_error_threshold=None, health_min_samples=None,
+                 health_recovery_s=None, health_slow_statement_s=None,
                  shared_store=None, l1_capacity=256, worker_index=0):
         self.cache = cache
         self.ratelimit = ratelimit
+        self.admission = admission
+        self.deadlines = deadlines
+        self.health = health
         self.clock = clock
         self.cache_rules = cache_rules
         self.rate_policies = rate_policies
         self.rate_default = rate_default
+        self.admission_policy = admission_policy
+        self.route_classes = route_classes
+        self.deadline_policy = deadline_policy
+        self.brownout_routes = brownout_routes
+        self.db_fault = db_fault
+        self.stale_grace_s = stale_grace_s
+        self.health_window = health_window
+        self.health_error_threshold = health_error_threshold
+        self.health_min_samples = health_min_samples
+        self.health_recovery_s = health_recovery_s
+        self.health_slow_statement_s = health_slow_statement_s
         self.shared_store = shared_store
         self.l1_capacity = l1_capacity
         self.worker_index = worker_index

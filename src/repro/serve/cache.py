@@ -120,6 +120,10 @@ class SqliteSharedStore:
         self._local = threading.local()
         self.evictions = 0
         self._sets_since_prune = 0
+        # Seconds an *expired* row is retained for stale serving (the
+        # brownout's raw material).  0 = sweep at expiry, the default;
+        # :class:`PortalCache` raises it to its own stale grace.
+        self.retain_stale_s = 0.0
         self._connection().executescript(
             "CREATE TABLE IF NOT EXISTS cache_entries ("
             " key TEXT PRIMARY KEY, value BLOB, expires_at REAL,"
@@ -177,7 +181,7 @@ class SqliteSharedStore:
         conn = self._connection()
         removed = conn.execute(
             "DELETE FROM cache_entries WHERE expires_at <= ?",
-            (now,)).rowcount
+            (now - self.retain_stale_s,)).rowcount
         excess = conn.execute(
             "SELECT COUNT(*) FROM cache_entries").fetchone()[0] \
             - self.capacity
@@ -227,9 +231,16 @@ class PortalCache:
     obs:
         Optional :class:`~repro.obs.Observability` facade; hit/miss/
         eviction/invalidation counters land in its metrics registry.
+    stale_grace_s:
+        Seconds past expiry an entry remains *servable as stale* via
+        :meth:`get_stale` (stale-while-revalidate / serve-stale-on-
+        error).  0 disables stale retention entirely — entries are
+        discarded at expiry exactly as before; the serving tier's
+        config turns it on.
     """
 
-    def __init__(self, clock, *, shared=None, l1_capacity=256, obs=None):
+    def __init__(self, clock, *, shared=None, l1_capacity=256, obs=None,
+                 stale_grace_s=0.0):
         self.clock = clock
         self.shared = shared if shared is not None \
             else InMemorySharedStore()
@@ -237,6 +248,12 @@ class PortalCache:
         self._l1 = OrderedDict()
         self._lock = threading.Lock()
         self.obs = obs
+        self.stale_grace_s = float(stale_grace_s)
+        if self.stale_grace_s > 0 and hasattr(self.shared,
+                                              "retain_stale_s"):
+            # The shared sweep must not reap rows we may still serve.
+            self.shared.retain_stale_s = max(
+                self.shared.retain_stale_s, self.stale_grace_s)
         self._receivers = []
 
     # -- metrics -------------------------------------------------------
@@ -252,6 +269,9 @@ class PortalCache:
                 "L1 LRU evictions",
             "serve_cache_invalidations_total":
                 "Tag bumps by tag kind",
+            "serve_cache_stale_hits_total":
+                "Expired entries served during degraded mode or in "
+                "place of an error, by route",
         }
         self.obs.metrics.counter(name, help=helps.get(name, "")).labels(
             **labels).inc()
@@ -277,6 +297,14 @@ class PortalCache:
                     return False
         return True
 
+    def _within_grace(self, entry):
+        """May *entry* still be served as stale?  Expiry plus grace is
+        the only bound — a stale serve deliberately ignores tag
+        versions, because during a brownout "recent" beats "nothing"."""
+        if entry is None or self.stale_grace_s <= 0:
+            return False
+        return self.clock.now <= entry.expires_at + self.stale_grace_s
+
     def get(self, key, route="<anon>"):
         """Fresh cached value for *key*, or None (counting the miss)."""
         with self._lock:
@@ -287,7 +315,7 @@ class PortalCache:
             self._count("serve_cache_hits_total", route=route,
                         layer="l1")
             return entry.value
-        if entry is not None:
+        if entry is not None and not self._within_grace(entry):
             with self._lock:
                 self._l1.pop(key, None)
         entry = self.shared.get(key)
@@ -299,10 +327,34 @@ class PortalCache:
             self._count("serve_cache_hits_total", route=route,
                         layer="l2")
             return entry.value
-        if entry is not None:
+        if entry is not None and not self._within_grace(entry):
             self.shared.delete(key)
         self._count("serve_cache_misses_total", route=route)
         return None
+
+    def get_stale(self, key, route="<anon>"):
+        """Best recent value for *key*, fresh or not, within the stale
+        grace window — or None.
+
+        The degraded-mode read: TTL expiry and tag invalidation are
+        both ignored (a superseded page from minutes ago is still the
+        honest best answer while the database is down); only entries
+        older than ``expires_at + stale_grace_s`` are refused.  Counts
+        a stale hit only when the entry would *not* have been served
+        by :meth:`get`.
+        """
+        with self._lock:
+            entry = self._l1.get(key)
+        if entry is None:
+            entry = self.shared.get(key)
+        if entry is None:
+            return None
+        if self._fresh(entry):
+            return entry.value
+        if not self._within_grace(entry):
+            return None
+        self._count("serve_cache_stale_hits_total", route=route)
+        return entry.value
 
     def set(self, key, value, *, tags=(), ttl=60.0, tag_versions=None):
         """Store *value* under *key*, pinned to tag versions.
@@ -523,6 +575,13 @@ def _canonical_query(query_string):
     return "&".join(sorted(query_string.split("&")))
 
 
+#: Routes that must never be cached (nor rate limited — see
+#: :class:`~repro.serve.ratelimit.RateLimitMiddleware`): probes and
+#: scrapes are only useful live, and a cached "ready" would lie to the
+#: load balancer exactly when the truth matters.
+EXEMPT_ROUTES = frozenset({"metrics", "healthz", "readyz"})
+
+
 class CacheMiddleware:
     """Route-granular read-through caching of whole responses.
 
@@ -531,12 +590,21 @@ class CacheMiddleware:
     logged-in astronomer never receives (or populates) a shared page.
     Responses are stored as plain tuples, which is what lets the
     shared store hold them across process boundaries.
+
+    With a *health* tracker attached, the cache also brownouts
+    gracefully: while degraded, expired-but-recent copies are served
+    with ``X-Cache: stale``; and any request that ends in a 5xx is
+    answered with its stale copy when one exists (serve-stale-on-
+    error), regardless of mode.
     """
 
-    def __init__(self, cache, rules=None):
+    def __init__(self, cache, rules=None, *, health=None):
         self.cache = cache
         self.rules = dict(DEFAULT_CACHE_RULES if rules is None
                           else rules)
+        for route in EXEMPT_ROUTES:
+            self.rules.pop(route, None)
+        self.health = health
 
     @staticmethod
     def _key(request):
@@ -550,18 +618,21 @@ class CacheMiddleware:
             return None
         ObservabilityMiddleware.resolve_route(request)
         route = getattr(request, "route_name", None)
+        if route in EXEMPT_ROUTES:
+            return None
         rule = self.rules.get(route)
         if rule is None or request.COOKIES.get("sessionid"):
             return None
         key = self._key(request)
         frozen = self.cache.get(key, route=route)
         if frozen is not None:
-            status, content, headers = frozen
-            response = HttpResponse(content, status=status)
-            response.headers = dict(headers)
-            response["X-Cache"] = "hit"
-            request._cache_hit = True
-            return response
+            return self._frozen_response(request, frozen, "hit")
+        if self.health is not None and self.health.degraded:
+            # Brownout: a recent saved copy beats both an error page
+            # and another trip to a struggling database.
+            frozen = self.cache.get_stale(key, route=route)
+            if frozen is not None:
+                return self._frozen_response(request, frozen, "stale")
         match = getattr(request, "_route_match", None)
         kwargs = match[2] if match else {}
         tags = rule.tags(kwargs)
@@ -574,9 +645,28 @@ class CacheMiddleware:
         request._cache_fill = (key, rule, route, tags, versions)
         return None
 
+    @staticmethod
+    def _frozen_response(request, frozen, verdict):
+        from ..webstack.http import HttpResponse
+        status, content, headers = frozen
+        response = HttpResponse(content, status=status)
+        response.headers = dict(headers)
+        response["X-Cache"] = verdict
+        request._cache_hit = True
+        return response
+
     def process_response(self, request, response):
         fill = getattr(request, "_cache_fill", None)
         if fill is None or getattr(request, "_cache_hit", False):
+            return response
+        if response.status_code >= 500:
+            # Serve-stale-on-error: the render failed (database down,
+            # deadline spent, crash) — a recent copy, if we kept one,
+            # is the better answer for an anonymous GET.
+            key, rule, route, tags, versions = fill
+            frozen = self.cache.get_stale(key, route=route)
+            if frozen is not None:
+                return self._frozen_response(request, frozen, "stale")
             return response
         if response.status_code != 200 or response.cookies:
             return response

@@ -107,11 +107,19 @@ class RateLimiter:
         return allowed, retry_after
 
 
+#: Routes never throttled: health probes and metric scrapes must keep
+#: answering *especially* while the site is melting down — a throttled
+#: probe looks exactly like a dead worker to the thing watching it.
+DEFAULT_EXEMPT_ROUTES = frozenset({"metrics", "healthz", "readyz"})
+
+
 class RateLimitMiddleware:
     """Turn an exhausted bucket into a jargon-free 429."""
 
-    def __init__(self, limiter):
+    def __init__(self, limiter, *, exempt=None):
         self.limiter = limiter
+        self.exempt = frozenset(DEFAULT_EXEMPT_ROUTES if exempt is None
+                                else exempt)
 
     @staticmethod
     def _client(request):
@@ -125,6 +133,8 @@ class RateLimitMiddleware:
         from ..webstack.middleware import ObservabilityMiddleware
         ObservabilityMiddleware.resolve_route(request)
         route = getattr(request, "route_name", None)
+        if route in self.exempt:
+            return None
         allowed, retry_after = self.limiter.check(
             route, self._client(request))
         if allowed:

@@ -13,6 +13,7 @@ import traceback
 
 from .http import (Http404, HttpRequest, HttpResponse,
                    HttpResponseNotFound, HttpResponseServerError)
+from .orm.exceptions import DatabaseUnavailable, DeadlineExceeded
 from .signals import request_finished, request_started
 from .templates import Context, Engine
 from .urls import URLResolver
@@ -62,6 +63,29 @@ class WebApplication:
         except Http404 as exc:
             response = self._error_response(
                 HttpResponseNotFound, "404 Not Found", str(exc))
+        except DeadlineExceeded:
+            # An over-budget request: stop working on it and say so in
+            # plain language instead of holding the worker.  The serving
+            # tier's deadline middleware counts these and rewrites the
+            # body for API clients.
+            request.deadline_exceeded = True
+            response = HttpResponse(
+                ("<html><body><h1>This page took too long</h1>"
+                 "<p>Building this page took longer than the time "
+                 "available for one request. Please try again; if this "
+                 "keeps happening, the site is likely under heavy "
+                 "load.</p></body></html>"), status=504)
+        except DatabaseUnavailable:
+            # The database did not answer.  The cache middleware may
+            # still replace this with a recent saved copy of the page.
+            request.database_unavailable = True
+            response = HttpResponse(
+                ("<html><body><h1>Please try again shortly</h1>"
+                 "<p>The information this page needs is temporarily "
+                 "unavailable. Nothing you submitted has been lost. "
+                 "Please try again in a moment.</p></body></html>"),
+                status=503)
+            response["Retry-After"] = "15"
         except Exception:  # noqa: BLE001 - the framework boundary
             if self.debug:
                 detail = traceback.format_exc()

@@ -11,6 +11,7 @@ REASON_PHRASES = {
     404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
     410: "Gone", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

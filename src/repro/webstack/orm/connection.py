@@ -118,6 +118,21 @@ class Database:
         # the observability layer attaches one to feed per-role query
         # counters without the ORM importing it.
         self.on_execute = None
+        # Serving-tier resilience hooks (see repro.serve).  Both are
+        # ``callable(operation, table)`` and default to None (zero cost
+        # when the tier is off):
+        #
+        # - ``deadline_hook`` — installed per request by the deadline
+        #   middleware; raises :class:`DeadlineExceeded` once the
+        #   request's time budget is spent, so no further statement
+        #   starts (and a statement whose injected latency spent the
+        #   budget is discarded).
+        # - ``fault_hook`` — the overload chaos harness's injection
+        #   point: adds (virtual) latency and/or raises
+        #   :class:`DatabaseUnavailable`, and is how the health tracker
+        #   observes per-statement latency/error signals.
+        self.deadline_hook = None
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     @property
@@ -157,6 +172,19 @@ class Database:
         compiler, not a SQL parser, is the source of truth.
         """
         self.check_permission(operation, table)
+        if self.deadline_hook is not None:
+            # Budget check before any work starts.
+            self.deadline_hook(operation, table)
+        if self.fault_hook is not None:
+            # Chaos injection: may advance the (virtual) clock to model
+            # a slow database, or raise DatabaseUnavailable outright.
+            self.fault_hook(operation, table)
+            if self.deadline_hook is not None:
+                # Injected latency may have spent the budget: the
+                # statement "ran", but its requester is out of time —
+                # discard the result rather than keep building a page
+                # nobody will wait for.
+                self.deadline_hook(operation, table)
         self.queries_executed += 1
         self.queries_by_operation[operation] = \
             self.queries_by_operation.get(operation, 0) + 1
@@ -205,6 +233,22 @@ class Database:
         per-row loop fails loudly.
         """
         return QueryCounter(self)
+
+    def ping(self):
+        """One trivial statement through the resilience hooks.
+
+        The readiness probe: exercises ``deadline_hook``/``fault_hook``
+        (so an injected outage fails the probe exactly like it fails a
+        page render) and a constant ``SELECT 1`` on the raw connection.
+        Touches no table, needs no grant, and does not count against
+        any round-trip budget.
+        """
+        if self.deadline_hook is not None:
+            self.deadline_hook("select", "<ping>")
+        if self.fault_hook is not None:
+            self.fault_hook("select", "<ping>")
+        with self._lock:
+            self.connection.execute("SELECT 1")
 
     def table_names(self):
         self.check_permission("select", "sqlite_master")

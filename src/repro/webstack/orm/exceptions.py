@@ -47,6 +47,27 @@ class ConnectionError(ORMError):
     """Database connection was unusable or misconfigured."""
 
 
+class DeadlineExceeded(ORMError):
+    """The current request's time budget is spent.
+
+    Raised by a connection's ``deadline_hook`` (installed per request by
+    the serving tier) before a statement runs, so an over-budget request
+    stops doing database work and unwinds into a plain-language 504
+    instead of holding its worker.  The message is shown to the user —
+    keep it jargon-free.
+    """
+
+
+class DatabaseUnavailable(ConnectionError):
+    """The database did not answer (outage, injected or real).
+
+    Raised by a connection's ``fault_hook`` — the serving tier's chaos
+    harness — or by wrappers around genuinely failing connections.  The
+    serving tier turns it into a 503 (or a stale cached copy of the
+    page, when one is on hand).
+    """
+
+
 class ValidationError(ORMError):
     """Field-level or form-level validation failure.
 

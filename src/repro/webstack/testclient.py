@@ -22,7 +22,8 @@ class Client:
         self.cookies = {}
 
     # ------------------------------------------------------------------
-    def _environ(self, method, path, query="", body=b"", content_type=""):
+    def _environ(self, method, path, query="", body=b"", content_type="",
+                 headers=None):
         environ = {
             "REQUEST_METHOD": method,
             "PATH_INFO": path,
@@ -33,6 +34,9 @@ class Client:
             "wsgi.input": io.BytesIO(body),
             "wsgi.url_scheme": "https" if self.secure else "http",
         }
+        for name, value in (headers or {}).items():
+            key = "HTTP_" + name.upper().replace("-", "_")
+            environ[key] = value
         if self.cookies:
             environ["HTTP_COOKIE"] = "; ".join(
                 f"{k}={v}" for k, v in self.cookies.items())
@@ -47,7 +51,8 @@ class Client:
             else:
                 self.cookies[key] = value
 
-    def request(self, method, path, data=None, json_body=None):
+    def request(self, method, path, data=None, json_body=None,
+                headers=None):
         parts = urlsplit(path)
         body, content_type = b"", ""
         query = parts.query
@@ -62,17 +67,18 @@ class Client:
             extra = urlencode(data, doseq=True)
             query = f"{query}&{extra}" if query else extra
         environ = self._environ(method, parts.path, query, body,
-                                content_type)
+                                content_type, headers)
         request = HttpRequest(environ)
         response = self.app.handle(request)
         self._absorb_cookies(response)
         return response
 
-    def get(self, path, data=None):
-        return self.request("GET", path, data)
+    def get(self, path, data=None, headers=None):
+        return self.request("GET", path, data, headers=headers)
 
-    def post(self, path, data=None, json_body=None):
-        return self.request("POST", path, data, json_body)
+    def post(self, path, data=None, json_body=None, headers=None):
+        return self.request("POST", path, data, json_body,
+                            headers=headers)
 
     # ------------------------------------------------------------------
     def login(self, username, password, login_path="/accounts/login/"):

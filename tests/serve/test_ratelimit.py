@@ -117,3 +117,78 @@ def test_throttled_requests_keep_their_route_label(deployment):
         "http_requests_total", route="home", status="429") == 1
     assert deployment.obs.metrics.value(
         "http_requests_total", route="<unrouted>", status="429") == 0
+
+
+# ----------------------------------------------------------------------
+# LRU bucket eviction under a spoofed-client flood
+# ----------------------------------------------------------------------
+
+def test_spoofed_client_flood_respects_max_buckets(clock, deployment):
+    """An attacker rotating spoofed client addresses cannot grow the
+    bucket table past its cap, and the flood's own throttle decisions
+    are still counted correctly."""
+    limiter = RateLimiter(clock, policies={},
+                          default=RatePolicy(2, 0.001), max_buckets=64,
+                          obs=deployment.obs)
+    throttled = 0
+    for i in range(1000):
+        client = f"addr:10.0.{i % 200}.{i // 200}"
+        for _ in range(3):               # 3 hits per visit: 1 throttled
+            allowed, _ = limiter.check("home", client)
+            throttled += 0 if allowed else 1
+    assert len(limiter._buckets) <= 64
+    assert throttled > 0
+    assert deployment.obs.metrics.value(
+        "serve_throttled_total", route="home") == throttled
+
+
+def test_evicted_client_refills_in_its_own_favour(clock):
+    """Dropping the least-recently-active bucket forgets that client's
+    spending — the error is a fresh (full) budget, never a stricter
+    one."""
+    limiter = RateLimiter(clock, policies={},
+                          default=RatePolicy(1, 0.0001), max_buckets=4)
+    assert limiter.check("home", "addr:victim")[0]
+    assert not limiter.check("home", "addr:victim")[0]   # spent
+    for i in range(10):                  # flood evicts the victim
+        limiter.check("home", f"addr:flood{i}")
+    assert ("home", "addr:victim") not in limiter._buckets
+    allowed, _ = limiter.check("home", "addr:victim")
+    assert allowed                       # full bucket again
+
+
+# ----------------------------------------------------------------------
+# Probe/scrape exemption (regression: these must never 429 or cache)
+# ----------------------------------------------------------------------
+
+def test_probes_and_metrics_are_never_throttled_or_cached(deployment):
+    """/healthz, /readyz, and /metrics answer live every time, even
+    under a rate policy that throttles everything else after one hit."""
+    from repro.serve import ServeConfig
+    from repro.webstack.testclient import Client
+    app = deployment.build_portal(serve=ServeConfig(
+        rate_policies={}, rate_default=RatePolicy(1, 0.001)))
+    client = Client(app)
+    assert client.get("/").status_code == 200
+    assert client.get("/").status_code == 429      # the default bites...
+    for path in ("/healthz", "/readyz", "/metrics"):
+        for _ in range(5):                         # ...but never probes
+            response = client.get(path)
+            assert response.status_code == 200
+            assert response.get("X-Cache") is None
+
+
+def test_exempt_routes_never_enter_the_cache_rules(deployment):
+    """Even a hand-written rule set cannot opt a probe into caching."""
+    from repro.serve import CacheMiddleware, CacheRule, PortalCache
+    from repro.serve.cache import EXEMPT_ROUTES
+    cache = PortalCache(SimClock())
+    middleware = CacheMiddleware(cache, rules={
+        "metrics": CacheRule(60, lambda kwargs: {"stats"}),
+        "healthz": CacheRule(60, lambda kwargs: set()),
+        "readyz": CacheRule(60, lambda kwargs: set()),
+        "home": CacheRule(60, lambda kwargs: {"home"}),
+    })
+    for route in EXEMPT_ROUTES:
+        assert route not in middleware.rules
+    assert "home" in middleware.rules
