@@ -120,7 +120,8 @@ def cmd_serve(args):
     from .serve import PreforkServer
     app_factory = build_prefork_app_factory(
         f"{run_dir}/portal.sqlite", f"{run_dir}/cache.sqlite",
-        db_fault_trigger=args.db_fault_trigger)
+        db_fault_trigger=args.db_fault_trigger,
+        watchdog_s=args.watchdog or None)
     server = PreforkServer(
         app_factory, workers=args.workers, host=args.host,
         port=args.port, watchdog_s=args.watchdog or None,

@@ -368,7 +368,8 @@ class AMPDeployment:
 
 def build_prefork_app_factory(database_path, cache_path, *,
                               db_fault_trigger=None,
-                              health_recovery_s=None):
+                              health_recovery_s=None,
+                              watchdog_s=None):
     """Worker app factory for real-HTTP prefork serving.
 
     Creates and seeds one file-backed deployment database up front —
@@ -393,12 +394,18 @@ def build_prefork_app_factory(database_path, cache_path, *,
     health_recovery_s:
         Optional override for the health tracker's recovery quiet
         period (short in smoke tests so readiness flips back fast).
+    watchdog_s:
+        The server's per-request watchdog, when one is armed: each
+        worker's deadline budgets (including the maximum a client may
+        request via ``X-Request-Budget-Ms``) are clamped below it, so
+        an over-budget request always gets its clean 504 before the
+        watchdog hard-kills the worker mid-response.
     """
     AMPDeployment(database_uri=database_path).close()
 
     def app_factory(index):
-        from ..serve import (DbFaultInjector, ServeConfig,
-                             SqliteSharedStore, WallClock)
+        from ..serve import (DbFaultInjector, DeadlinePolicy,
+                             ServeConfig, SqliteSharedStore, WallClock)
         deployment = AMPDeployment(database_uri=database_path)
         clock = WallClock()
         db_fault = None
@@ -410,6 +417,8 @@ def build_prefork_app_factory(database_path, cache_path, *,
             shared_store=SqliteSharedStore(cache_path),
             worker_index=index,
             db_fault=db_fault,
+            deadline_policy=DeadlinePolicy().clamped_to_watchdog(
+                watchdog_s),
             health_recovery_s=health_recovery_s))
 
     return app_factory

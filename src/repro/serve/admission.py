@@ -28,6 +28,7 @@ byte-stable).
 from __future__ import annotations
 
 import math
+import threading
 
 #: Priority classes, best first.  CRITICAL is the supervisor's and the
 #: scraper's traffic — it must survive saturation; INTERACTIVE covers
@@ -150,6 +151,10 @@ class AdmissionController:
                           PRIORITY_BULK: 0}
         self.admitted_total = 0
         self.shed_total = 0
+        # The in-process tier may serve from several threads, so the
+        # read-modify-write on the inflight counts is locked (a prefork
+        # worker's single thread pays one uncontended acquire).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def classify(self, route):
@@ -165,9 +170,16 @@ class AdmissionController:
         priority = self.classify(route)
         degraded = self.health is not None and self.health.degraded
         limit = self.policy.limit_for(priority, degraded=degraded)
-        if self.inflight >= limit:
+        with self._lock:
+            inflight = self.inflight
+            admitted = inflight < limit
+            if admitted:
+                self._inflight[priority] += 1
+                self.admitted_total += 1
+            else:
+                self.shed_total += 1
+        if not admitted:
             retry_after = self.policy.retry_after_s.get(priority, 5)
-            self.shed_total += 1
             if self.obs is not None:
                 self.obs.metrics.counter(
                     "serve_shed_total",
@@ -177,19 +189,20 @@ class AdmissionController:
                     priority=priority).inc()
                 self.obs.events.emit(
                     "serve.shed", route=route, priority=priority,
-                    inflight=self.inflight,
+                    inflight=inflight,
                     retry_after_s=retry_after)
             return None, retry_after
-        self._inflight[priority] += 1
-        self.admitted_total += 1
         self._gauge()
         return AdmissionTicket(priority, route), 0
 
     def release(self, ticket):
-        if ticket is None or ticket._released:
+        if ticket is None:
             return
-        ticket._released = True
-        self._inflight[ticket.priority] -= 1
+        with self._lock:
+            if ticket._released:
+                return
+            ticket._released = True
+            self._inflight[ticket.priority] -= 1
         self._gauge()
 
     def _gauge(self):
@@ -270,6 +283,22 @@ class DeadlinePolicy:
             return min(self.max_budget_s,
                        max(self.min_budget_s, requested))
         return self.default_budget_s
+
+    def clamped_to_watchdog(self, watchdog_s, *, margin_s=5.0):
+        """Return a policy whose budgets always expire before a
+        per-request watchdog of *watchdog_s* seconds hard-kills the
+        worker: a request legitimately granted the maximum budget must
+        get the clean 504 the deadline machinery promises, never a
+        dropped connection and a respawn.  ``None``/0 (watchdog
+        disabled) returns this policy unchanged."""
+        if not watchdog_s or watchdog_s <= 0:
+            return self
+        ceiling = max(0.1, watchdog_s - min(margin_s,
+                                            watchdog_s * 0.25))
+        return DeadlinePolicy(
+            default_budget_s=min(self.default_budget_s, ceiling),
+            min_budget_s=min(self.min_budget_s, ceiling),
+            max_budget_s=min(self.max_budget_s, ceiling))
 
 
 class DeadlineMiddleware:

@@ -5,8 +5,10 @@ sickens, the tier must *brown out* — keep answering cheaply and
 honestly — rather than black out.  Three pieces:
 
 - :class:`HealthTracker` — a sliding window over per-statement
-  latency/error signals (fed by the connection ``fault_hook`` wrapper
-  installed with :meth:`HealthTracker.attach`).  Too many errors or
+  latency/error signals (fed by the connection ``statement_observer``
+  installed with :meth:`HealthTracker.attach`, which wraps the actual
+  execution — genuine sqlite failures and real latency count, not
+  just injected ones).  Too many errors or
   slow statements flip the tier into **degraded** mode
   (``serve_degraded`` gauge, ``serve.degraded.enter``/``exit``
   events); a quiet period followed by a healthy statement flips it
@@ -72,6 +74,21 @@ class DbFaultInjector:
                          and os.path.exists(self.trigger_file)):
             raise DatabaseUnavailable(
                 "The database did not answer (injected outage).")
+
+
+def _signals_db_sickness(error):
+    """True for failures that mean the database itself is sick.
+
+    Connection-level errors (including the injected
+    ``DatabaseUnavailable``) and raw sqlite errors count; constraint
+    violations are application-level and deadline exhaustion is a
+    per-request budget, so neither feeds the degradation window.
+    """
+    import sqlite3
+    from ..webstack.orm.exceptions import ConnectionError, IntegrityError
+    if isinstance(error, IntegrityError):
+        return False
+    return isinstance(error, (ConnectionError, sqlite3.Error))
 
 
 class HealthTracker:
@@ -164,32 +181,41 @@ class HealthTracker:
 
     # -- wiring --------------------------------------------------------
     def attach(self, db, injector=None):
-        """Install this tracker (and an optional fault injector) as
-        *db*'s ``fault_hook``: every statement the connection runs
-        feeds the latency/error window."""
+        """Wire this tracker into *db*: the optional chaos *injector*
+        becomes the connection's ``fault_hook`` and the tracker itself
+        its ``statement_observer``, so every statement the connection
+        actually runs feeds the latency/error window — injected faults
+        and genuine sqlite errors alike, injected latency and real
+        execution time alike."""
         clock = self.clock
 
-        def hook(operation, table):
+        def begin(operation, table):
             started = clock.now
-            if injector is not None:
-                try:
-                    injector(operation, table)
-                except Exception:
-                    self.record_db_error()
-                    raise
-            self.record_db_ok(clock.now - started)
 
-        db.fault_hook = hook
+            def finish(error):
+                if error is None:
+                    self.record_db_ok(clock.now - started)
+                elif _signals_db_sickness(error):
+                    self.record_db_error()
+                # Anything else — deadline exhaustion, permission or
+                # constraint violations — says nothing about database
+                # health: no sample.
+
+            return finish
+
+        db.fault_hook = injector
+        db.statement_observer = begin
         return self
 
     def probe(self, db):
         """One trivial statement through the hooks; True when the
-        database answered (the readiness check's evidence)."""
-        from ..webstack.orm.exceptions import (ConnectionError,
-                                               DeadlineExceeded)
+        database answered (the readiness check's evidence).  *Any*
+        failure — injected outage, raw sqlite error, spent deadline —
+        means not-ready: the caller must get the structured 503, never
+        an unhandled traceback."""
         try:
             db.ping()
-        except (ConnectionError, DeadlineExceeded):
+        except Exception:  # noqa: BLE001 - not-ready, whatever broke
             return False
         return True
 

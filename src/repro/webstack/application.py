@@ -60,22 +60,42 @@ class WebApplication:
         request_started.send(self, request=request)
         try:
             response = self._handle_inner(request)
-        except Http404 as exc:
-            response = self._error_response(
+        except Exception as exc:  # noqa: BLE001 - the framework boundary
+            response = self._response_for_exception(request, exc)
+        for mw in reversed(self.middleware):
+            if hasattr(mw, "process_response"):
+                # A response-phase failure (say, a session save against
+                # a database that just went down) must not abort the
+                # rest of the chain: the outer middleware still has to
+                # run — the admission gate releases its in-flight
+                # ticket here, and a skipped release would permanently
+                # shrink the worker's capacity.
+                try:
+                    response = mw.process_response(request, response)
+                except Exception as exc:  # noqa: BLE001
+                    response = self._response_for_exception(request, exc)
+        request_finished.send(self, request=request, response=response)
+        return response
+
+    def _response_for_exception(self, request, exc):
+        """Convert an exception from a view or middleware into the
+        user-facing error response (called from an ``except`` block)."""
+        if isinstance(exc, Http404):
+            return self._error_response(
                 HttpResponseNotFound, "404 Not Found", str(exc))
-        except DeadlineExceeded:
+        if isinstance(exc, DeadlineExceeded):
             # An over-budget request: stop working on it and say so in
             # plain language instead of holding the worker.  The serving
             # tier's deadline middleware counts these and rewrites the
             # body for API clients.
             request.deadline_exceeded = True
-            response = HttpResponse(
+            return HttpResponse(
                 ("<html><body><h1>This page took too long</h1>"
                  "<p>Building this page took longer than the time "
                  "available for one request. Please try again; if this "
                  "keeps happening, the site is likely under heavy "
                  "load.</p></body></html>"), status=504)
-        except DatabaseUnavailable:
+        if isinstance(exc, DatabaseUnavailable):
             # The database did not answer.  The cache middleware may
             # still replace this with a recent saved copy of the page.
             request.database_unavailable = True
@@ -86,18 +106,13 @@ class WebApplication:
                  "Please try again in a moment.</p></body></html>"),
                 status=503)
             response["Retry-After"] = "15"
-        except Exception:  # noqa: BLE001 - the framework boundary
-            if self.debug:
-                detail = traceback.format_exc()
-            else:
-                detail = "An internal error occurred."
-            response = self._error_response(
-                HttpResponseServerError, "500 Server Error", detail)
-        for mw in reversed(self.middleware):
-            if hasattr(mw, "process_response"):
-                response = mw.process_response(request, response)
-        request_finished.send(self, request=request, response=response)
-        return response
+            return response
+        if self.debug:
+            detail = traceback.format_exc()
+        else:
+            detail = "An internal error occurred."
+        return self._error_response(
+            HttpResponseServerError, "500 Server Error", detail)
 
     def _handle_inner(self, request):
         for mw in self.middleware:

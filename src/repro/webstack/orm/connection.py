@@ -129,10 +129,18 @@ class Database:
         #   budget is discarded).
         # - ``fault_hook`` — the overload chaos harness's injection
         #   point: adds (virtual) latency and/or raises
-        #   :class:`DatabaseUnavailable`, and is how the health tracker
-        #   observes per-statement latency/error signals.
+        #   :class:`DatabaseUnavailable`.
+        #
+        # ``statement_observer`` is the health tracker's intake: a
+        # begin-callback called with ``(operation, table)`` before a
+        # statement runs, returning a finish-callback called with the
+        # exception (or None) once the statement ends.  Because it
+        # wraps the *actual* execution — not just the injection hooks
+        # — the tracker sees genuine sqlite errors and real statement
+        # latency, not only injected ones.
         self.deadline_hook = None
         self.fault_hook = None
+        self.statement_observer = None
 
     # ------------------------------------------------------------------
     @property
@@ -172,6 +180,18 @@ class Database:
         compiler, not a SQL parser, is the source of truth.
         """
         self.check_permission(operation, table)
+        if self.statement_observer is None:
+            return self._execute_inner(sql, params, operation, table)
+        finish = self.statement_observer(operation, table)
+        try:
+            result = self._execute_inner(sql, params, operation, table)
+        except BaseException as exc:
+            finish(exc)
+            raise
+        finish(None)
+        return result
+
+    def _execute_inner(self, sql, params, operation, table):
         if self.deadline_hook is not None:
             # Budget check before any work starts.
             self.deadline_hook(operation, table)
@@ -243,12 +263,21 @@ class Database:
         Touches no table, needs no grant, and does not count against
         any round-trip budget.
         """
-        if self.deadline_hook is not None:
-            self.deadline_hook("select", "<ping>")
-        if self.fault_hook is not None:
-            self.fault_hook("select", "<ping>")
-        with self._lock:
-            self.connection.execute("SELECT 1")
+        finish = (self.statement_observer("select", "<ping>")
+                  if self.statement_observer is not None else None)
+        try:
+            if self.deadline_hook is not None:
+                self.deadline_hook("select", "<ping>")
+            if self.fault_hook is not None:
+                self.fault_hook("select", "<ping>")
+            with self._lock:
+                self.connection.execute("SELECT 1")
+        except BaseException as exc:
+            if finish is not None:
+                finish(exc)
+            raise
+        if finish is not None:
+            finish(None)
 
     def table_names(self):
         self.check_permission("select", "sqlite_master")

@@ -179,6 +179,29 @@ def test_shed_metrics_and_events(deployment):
         app.admission.release(ticket)
 
 
+def test_ticket_released_when_response_phase_fails(deployment):
+    """A response-phase middleware failure (a session save against a
+    database that just died, say) must not leak the admission ticket:
+    each leak would permanently shrink the worker's capacity until it
+    sheds everything, probes included."""
+    app = deployment.build_portal(serve=True)
+
+    class Exploding:
+        def process_response(self, request, response):
+            raise RuntimeError("boom in response phase")
+
+    # Innermost: first in the reversed chain, i.e. *before* the
+    # admission middleware gets to release its ticket.
+    app.middleware.append(Exploding())
+    from repro.webstack.testclient import Client
+    client = Client(app)
+    for _ in range(3 * app.admission.policy.max_inflight):
+        assert client.get("/stars/").status_code == 500
+    assert app.admission.inflight == 0
+    # Capacity intact: the next request is admitted, not shed.
+    assert app.admission.shed_total == 0
+
+
 def test_ticket_released_after_each_request(deployment):
     app = deployment.build_portal(serve=True)
     from repro.webstack.testclient import Client

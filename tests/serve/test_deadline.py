@@ -25,6 +25,27 @@ def test_budget_defaults_and_clamps():
     assert policy.budget_for(Req()) == 10.0
 
 
+def test_budget_ceiling_clamped_below_watchdog():
+    """A granted budget must always expire before the per-request
+    watchdog hard-kills the worker: the client gets the clean 504,
+    never a dropped connection."""
+    policy = DeadlinePolicy().clamped_to_watchdog(30.0)
+    assert policy.max_budget_s <= 25.0
+    assert policy.default_budget_s <= policy.max_budget_s
+
+    class Req:
+        META = {"HTTP_X_REQUEST_BUDGET_MS": "60000"}
+    assert policy.budget_for(Req()) <= policy.max_budget_s
+
+    # Watchdog disabled: the policy is unchanged.
+    base = DeadlinePolicy()
+    assert base.clamped_to_watchdog(None) is base
+    assert base.clamped_to_watchdog(0) is base
+    # A tiny watchdog still leaves a usable (if small) budget.
+    tight = DeadlinePolicy().clamped_to_watchdog(2.0)
+    assert 0 < tight.max_budget_s < 2.0
+
+
 @pytest.fixture()
 def slow_db_portal(deployment):
     """Portal whose every database statement costs 12 virtual seconds

@@ -42,6 +42,55 @@ def test_slow_statements_count_as_unhealthy(clock):
     assert tracker.degraded
 
 
+def test_genuine_database_errors_flip_degraded_and_back(clock):
+    """No injector anywhere: a genuinely failing sqlite statement
+    feeds the tracker, and genuine healthy statements recover it."""
+    import sqlite3
+
+    from repro.webstack.orm.connection import Database
+    db = Database(":memory:")
+    db.executescript("CREATE TABLE t (x INTEGER)")
+    tracker = HealthTracker(clock, min_samples=4,
+                            recovery_after_s=5.0).attach(db)
+    for _ in range(4):
+        with pytest.raises(sqlite3.OperationalError):
+            db.execute("SELECT x FROM missing", operation="select",
+                       table="missing")
+    assert tracker.degraded
+    clock.advance(6.0)                          # past the quiet period
+    db.execute("SELECT x FROM t", operation="select", table="t")
+    assert not tracker.degraded
+
+
+def test_constraint_violations_are_not_db_sickness(clock):
+    """An IntegrityError is the application's problem, not the
+    database's: it must not push the tier toward brownout."""
+    from repro.webstack.orm.connection import Database
+    from repro.webstack.orm.exceptions import IntegrityError
+    db = Database(":memory:")
+    db.executescript("CREATE TABLE t (x INTEGER PRIMARY KEY)")
+    tracker = HealthTracker(clock, min_samples=2).attach(db)
+    db.execute("INSERT INTO t (x) VALUES (1)", operation="insert",
+               table="t")
+    for _ in range(4):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO t (x) VALUES (1)",
+                       operation="insert", table="t")
+    assert not tracker.degraded
+
+
+def test_probe_is_not_ready_on_raw_sqlite_error(clock):
+    """A probe failure outside the ORM exception hierarchy still
+    answers not-ready (the structured 503), never a traceback page."""
+    import sqlite3
+
+    class BrokenDb:
+        def ping(self):
+            raise sqlite3.OperationalError("disk I/O error")
+
+    assert HealthTracker(clock).probe(BrokenDb()) is False
+
+
 def test_mixed_traffic_below_threshold_stays_healthy(clock):
     tracker = HealthTracker(clock, window=10, min_samples=4,
                             error_threshold=0.5)

@@ -223,6 +223,27 @@ class TestApplication:
         Client(app).get("/")
         assert order == ["b", "a"]
 
+    def test_response_phase_failure_does_not_abort_outer_chain(self):
+        """A middleware that blows up in its response phase yields a
+        500, but the middleware outside it still gets to run (the
+        admission gate releases its in-flight ticket there)."""
+        ran = []
+
+        class Outer:
+            def process_response(self, request, response):
+                ran.append(response.status_code)
+                return response
+
+        class Exploding:
+            def process_response(self, request, response):
+                raise RuntimeError("boom in response phase")
+
+        app = WebApplication([path("", lambda r: HttpResponse(b"x"))],
+                             middleware=[Outer(), Exploding()])
+        response = Client(app).get("/")
+        assert response.status_code == 500
+        assert ran == [500]
+
 
 class TestDevServer:
     def test_serves_over_real_socket(self):
