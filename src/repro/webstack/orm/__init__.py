@@ -10,7 +10,7 @@ paper calls out as the reason a single code base could serve both.
 
 from .aggregates import Avg, Count, Max, Min, Sum
 from .connection import (Database, DeploymentDatabases, Grant, RoleRegistry,
-                         shared_memory_uri)
+                         StatementCache, shared_memory_uri)
 from .exceptions import (ConnectionError, FieldError, IntegrityError,
                          MultipleObjectsReturned, ObjectDoesNotExist,
                          ORMError, PermissionDenied, ValidationError)
@@ -19,19 +19,21 @@ from .fields import (AutoField, BooleanField, CharField, DateTimeField,
                      JSONField, TextField)
 from .manager import Manager
 from .models import Model, clear_registry, get_registered_model
-from .query import Q, QuerySet
+from .query import CompiledQueryCache, Q, QuerySet, compiled_cache
+from .router import ReplicaRouter, WriteSequence
 from .schema import (bind, create_all, create_table_sql, drop_all,
                      required_grants, topological_order)
 
 __all__ = [
-    "AutoField", "Avg", "BooleanField", "CharField", "ConnectionError",
-    "Count", "Database", "Max", "Min", "Sum",
+    "AutoField", "Avg", "BooleanField", "CharField", "CompiledQueryCache",
+    "ConnectionError", "Count", "Database", "Max", "Min", "Sum",
     "DateTimeField", "DeploymentDatabases", "EmailField", "Field",
     "FieldError", "FloatField", "ForeignKey", "Grant", "IntegerField",
     "IntegrityError", "JSONField", "Manager", "Model",
     "MultipleObjectsReturned", "ORMError", "ObjectDoesNotExist",
-    "PermissionDenied", "Q", "QuerySet", "RoleRegistry", "TextField",
-    "ValidationError", "bind", "clear_registry", "create_all",
+    "PermissionDenied", "Q", "QuerySet", "ReplicaRouter", "RoleRegistry",
+    "StatementCache", "TextField", "ValidationError", "WriteSequence",
+    "bind", "clear_registry", "compiled_cache", "create_all",
     "create_table_sql", "drop_all", "get_registered_model",
     "required_grants", "shared_memory_uri", "topological_order",
 ]

@@ -26,6 +26,8 @@ import itertools
 import re
 import sqlite3
 import threading
+import time
+from collections import OrderedDict
 
 from .exceptions import ConnectionError, IntegrityError, PermissionDenied
 
@@ -33,6 +35,48 @@ from .exceptions import ConnectionError, IntegrityError, PermissionDenied
 OPERATIONS = ("select", "insert", "update", "delete", "create")
 
 _memory_uri_counter = itertools.count(1)
+
+
+class StatementCache:
+    """Bounded LRU over the SQL text one connection has executed.
+
+    Python's ``sqlite3`` keeps a real prepared-statement cache keyed by
+    SQL string inside each connection; it is invisible from Python.
+    This mirror tracks the same key space with the same capacity so the
+    reuse rate becomes observable: a *hit* here means the identical SQL
+    text was handed to the driver again and its prepared statement was
+    reusable (the compiled-query cache upstream is what makes hot-path
+    SQL text byte-identical call after call).
+    """
+
+    def __init__(self, capacity=128):
+        self.capacity = int(capacity)
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def note(self, sql):
+        """Record one execution of *sql*; returns True on reuse."""
+        if sql in self._entries:
+            self._entries.move_to_end(sql)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[sql] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": len(self._entries),
+                "hit_rate": self.hit_rate()}
 
 
 class Grant:
@@ -98,13 +142,49 @@ class Database:
         ``admin``.
     """
 
-    def __init__(self, path=":memory:", role="admin", roles=None):
+    def __init__(self, path=":memory:", role="admin", roles=None, *,
+                 wal=False, busy_timeout_s=5.0, read_only=False,
+                 write_gate=None, statement_cache_size=128):
         self.path = path
         self.role = role
         self.roles = roles or RoleRegistry()
         self._grant = self.roles.grant_for(role)
         self._local = threading.local()
         self._lock = threading.RLock()
+        #: WAL journal mode: readers never block the writer and vice
+        #: versa.  Only meaningful for file-backed stores — an
+        #: in-memory database silently keeps its ``memory`` journal.
+        self.wal = bool(wal)
+        #: Every connection waits this long on a locked database before
+        #: surfacing SQLITE_BUSY, so brief writer bursts never bubble up
+        #: as errors (set as ``PRAGMA busy_timeout`` at connect time).
+        self.busy_timeout_s = float(busy_timeout_s)
+        #: A replica reader connection: refuses every write outright —
+        #: the router must never have sent it one (defence in depth on
+        #: top of role grants).
+        self.read_only = bool(read_only)
+        #: Single-writer discipline: when several role connections share
+        #: one store, they share this reentrant lock and every write
+        #: statement (and every transaction scope) funnels through it —
+        #: one writer at a time at the application layer, matching
+        #: SQLite's own one-writer rule without ever hitting
+        #: SQLITE_BUSY on the hot path.
+        self.write_gate = write_gate
+        #: Journal mode actually reported by SQLite at connect time
+        #: (``wal`` for file stores in WAL mode, ``memory`` for
+        #: in-memory stores); None until the first connection opens.
+        self.journal_mode = None
+        #: Mirror of the driver's per-connection prepared-statement
+        #: cache (see :class:`StatementCache`).
+        self.statement_cache_size = int(statement_cache_size)
+        self.statements = StatementCache(self.statement_cache_size)
+        #: Slow-statement log: when ``slow_statement_s`` is a number,
+        #: any statement whose execution (lock wait included) takes
+        #: longer fires ``on_slow_statement(sql, duration_s, operation,
+        #: table)``.  The SQL text carries only ``?`` placeholders —
+        #: parameter values are never handed to the log.
+        self.slow_statement_s = None
+        self.on_slow_statement = None
         # Statement log: (operation, table) tuples, used by the security
         # audit in tests/benches to prove what each role actually did.
         self.statement_log = []
@@ -150,10 +230,23 @@ class Database:
             try:
                 conn = sqlite3.connect(
                     self.path, uri=self.path.startswith("file:"),
-                    detect_types=0, check_same_thread=False)
+                    detect_types=0, check_same_thread=False,
+                    cached_statements=max(self.statement_cache_size, 16))
             except sqlite3.Error as exc:
                 raise ConnectionError(str(exc)) from exc
             conn.execute("PRAGMA foreign_keys = ON")
+            # Every connection gets a busy handler: a reader landing on
+            # a momentarily-locked database waits instead of erroring.
+            conn.execute(f"PRAGMA busy_timeout = "
+                         f"{int(self.busy_timeout_s * 1000)}")
+            if self.wal:
+                # WAL + NORMAL sync: concurrent readers during writes,
+                # commit durability bounded by checkpoints — the
+                # standard serving-tier configuration.
+                conn.execute("PRAGMA journal_mode = WAL")
+                conn.execute("PRAGMA synchronous = NORMAL")
+            cur = conn.execute("PRAGMA journal_mode")
+            self.journal_mode = cur.fetchone()[0]
             conn.row_factory = sqlite3.Row
             self._local.conn = conn
         return conn
@@ -180,6 +273,10 @@ class Database:
         compiler, not a SQL parser, is the source of truth.
         """
         self.check_permission(operation, table)
+        if self.read_only and operation != "select":
+            raise PermissionDenied(
+                f"Connection {self.path!r} is a read-only replica "
+                f"reader; it may not {operation.upper()} on {table!r}")
         if self.statement_observer is None:
             return self._execute_inner(sql, params, operation, table)
         finish = self.statement_observer(operation, table)
@@ -212,26 +309,85 @@ class Database:
             self.on_execute(operation, table)
         if self.log_statements:
             self.statement_log.append((operation, table))
-        with self._lock:
-            in_txn = getattr(self._local, "txn_depth", 0) > 0
-            try:
-                cur = self.connection.execute(sql, params)
-                if operation != "select" and not in_txn:
-                    self.connection.commit()
-                return cur
-            except sqlite3.IntegrityError as exc:
-                if not in_txn:
-                    self.connection.rollback()
-                raise IntegrityError(str(exc)) from exc
+        self.statements.note(sql)
+        gate = self.write_gate if (self.write_gate is not None
+                                   and operation != "select") else None
+        started = (time.perf_counter()
+                   if self.slow_statement_s is not None else None)
+        if gate is not None:
+            gate.acquire()
+        try:
+            with self._lock:
+                in_txn = getattr(self._local, "txn_depth", 0) > 0
+                try:
+                    cur = self.connection.execute(sql, params)
+                    if operation != "select" and not in_txn:
+                        self.connection.commit()
+                    return cur
+                except sqlite3.IntegrityError as exc:
+                    if not in_txn:
+                        self.connection.rollback()
+                    raise IntegrityError(str(exc)) from exc
+        finally:
+            if gate is not None:
+                gate.release()
+            if started is not None:
+                duration = time.perf_counter() - started
+                if duration > self.slow_statement_s \
+                        and self.on_slow_statement is not None:
+                    self.on_slow_statement(sql, duration, operation,
+                                           table)
 
     def executescript(self, script):
-        """Run a raw script; restricted to roles with ``allow_raw_sql``."""
+        """Run a raw script; restricted to roles with ``allow_raw_sql``.
+
+        Scripts flow through the same hook chain as :meth:`execute` —
+        grant check first, then deadline/fault hooks, the
+        ``statement_observer``, the query counters, and the statement
+        log (as one ``("script", "<script>")`` round trip) — so a
+        schema-bootstrap script can neither dodge an injected outage
+        nor hide from the health tracker or a round-trip budget.
+        """
         if not self._grant.allow_raw_sql:
             raise PermissionDenied(
                 f"Role {self.role!r} may not execute raw SQL")
-        with self._lock:
-            self.connection.executescript(script)
-            self.connection.commit()
+        if self.read_only:
+            raise PermissionDenied(
+                f"Connection {self.path!r} is a read-only replica "
+                "reader; it may not run raw scripts")
+        operation, table = "script", "<script>"
+        finish = (self.statement_observer(operation, table)
+                  if self.statement_observer is not None else None)
+        try:
+            if self.deadline_hook is not None:
+                self.deadline_hook(operation, table)
+            if self.fault_hook is not None:
+                self.fault_hook(operation, table)
+                if self.deadline_hook is not None:
+                    self.deadline_hook(operation, table)
+            self.queries_executed += 1
+            self.queries_by_operation[operation] = \
+                self.queries_by_operation.get(operation, 0) + 1
+            if self.on_execute is not None:
+                self.on_execute(operation, table)
+            if self.log_statements:
+                self.statement_log.append((operation, table))
+            gate = self.write_gate
+            if gate is not None:
+                gate.acquire()
+            try:
+                with self._lock:
+                    self.connection.executescript(script)
+                    self.connection.commit()
+            finally:
+                if gate is not None:
+                    gate.release()
+        except BaseException as exc:
+            if finish is not None:
+                finish(exc)
+            raise
+        if finish is not None:
+            finish(None)
 
     def atomic(self):
         """Context manager for a transaction (BEGIN ... COMMIT/ROLLBACK)."""
@@ -301,6 +457,12 @@ class _Atomic:
         self.db = db
 
     def __enter__(self):
+        # Lock order: write gate (shared across the deployment's writer
+        # connections — the single-writer discipline) before the
+        # per-connection lock.  Both are reentrant, so nested scopes
+        # and writes inside the transaction re-enter cleanly.
+        if self.db.write_gate is not None:
+            self.db.write_gate.acquire()
         self.db._lock.acquire()
         self.db._local.txn_depth = getattr(self.db._local, "txn_depth",
                                            0) + 1
@@ -316,6 +478,8 @@ class _Atomic:
                     self.db.connection.rollback()
         finally:
             self.db._lock.release()
+            if self.db.write_gate is not None:
+                self.db.write_gate.release()
         return False
 
 
@@ -374,6 +538,11 @@ def shared_memory_uri(name=None):
     return f"file:{name}?mode=memory&cache=shared"
 
 
+def is_memory_uri(uri):
+    """True when *uri* names an in-memory store (no WAL possible)."""
+    return uri == ":memory:" or "mode=memory" in uri
+
+
 class DeploymentDatabases:
     """The multi-server database layout of the AMP deployment.
 
@@ -385,16 +554,59 @@ class DeploymentDatabases:
 
     A keeper connection holds the shared in-memory store alive for the
     lifetime of this object.
+
+    With ``routed=True`` the layout becomes the primary/replica
+    topology of the data tier (see ``orm/router.py``): the store moves
+    to WAL journal mode when file-backed, one reentrant *write gate*
+    is shared by every writer connection (single-writer discipline),
+    and ``portal``/``daemon`` become :class:`ReplicaRouter` objects
+    that send reads to per-role read-only reader connections and funnel
+    every write through the gated primary.  ``admin`` stays a plain
+    (gated) connection — schema bootstrap and developer tooling want
+    the primary's view unconditionally.
     """
 
-    def __init__(self, roles, uri=None):
+    def __init__(self, roles, uri=None, *, routed=False, replicas=2,
+                 wal=None, busy_timeout_s=5.0, clock=None,
+                 pin_window_s=5.0):
         self.uri = uri or shared_memory_uri()
         self.roles = roles
+        self.routed = bool(routed)
         self._keeper = sqlite3.connect(self.uri, uri=True,
                                        check_same_thread=False)
-        self.admin = Database(self.uri, role="admin", roles=roles)
-        self.portal = Database(self.uri, role="portal", roles=roles)
-        self.daemon = Database(self.uri, role="daemon", roles=roles)
+        if not routed:
+            self.write_gate = None
+            self.admin = Database(self.uri, role="admin", roles=roles)
+            self.portal = Database(self.uri, role="portal", roles=roles)
+            self.daemon = Database(self.uri, role="daemon", roles=roles)
+            return
+        from .router import ReplicaRouter, WriteSequence
+        if wal is None:
+            wal = not is_memory_uri(self.uri)
+        self.write_gate = threading.RLock()
+        sequence = WriteSequence()
+        n_replicas = max(0, int(replicas))
+
+        def primary(role):
+            return Database(self.uri, role=role, roles=roles, wal=wal,
+                            busy_timeout_s=busy_timeout_s,
+                            write_gate=self.write_gate)
+
+        def readers(role):
+            return [Database(self.uri, role=role, roles=roles, wal=wal,
+                             busy_timeout_s=busy_timeout_s,
+                             read_only=True)
+                    for _ in range(n_replicas)]
+
+        self.admin = primary("admin")
+        self.portal = ReplicaRouter(primary("portal"),
+                                    readers("portal"), clock=clock,
+                                    pin_window_s=pin_window_s,
+                                    sequence=sequence)
+        self.daemon = ReplicaRouter(primary("daemon"),
+                                    readers("daemon"), clock=clock,
+                                    pin_window_s=pin_window_s,
+                                    sequence=sequence)
 
     def close(self):
         for db in (self.admin, self.portal, self.daemon):

@@ -24,6 +24,8 @@ SDSS/SkyServer, "When Database Systems Meet the Grid"):
 
 from __future__ import annotations
 
+import threading
+
 from .exceptions import FieldError
 
 #: lookup name -> SQL template fragment (``{col}`` is the quoted —
@@ -47,6 +49,176 @@ _LOOKUPS = {
 def _like_escape(value):
     return (str(value).replace("\\", "\\\\")
             .replace("%", r"\%").replace("_", r"\_"))
+
+
+# ----------------------------------------------------------------------
+# Compiled-query cache
+# ----------------------------------------------------------------------
+#
+# SQL string-building is pure: the text depends only on the queryset's
+# *shape* — model, lookup keys (and, for variadic lookups like ``in``,
+# the parameter count), ordering, projection, joins, limit/offset —
+# never on the bound values.  Hot paths (daemon poll sweeps, API
+# pagination, portal stats) issue the same shapes over and over, so the
+# compiler memoizes per shape: a hit returns the cached SQL plus a list
+# of *binders* (per-parameter converter functions recorded during the
+# one real compile) applied to the fresh values.  Because the SQL text
+# is then byte-identical call after call, sqlite3's per-connection
+# prepared-statement cache reuses the prepared statement too (tracked
+# by the connection's ``StatementCache``).
+
+_VARIADIC_LOOKUPS = ("in", "isnull", "range", "mod")
+_ALL_LOOKUPS = frozenset(_LOOKUPS) | frozenset(_VARIADIC_LOOKUPS)
+
+
+def _lookup_of(key):
+    """The lookup suffix of a filter key (mirrors ``resolve_column``)."""
+    parts = key.split("__")
+    if len(parts) > 1 and parts[-1] in _ALL_LOOKUPS:
+        return parts[-1]
+    return "exact"
+
+
+def _shape_q(q, values):
+    """One walk of a Q tree: appends raw parameter values to *values*
+    (in exactly the order ``compile_q`` emits parameters) and returns a
+    hashable shape tuple.  Must stay step-for-step aligned with the
+    binder recording in ``QueryCompiler.compile_lookup``."""
+    children = []
+    for kind, payload in q.children:
+        if kind == "leaf":
+            leaf = []
+            for key, value in payload.items():
+                lookup = _lookup_of(key)
+                if lookup == "in":
+                    if not isinstance(value, (list, tuple)):
+                        # Materialize sets/generators once so the shape
+                        # walk and a later compile see the same
+                        # elements in the same order.
+                        value = list(value)
+                        payload[key] = value
+                    leaf.append((key, "in", len(value)))
+                    values.extend(value)
+                elif lookup == "isnull":
+                    leaf.append((key, "isnull", bool(value)))
+                elif lookup == "range":
+                    lo, hi = value
+                    leaf.append((key, "range"))
+                    values.append(lo)
+                    values.append(hi)
+                elif lookup == "mod":
+                    divisor, remainder = value
+                    divisor = int(divisor)
+                    if divisor <= 0:
+                        # Same guard compile_lookup enforces; with it
+                        # here too, a cache hit can never skip it.
+                        raise FieldError(
+                            "mod lookup needs a positive divisor")
+                    if isinstance(remainder,
+                                  (list, tuple, set, frozenset)):
+                        remainders = sorted({int(r) for r in remainder})
+                        leaf.append((key, "mod", len(remainders)))
+                        if remainders:
+                            # An empty residue set compiles to the
+                            # constant "0 = 1" with no parameters.
+                            values.append(divisor)
+                            values.extend(remainders)
+                    else:
+                        leaf.append((key, "mod", None))
+                        values.append(divisor)
+                        values.append(int(remainder))
+                else:
+                    leaf.append((key, lookup))
+                    values.append(value)
+            children.append(("leaf", tuple(leaf)))
+        else:
+            children.append(("node", _shape_q(payload, values)))
+    return (q.connector, q.negated, tuple(children))
+
+
+def _shape_conditions(conditions):
+    """Shape + flat raw values for a conditions list (see _shape_q)."""
+    values = []
+    shape = tuple(_shape_q(q, values) for q in conditions)
+    return shape, values
+
+
+class CompiledQueryCache:
+    """Bounded, thread-safe LRU of compiled queryset shapes.
+
+    One global instance (``compiled_cache``) serves every model and
+    every connection: compiled SQL is independent of which role runs
+    it.  Entries are keyed by the model *class object* (so a freshly
+    defined test model never collides with a prior one) plus the full
+    structural shape.  ``stats()`` exposes hits/misses/compiles —
+    ``bench_db_router.py`` pins the poll-sweep hit rate against it.
+    """
+
+    def __init__(self, capacity=512):
+        self.capacity = int(capacity)
+        self.enabled = True
+        self._entries = {}
+        self._order = []            # LRU order, oldest first
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0           # full SQL builds (cache on or off)
+        self.evictions = 0
+        self.uncacheable = 0
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            # Cheap LRU touch: move to the end lazily.
+            try:
+                self._order.remove(key)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._order.append(key)
+            return entry
+
+    def put(self, key, entry):
+        with self._lock:
+            if key not in self._entries:
+                self._order.append(key)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                oldest = self._order.pop(0)
+                self._entries.pop(oldest, None)
+                self.evictions += 1
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+            self._order.clear()
+            self.hits = self.misses = self.compiles = 0
+            self.evictions = self.uncacheable = 0
+
+    def configure(self, *, capacity=None, enabled=None):
+        with self._lock:
+            if capacity is not None:
+                self.capacity = int(capacity)
+            if enabled is not None:
+                self.enabled = bool(enabled)
+
+    def stats(self):
+        total = self.hits + self.misses
+        return {"hits": self.hits, "misses": self.misses,
+                "compiles": self.compiles, "evictions": self.evictions,
+                "uncacheable": self.uncacheable,
+                "size": len(self._entries),
+                "hit_rate": self.hits / total if total else 0.0}
+
+    def __len__(self):
+        return len(self._entries)
+
+
+#: The process-wide compiled-query cache.
+compiled_cache = CompiledQueryCache()
 
 
 class Q:
@@ -132,7 +304,20 @@ class QueryCompiler:
                 f"{sorted(f.name for f in self.meta.fields)}")
         return field.column, field, lookup
 
-    def compile_lookup(self, key, value):
+    @staticmethod
+    def _field_binder(field):
+        """Per-parameter converter for a cached compile: replays the
+        marshaling ``compile_lookup`` applied to the original value."""
+        return lambda v: field.to_db(field.to_python(v))
+
+    def compile_lookup(self, key, value, binders=None):
+        """Compile one lookup; returns (sql, params).
+
+        When *binders* is a list, one converter callable is appended
+        per emitted parameter, in parameter order — the compiled-query
+        cache applies them to the raw values collected by ``_shape_q``
+        so a cache hit rebuilds params without rebuilding SQL.
+        """
         col, field, lookup = self.resolve_column(key)
         ref = self.qualify(col)
         if lookup == "isnull":
@@ -141,10 +326,14 @@ class QueryCompiler:
             values = [field.to_db(field.to_python(v)) for v in value]
             if not values:
                 return "0 = 1", []  # empty IN matches nothing
+            if binders is not None:
+                binders.extend([self._field_binder(field)] * len(values))
             marks = ", ".join("?" for _ in values)
             return f'{ref} IN ({marks})', values
         if lookup == "range":
             lo, hi = value
+            if binders is not None:
+                binders.extend([self._field_binder(field)] * 2)
             return (f'{ref} BETWEEN ? AND ?',
                     [field.to_db(field.to_python(lo)),
                      field.to_db(field.to_python(hi))])
@@ -161,37 +350,48 @@ class QueryCompiler:
                 remainders = sorted({int(r) for r in remainder})
                 if not remainders:
                     return "0 = 1", []  # empty residue set matches nothing
+                if binders is not None:
+                    binders.extend([int] * (1 + len(remainders)))
                 marks = ", ".join("?" for _ in remainders)
                 return (f'({ref} % ?) IN ({marks})',
                         [divisor, *remainders])
+            if binders is not None:
+                binders.extend([int, int])
             return f'({ref} % ?) = ?', [divisor, int(remainder)]
         template = _LOOKUPS.get(lookup)
         if template is None:
             raise FieldError(f"Unsupported lookup {lookup!r}")
         if lookup in ("contains", "icontains"):
             param = f"%{_like_escape(value)}%"
+            binder = lambda v: f"%{_like_escape(v)}%"  # noqa: E731
         elif lookup in ("startswith", "istartswith"):
             param = f"{_like_escape(value)}%"
+            binder = lambda v: f"{_like_escape(v)}%"  # noqa: E731
         elif lookup == "endswith":
             param = f"%{_like_escape(value)}"
+            binder = lambda v: f"%{_like_escape(v)}"  # noqa: E731
         else:
             param = field.to_db(field.to_python(value))
+            binder = self._field_binder(field)
+        if binders is not None:
+            binders.append(binder)
         return template.format(col=ref), [param]
 
-    def compile_q(self, q):
+    def compile_q(self, q, binders=None):
         """Compile a Q tree; returns (sql, params)."""
         fragments, params = [], []
         for kind, payload in q.children:
             if kind == "leaf":
                 sub = []
                 for key, value in payload.items():
-                    sql, p = self.compile_lookup(key, value)
+                    sql, p = self.compile_lookup(key, value,
+                                                 binders=binders)
                     sub.append(sql)
                     params.extend(p)
                 if sub:
                     fragments.append("(" + " AND ".join(sub) + ")")
             else:
-                sql, p = self.compile_q(payload)
+                sql, p = self.compile_q(payload, binders=binders)
                 if sql:
                     fragments.append("(" + sql + ")")
                     params.extend(p)
@@ -202,11 +402,11 @@ class QueryCompiler:
             sql = f"NOT ({sql})"
         return sql, params
 
-    def compile_where(self, conditions):
+    def compile_where(self, conditions, binders=None):
         """Compile a list of Q objects AND'ed together."""
         fragments, params = [], []
         for q in conditions:
-            sql, p = self.compile_q(q)
+            sql, p = self.compile_q(q, binders=binders)
             if sql:
                 fragments.append("(" + sql + ")")
                 params.extend(p)
@@ -441,12 +641,43 @@ class QuerySet:
                 if field.primary_key or field in wanted
                 or field in join_fks]
 
+    def _cache_probe(self, kind, extra=()):
+        """Shape this queryset for the compiled-query cache.
+
+        Returns ``(key, raw_values, entry)``: *key* is None when the
+        shape can't be keyed (fall through to a plain compile), *entry*
+        is the cached compile on a hit (with *raw_values* ready for its
+        binders).  ``FieldError`` from the shape walk propagates — it's
+        the same error the compiler itself would raise.
+        """
+        if not compiled_cache.enabled:
+            return None, None, None
+        try:
+            cond_shape, raw_values = _shape_conditions(self._conditions)
+        except (TypeError, ValueError):
+            # Malformed lookup values (e.g. a 3-tuple range): let the
+            # real compiler produce its own error for them.
+            compiled_cache.uncacheable += 1
+            return None, None, None
+        key = (self.model, kind, cond_shape, *extra)
+        return key, raw_values, compiled_cache.get(key)
+
     def _build_select(self):
         """Compile this queryset; returns (sql, params, plan, fields).
 
         *fields* is the base-model projection (None = every column).
         """
         meta = self.model._meta
+        cache_key, raw_values, entry = self._cache_probe(
+            "select",
+            (tuple(self._order_by), self._limit, self._offset,
+             self._select_related,
+             None if self._only is None else frozenset(self._only),
+             self._defer))
+        if entry is not None:
+            params = [bind(v) for bind, v
+                      in zip(entry["binders"], raw_values)]
+            return entry["sql"], params, entry["plan"], entry["fields"]
         plan = self._join_plan()
         base_alias = "t0" if plan else None
         compiler = QueryCompiler(self.model, base_alias=base_alias)
@@ -475,12 +706,20 @@ class QuerySet:
             else:
                 col_sql = "*"
             sql = f'SELECT {col_sql} FROM "{meta.table_name}"'
-        where, params = compiler.compile_where(self._conditions)
+        binders = []
+        where, params = compiler.compile_where(self._conditions,
+                                               binders=binders)
         sql += where + compiler.compile_order(self._order_by)
         if self._limit is not None or self._offset is not None:
             sql += f" LIMIT {self._limit if self._limit is not None else -1}"
             if self._offset:
                 sql += f" OFFSET {self._offset}"
+        compiled_cache.compiles += 1
+        if cache_key is not None and len(binders) == len(params) \
+                and len(raw_values) == len(params):
+            compiled_cache.put(cache_key, {"sql": sql, "plan": plan,
+                                           "fields": fields,
+                                           "binders": binders})
         return sql, params, plan, fields
 
     def _select_sql(self, columns="*"):
@@ -606,10 +845,24 @@ class QuerySet:
     def count(self):
         if self._result_cache is not None:
             return len(self._result_cache)
-        compiler = QueryCompiler(self.model)
-        where, params = compiler.compile_where(self._conditions)
-        sql = (f'SELECT COUNT(*) FROM "{self.model._meta.table_name}"'
-               + where)
+        cache_key, raw_values, entry = self._cache_probe("count")
+        if entry is not None:
+            sql = entry["sql"]
+            params = [bind(v) for bind, v
+                      in zip(entry["binders"], raw_values)]
+        else:
+            compiler = QueryCompiler(self.model)
+            binders = []
+            where, params = compiler.compile_where(self._conditions,
+                                                   binders=binders)
+            sql = (f'SELECT COUNT(*) FROM '
+                   f'"{self.model._meta.table_name}"' + where)
+            compiled_cache.compiles += 1
+            if cache_key is not None and len(binders) == len(params) \
+                    and len(raw_values) == len(params):
+                compiled_cache.put(cache_key, {"sql": sql, "plan": [],
+                                               "fields": None,
+                                               "binders": binders})
         cur = self.db.execute(sql, params, operation="select",
                               table=self.model._meta.table_name)
         return cur.fetchone()[0]

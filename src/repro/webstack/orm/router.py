@@ -1,0 +1,317 @@
+"""Primary/replica routing over role-scoped connections.
+
+The data tier's answer to the "shared SQLite as PostgreSQL" speed
+ceiling (ROADMAP "Database scale"; PAPERS.md "When Database Systems
+Meet the Grid"): batch-oriented grid science traffic wants its read
+path decoupled from its write path, with staleness made explicit
+rather than accidental.
+
+A :class:`ReplicaRouter` duck-types :class:`~.connection.Database` —
+everything the ORM needs (``execute``, ``check_permission``,
+``atomic``, ``count_queries``, ``ping``, the resilience hooks) — and
+routes each statement:
+
+- **writes** (and raw scripts, schema ops) always go to the *primary*
+  connection, whose shared ``write_gate`` enforces the single-writer
+  discipline across every role;
+- **reads** round-robin across read-only *replica* reader connections,
+  unless the calling thread is inside a transaction (its reads must
+  see its own uncommitted writes), just wrote within the
+  *read-your-writes window* (``pin_window_s`` on the injected clock —
+  a session/request that wrote stays on the primary until the window
+  lapses), or asked for :meth:`pinned` explicitly.
+
+Staleness is bounded and *surfaced*, never silent: each replica read
+reports how many write statements committed on the primary since that
+reader last took a snapshot (``db_replica_lag_statements`` once wired
+to obs), and every routing decision can be observed through
+``on_route`` / traced as ``db.router.route`` events.
+
+The resilience hooks (``deadline_hook``, ``fault_hook``,
+``statement_observer``, ``on_execute``) and the slow-statement log are
+fan-out properties: installing one on the router installs it on the
+primary *and* every replica, so grants, deadline 504s, health signals,
+and chaos injection fire identically on both routes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+from .connection import QueryCounter
+
+
+class _MonotonicClock:
+    """Default router clock when no deployment clock is injected."""
+
+    @property
+    def now(self):
+        return time.monotonic()
+
+
+class WriteSequence:
+    """Shared monotonic count of write statements against one store.
+
+    Both routers of a deployment (portal and daemon) bump the same
+    sequence, so a portal replica's staleness honestly includes the
+    daemon's writes — lag is a property of the *store*, not of one
+    role's traffic.
+    """
+
+    def __init__(self):
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+            return self.value
+
+
+#: Attributes that fan out to the primary and every replica when set on
+#: the router (and read back from the primary).
+_FANOUT_ATTRS = ("deadline_hook", "fault_hook", "statement_observer",
+                 "on_execute", "slow_statement_s", "on_slow_statement")
+
+
+class ReplicaRouter:
+    """Route ORM statements across one primary and N replica readers."""
+
+    def __init__(self, primary, replicas=(), *, clock=None,
+                 pin_window_s=5.0, sequence=None):
+        self.primary = primary
+        self.replicas = list(replicas)
+        self.clock = clock if clock is not None else _MonotonicClock()
+        self.pin_window_s = float(pin_window_s)
+        self._local = threading.local()
+        self._rr = itertools.count()
+        self._seq_lock = threading.Lock()
+        #: Monotonic count of write statements committed against the
+        #: store (shared with sibling routers); each replica remembers
+        #: the value it last observed, and the difference is that
+        #: reader's staleness in statements.
+        self.sequence = sequence if sequence is not None \
+            else WriteSequence()
+        self._replica_seen = [0] * len(self.replicas)
+        #: Router-level routing tally, independent of obs:
+        #: ``{"primary": n, "replica": n}``.
+        self.routed_statements = {"primary": 0, "replica": 0}
+        #: Optional ``(operation, table, route, replica_lag)`` callback;
+        #: the deployment wires per-role route counters and the lag
+        #: gauge here without the ORM importing obs.
+        self.on_route = None
+        #: When True, the wired ``on_route`` may also emit
+        #: ``db.router.route`` events (off by default: one event per
+        #: statement is soak-log-sized).
+        self.trace_routes = False
+        #: Router-level statement log: ``(operation, table, route)``
+        #: triples while ``log_statements`` is True.
+        self.log_statements = False
+        self.statement_log = []
+
+    # -- Database-compatible surface -----------------------------------
+    @property
+    def role(self):
+        return self.primary.role
+
+    @property
+    def path(self):
+        return self.primary.path
+
+    @property
+    def roles(self):
+        return self.primary.roles
+
+    @property
+    def journal_mode(self):
+        return self.primary.journal_mode
+
+    def _all_dbs(self):
+        return [self.primary, *self.replicas]
+
+    def check_permission(self, operation, table):
+        self.primary.check_permission(operation, table)
+
+    # Fan-out hook properties: setting one arms every route.
+    def __getattr__(self, name):
+        if name in _FANOUT_ATTRS:
+            return getattr(self.__dict__["primary"], name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def __setattr__(self, name, value):
+        if name in _FANOUT_ATTRS:
+            for db in self._all_dbs():
+                setattr(db, name, value)
+            return
+        object.__setattr__(self, name, value)
+
+    # Aggregated counters: QueryCounter works unchanged against these,
+    # so round-trip budgets stay accurate when statements split across
+    # routes.
+    @property
+    def queries_executed(self):
+        return sum(db.queries_executed for db in self._all_dbs())
+
+    @property
+    def queries_by_operation(self):
+        merged = {}
+        for db in self._all_dbs():
+            for op, n in db.queries_by_operation.items():
+                merged[op] = merged.get(op, 0) + n
+        return merged
+
+    def count_queries(self):
+        return QueryCounter(self)
+
+    # -- routing -------------------------------------------------------
+    def _pinned(self):
+        if getattr(self._local, "forced_primary", 0) > 0:
+            return True
+        last_write = getattr(self._local, "last_write_at", None)
+        return (last_write is not None
+                and self.clock.now - last_write < self.pin_window_s)
+
+    def _route(self, operation):
+        """Pick ``(db, route_name, replica_lag)`` for one statement."""
+        if operation != "select" or not self.replicas:
+            return self.primary, "primary", 0
+        if getattr(self._local, "txn_depth", 0) > 0:
+            # In-transaction reads must see the transaction's own
+            # uncommitted writes: primary, unconditionally.
+            return self.primary, "primary", 0
+        if self._pinned():
+            # Read-your-writes: this thread wrote inside the window.
+            return self.primary, "primary", 0
+        index = next(self._rr) % len(self.replicas)
+        with self._seq_lock:
+            seq = self.sequence.value
+            lag = seq - self._replica_seen[index]
+            # The read about to run takes a fresh snapshot: everything
+            # committed so far becomes visible to this reader.
+            self._replica_seen[index] = seq
+        return self.replicas[index], "replica", lag
+
+    @property
+    def write_seq(self):
+        return self.sequence.value
+
+    def _note_write(self):
+        self.sequence.bump()
+        self._local.last_write_at = self.clock.now
+
+    def execute(self, sql, params=(), *, operation, table):
+        db, route, lag = self._route(operation)
+        cur = db.execute(sql, params, operation=operation, table=table)
+        if operation != "select":
+            self._note_write()
+        self.routed_statements[route] += 1
+        if self.log_statements:
+            self.statement_log.append((operation, table, route))
+        if self.on_route is not None:
+            self.on_route(operation, table, route, lag)
+        return cur
+
+    def executescript(self, script):
+        result = self.primary.executescript(script)
+        self._note_write()
+        self.routed_statements["primary"] += 1
+        if self.on_route is not None:
+            self.on_route("script", "<script>", "primary", 0)
+        return result
+
+    def atomic(self):
+        return _RoutedAtomic(self)
+
+    @contextmanager
+    def pinned(self):
+        """Force this thread's statements to the primary for a scope —
+        for callers needing strict read-after-write beyond the window
+        (e.g. journal write-ahead verification)."""
+        self._local.forced_primary = getattr(
+            self._local, "forced_primary", 0) + 1
+        try:
+            yield self
+        finally:
+            self._local.forced_primary -= 1
+
+    # -- probes and lifecycle ------------------------------------------
+    def ping(self):
+        """Probe every route; raises on the first unhealthy one."""
+        self.primary.ping()
+        for replica in self.replicas:
+            replica.ping()
+
+    def ping_routes(self):
+        """Probe primary and replica paths independently.
+
+        Returns ``{"primary": exc_or_None, "replica": exc_or_None}``
+        (the replica entry is the first failing reader's exception, or
+        None when every reader — or no reader — answered).
+        """
+        results = {}
+        try:
+            self.primary.ping()
+            results["primary"] = None
+        except Exception as exc:  # noqa: BLE001 - probe evidence
+            results["primary"] = exc
+        replica_exc = None
+        for replica in self.replicas:
+            try:
+                replica.ping()
+            except Exception as exc:  # noqa: BLE001 - probe evidence
+                replica_exc = exc
+                break
+        results["replica"] = replica_exc
+        return results
+
+    def table_names(self):
+        return self.primary.table_names()
+
+    def statement_cache_stats(self):
+        """Aggregated prepared-statement reuse across every route."""
+        totals = {"hits": 0, "misses": 0, "evictions": 0}
+        for db in self._all_dbs():
+            stats = db.statements.stats()
+            for key in totals:
+                totals[key] += stats[key]
+        noted = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / noted if noted else 0.0
+        return totals
+
+    def close(self):
+        for db in self._all_dbs():
+            db.close()
+
+    def __repr__(self):  # pragma: no cover
+        return (f"<ReplicaRouter role={self.role!r} "
+                f"replicas={len(self.replicas)} "
+                f"writes={self.write_seq}>")
+
+
+class _RoutedAtomic:
+    """Transaction scope on the router: enters the primary's atomic
+    scope (which takes the shared write gate) and marks the calling
+    thread in-transaction so its reads route to the primary."""
+
+    def __init__(self, router):
+        self.router = router
+        self._inner = router.primary.atomic()
+
+    def __enter__(self):
+        local = self.router._local
+        local.txn_depth = getattr(local, "txn_depth", 0) + 1
+        self._inner.__enter__()
+        return self.router
+
+    def __exit__(self, exc_type, exc, tb):
+        try:
+            return self._inner.__exit__(exc_type, exc, tb)
+        finally:
+            self.router._local.txn_depth -= 1
+            # A transaction presumably wrote: pin the thread's
+            # follow-up reads to the primary for the window.
+            self.router._note_write()

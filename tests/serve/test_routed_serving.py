@@ -1,0 +1,308 @@
+"""The serving tier on a routed (primary/replica) data tier.
+
+Everything the serving tier guarantees on the seed's single-connection
+layout must hold unchanged when ``routed_db=True`` swaps the portal and
+daemon connections for :class:`ReplicaRouter` topologies: grants,
+request deadlines, health degradation and recovery, and signal-driven
+cache invalidation — each regression-tested here against both the
+primary (write/pinned) route and the replica (read) route.  ``/readyz``
+additionally learns to name which side of the topology is unhealthy.
+"""
+
+import json
+
+import pytest
+
+from repro.core import AMPDeployment, Simulation
+from repro.serve import DbFaultInjector, DeadlinePolicy, ServeConfig
+from repro.webstack.orm import PermissionDenied, ReplicaRouter
+from repro.webstack.testclient import Client
+from tests.core.conftest import submit_direct
+
+
+@pytest.fixture()
+def routed_deployment():
+    dep = AMPDeployment(routed_db=True)
+    yield dep
+    from repro.core.models import ALL_MODELS
+    from repro.webstack.orm import bind
+    bind(ALL_MODELS, None)
+    dep.close()
+
+
+@pytest.fixture()
+def astronomer(routed_deployment):
+    return routed_deployment.create_astronomer("metcalfe",
+                                               password="pw12345")
+
+
+def unpin(deployment):
+    """Advance the virtual clock past the read-your-writes window so
+    the test thread's subsequent reads route to the replicas."""
+    deployment.clock.advance(6.0)
+
+
+# ----------------------------------------------------------------------
+# Topology sanity + routed page serving
+# ----------------------------------------------------------------------
+
+def test_routed_portal_serves_pages_from_replicas(routed_deployment):
+    dep = routed_deployment
+    assert isinstance(dep.databases.portal, ReplicaRouter)
+    client = Client(dep.build_portal(serve=True))
+    unpin(dep)
+    before = dict(dep.databases.portal.routed_statements)
+    assert client.get("/").status_code == 200
+    assert client.get("/stars/").status_code == 200
+    after = dep.databases.portal.routed_statements
+    assert after["replica"] > before["replica"]
+
+
+def test_grants_enforced_on_primary_and_replica_routes(
+        routed_deployment, astronomer):
+    dep = routed_deployment
+    portal = dep.databases.portal
+    # Write route (primary): the portal role may never delete
+    # simulations.
+    with pytest.raises(PermissionDenied):
+        Simulation.objects.using(portal).delete()
+    # Read route (replica): an ungranted table is refused by the
+    # replica reader's own grant check, not just the primary's.
+    unpin(dep)
+    with pytest.raises(PermissionDenied):
+        portal.execute("SELECT 1", operation="select",
+                       table="amp_credential")
+    # And the granted read path still works, via a replica.
+    before = portal.routed_statements["replica"]
+    assert Simulation.objects.using(portal).count() == 0
+    assert portal.routed_statements["replica"] == before + 1
+
+
+# ----------------------------------------------------------------------
+# /readyz names the unhealthy side
+# ----------------------------------------------------------------------
+
+def test_readyz_healthy_reports_both_routes(routed_deployment):
+    client = Client(routed_deployment.build_portal(serve=True))
+    response = client.get("/readyz")
+    assert response.status_code == 200
+    assert json.loads(response.text)["routes"] == {
+        "primary": True, "replica": True}
+
+
+def test_readyz_names_a_sick_replica_in_plain_language(
+        routed_deployment):
+    dep = routed_deployment
+    client = Client(dep.build_portal(serve=True))
+    assert client.get("/readyz").status_code == 200
+    broken = DbFaultInjector(dep.clock, fail=True)
+    for replica in dep.databases.portal.replicas:
+        replica.fault_hook = broken
+    response = client.get("/readyz")
+    assert response.status_code == 503
+    body = json.loads(response.text)
+    assert body["routes"] == {"primary": True, "replica": False}
+    assert "replica" in body["reason"]
+    assert "primary is fine" in body["reason"]
+    for jargon in ("503", "exception", "traceback"):
+        assert jargon not in body["reason"].lower()
+
+
+def test_readyz_names_a_sick_primary_in_plain_language(
+        routed_deployment):
+    dep = routed_deployment
+    client = Client(dep.build_portal(serve=True))
+    assert client.get("/readyz").status_code == 200
+    dep.databases.portal.primary.fault_hook = DbFaultInjector(
+        dep.clock, fail=True)
+    response = client.get("/readyz")
+    assert response.status_code == 503
+    body = json.loads(response.text)
+    assert body["routes"] == {"primary": False, "replica": True}
+    assert "primary" in body["reason"]
+    assert "replica readers are fine" in body["reason"]
+
+
+def test_readyz_names_a_total_outage(routed_deployment):
+    dep = routed_deployment
+    client = Client(dep.build_portal(serve=True))
+    dep.databases.portal.fault_hook = DbFaultInjector(dep.clock,
+                                                      fail=True)
+    body = json.loads(client.get("/readyz").text)
+    assert body["routes"] == {"primary": False, "replica": False}
+    assert "neither" in body["reason"]
+
+
+# ----------------------------------------------------------------------
+# Deadlines: 504s on both routes
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def slow_routed_portal(routed_deployment):
+    injector = DbFaultInjector(routed_deployment.clock, latency_s=12.0)
+    app = routed_deployment.build_portal(serve=ServeConfig(
+        db_fault=injector, health=False,
+        deadline_policy=DeadlinePolicy(default_budget_s=10.0,
+                                       min_budget_s=0.5,
+                                       max_budget_s=3600.0)))
+    return app, injector
+
+
+def test_over_budget_read_504s_on_the_replica_route(
+        routed_deployment, slow_routed_portal):
+    app, injector = slow_routed_portal
+    client = Client(app)
+    # Past the pin window: the page's reads route to replicas, where
+    # the injected latency (fanned out to every route) spends the
+    # budget — the client still gets its clean 504.
+    unpin(routed_deployment)
+    response = client.get("/stars/")
+    assert response.status_code == 504
+    assert "try again" in response.text.lower() or \
+        "longer than" in response.text.lower()
+
+
+def test_over_budget_request_504s_on_the_primary_route(
+        routed_deployment, slow_routed_portal, astronomer):
+    app, injector = slow_routed_portal
+    client = Client(app)
+    # A fresh portal-role write pins this thread to the primary, so
+    # the next request's reads take the primary route — and still 504.
+    injector.latency_s = 0.0
+    submit_direct(routed_deployment, astronomer)
+    injector.latency_s = 12.0
+    before = dict(routed_deployment.databases.portal.routed_statements)
+    response = client.get("/stars/")
+    assert response.status_code == 504
+    after = routed_deployment.databases.portal.routed_statements
+    assert after["replica"] == before["replica"]
+
+
+def test_deadline_hook_cleared_on_every_route_between_requests(
+        routed_deployment, slow_routed_portal):
+    app, injector = slow_routed_portal
+    client = Client(app)
+    unpin(routed_deployment)
+    assert client.get("/stars/").status_code == 504
+    router = routed_deployment.databases.portal
+    assert router.primary.deadline_hook is None
+    assert all(r.deadline_hook is None for r in router.replicas)
+    injector.latency_s = 0.0
+    assert client.get("/stars/").status_code == 200
+
+
+# ----------------------------------------------------------------------
+# Health degradation and recovery, fed by replica-route failures
+# ----------------------------------------------------------------------
+
+def test_replica_route_failures_degrade_and_recover(routed_deployment):
+    dep = routed_deployment
+    injector = DbFaultInjector(dep.clock)
+    app = dep.build_portal(serve=ServeConfig(
+        db_fault=injector, health_min_samples=4, health_recovery_s=5.0))
+    client = Client(app)
+    unpin(dep)
+    injector.fail = True
+    for _ in range(4):
+        client.get("/simulations/")
+    assert app.serve_health.degraded
+    # Brownout answers without touching any route.
+    with dep.databases.portal.count_queries() as counter:
+        response = client.get("/simulations/")
+    assert counter.count == 0 and response.status_code == 503
+    injector.fail = False
+    dep.clock.advance(10.0)
+    assert client.get("/readyz").status_code == 200
+    assert not app.serve_health.degraded
+
+
+# ----------------------------------------------------------------------
+# Cache invalidation fires identically on both routes
+# ----------------------------------------------------------------------
+
+def test_portal_route_write_invalidates_cached_pages(
+        routed_deployment, astronomer):
+    dep = routed_deployment
+    client = Client(dep.build_portal(serve=True))
+    assert client.get("/api/v1/simulations").headers["X-Cache"] == "miss"
+    assert client.get("/api/v1/simulations").headers["X-Cache"] == "hit"
+    submit_direct(dep, astronomer)        # write via the portal router
+    response = client.get("/api/v1/simulations")
+    assert response.headers["X-Cache"] == "miss"
+    assert len(json.loads(response.text)["simulations"]) == 1
+
+
+def test_daemon_route_write_invalidates_portal_pages(
+        routed_deployment, astronomer):
+    dep = routed_deployment
+    client = Client(dep.build_portal(serve=True))
+    submit_direct(dep, astronomer)
+    served = json.loads(client.get("/api/v1/simulations").text)
+    assert client.get("/api/v1/simulations").headers["X-Cache"] == "hit"
+    # The daemon's poll writes state transitions through ITS router;
+    # the portal's cached list must re-render immediately.
+    dep.clock.advance(300.0)
+    dep.daemon.poll_once()
+    fresh = client.get("/api/v1/simulations")
+    assert fresh.headers["X-Cache"] == "miss"
+    ground_truth = [s.state for s in Simulation.objects.using(
+        dep.databases.admin)]
+    assert [s["state"] for s in
+            json.loads(fresh.text)["simulations"]] == ground_truth
+    assert json.loads(fresh.text) != served
+
+
+# ----------------------------------------------------------------------
+# Router metrics, route events, and the slow-statement log
+# ----------------------------------------------------------------------
+
+def test_route_metrics_lag_gauge_and_trace_events(routed_deployment):
+    dep = routed_deployment
+    obs = dep.obs
+    portal = dep.databases.portal
+    portal.trace_routes = True
+    Simulation.objects.using(portal).count()      # pinned: primary
+    unpin(dep)
+    Simulation.objects.using(portal).count()      # replica
+    assert obs.metrics.value("db_statements_total", role="portal",
+                             route="replica") >= 1
+    assert obs.metrics.value("db_statements_total", role="portal",
+                             route="primary") >= 1
+    # The lag gauge reports the serving replica's staleness (the
+    # deployment seeded the catalog through this router, so writes
+    # happened since the reader's last snapshot).
+    assert obs.metrics.value("db_replica_lag_statements",
+                             role="portal") >= 0
+    events = obs.events.of_kind("db.router.route")
+    assert events
+    assert {e.fields["route"] for e in events} >= {"replica"}
+
+
+def test_trace_routes_off_by_default_keeps_event_log_clean(
+        routed_deployment):
+    dep = routed_deployment
+    unpin(dep)
+    Simulation.objects.using(dep.databases.portal).count()
+    assert dep.obs.events.of_kind("db.router.route") == []
+
+
+def test_slow_statement_log_redacts_parameters():
+    dep = AMPDeployment(slow_statement_s=0.0)
+    try:
+        Simulation.objects.using(dep.databases.portal).filter(
+            machine_name="kraken' OR secret").count()
+        events = dep.obs.events.of_kind("db.slow_statement")
+        assert events
+        slow = events[-1].fields
+        assert slow["role"] == "portal"
+        assert slow["duration_s"] > 0.0
+        assert "?" in slow["sql"]
+        # The parameter value never reaches the log.
+        assert "secret" not in slow["sql"]
+        assert dep.obs.metrics.value("db_slow_statements_total",
+                                     role="portal") >= 1
+    finally:
+        from repro.core.models import ALL_MODELS
+        from repro.webstack.orm import bind
+        bind(ALL_MODELS, None)
+        dep.close()

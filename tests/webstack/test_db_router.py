@@ -1,0 +1,364 @@
+"""ReplicaRouter: routing discipline, hook fan-out, and the
+executescript hook-chain regression.
+
+Everything here runs on shared in-memory stores (tier-1 fast); the
+real WAL concurrency behaviour of the same topology is covered by the
+``db``-marked suite in ``test_wal_concurrency.py``.
+"""
+
+import pytest
+
+from repro.hpc.simclock import SimClock
+from repro.webstack.orm import (Database, DeploymentDatabases, Grant,
+                                PermissionDenied, ReplicaRouter,
+                                RoleRegistry, WriteSequence,
+                                shared_memory_uri)
+from repro.webstack.orm.connection import OPERATIONS
+
+from .conftest import MODELS, Author, Book
+
+
+def make_roles():
+    roles = RoleRegistry()
+    grant = Grant({"ws_author": set(OPERATIONS),
+                   "ws_book": set(OPERATIONS)})
+    roles.define("portal", grant)
+    roles.define("daemon", grant)
+    return roles
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+@pytest.fixture()
+def routed(clock):
+    """A router over one shared in-memory store: gated primary plus
+    two read-only replica readers, schema created through admin."""
+    import threading
+
+    from repro.webstack.orm import create_all
+    uri = shared_memory_uri()
+    roles = make_roles()
+    keeper = Database(uri, role="admin", roles=roles)
+    create_all(MODELS, keeper)
+    gate = threading.RLock()
+    primary = Database(uri, role="portal", roles=roles, write_gate=gate)
+    replicas = [Database(uri, role="portal", roles=roles, read_only=True)
+                for _ in range(2)]
+    router = ReplicaRouter(primary, replicas, clock=clock,
+                           pin_window_s=5.0)
+    yield router
+    router.close()
+    keeper.close()
+
+
+# ----------------------------------------------------------------------
+# Routing decisions
+# ----------------------------------------------------------------------
+
+def test_writes_always_route_to_primary(routed):
+    Author.objects.using(routed).create(name="Ada")
+    assert routed.routed_statements["primary"] >= 1
+    assert routed.routed_statements["replica"] == 0
+    assert routed.primary.queries_by_operation.get("insert") == 1
+    for replica in routed.replicas:
+        assert replica.queries_executed == 0
+
+
+def test_read_your_writes_pins_then_window_lapses(routed, clock):
+    Author.objects.using(routed).create(name="Ada")
+    # Immediately after a write this thread is pinned: the read must
+    # see the write, so it goes to the primary.
+    assert Author.objects.using(routed).count() == 1
+    assert routed.routed_statements["replica"] == 0
+    # Once the pin window lapses, reads move to the replicas.
+    clock.advance(6.0)
+    assert Author.objects.using(routed).count() == 1
+    assert routed.routed_statements["replica"] == 1
+
+
+def test_reads_round_robin_across_replicas(routed, clock):
+    Author.objects.using(routed).create(name="Ada")
+    clock.advance(6.0)
+    for _ in range(4):
+        Author.objects.using(routed).count()
+    assert routed.routed_statements["replica"] == 4
+    assert routed.replicas[0].queries_executed == 2
+    assert routed.replicas[1].queries_executed == 2
+
+
+def test_reads_inside_transaction_stay_on_primary(routed, clock):
+    Author.objects.using(routed).create(name="Ada")
+    clock.advance(6.0)
+    with routed.atomic():
+        author = Author.objects.using(routed).get(name="Ada")
+        author.name = "Ada L."
+        author.save(db=routed)
+        # The uncommitted rename must be visible to this read.
+        assert Author.objects.using(routed).filter(
+            name="Ada L.").count() == 1
+    assert routed.routed_statements["replica"] == 0
+
+
+def test_pinned_scope_forces_primary(routed, clock):
+    Author.objects.using(routed).create(name="Ada")
+    clock.advance(6.0)
+    with routed.pinned():
+        Author.objects.using(routed).count()
+    assert routed.routed_statements["replica"] == 0
+    Author.objects.using(routed).count()
+    assert routed.routed_statements["replica"] == 1
+
+
+def test_replica_lag_is_reported_and_bounded(routed, clock):
+    observed = []
+    routed.on_route = (lambda operation, table, route, lag:
+                       observed.append((route, lag)))
+    for n in range(3):
+        Author.objects.using(routed).create(name=f"a{n}")
+    clock.advance(6.0)
+    Author.objects.using(routed).count()
+    replica_reads = [lag for route, lag in observed
+                     if route == "replica"]
+    # Three writes happened since this reader's last snapshot.
+    assert replica_reads == [3]
+    # A second read through the same reader is fresh again.
+    Author.objects.using(routed).count()
+    Author.objects.using(routed).count()
+    assert [lag for route, lag in observed if route == "replica"] \
+        == [3, 3, 0]
+
+
+def test_replica_reader_refuses_writes_outright(routed):
+    with pytest.raises(PermissionDenied, match="read-only replica"):
+        routed.replicas[0].execute(
+            'INSERT INTO "ws_author" ("name", "email", "active") '
+            "VALUES (?, ?, ?)", ("Eve", None, 1),
+            operation="insert", table="ws_author")
+
+
+def test_router_without_replicas_serves_everything_from_primary(clock):
+    from repro.webstack.orm import create_all
+    uri = shared_memory_uri()
+    roles = make_roles()
+    keeper = Database(uri, role="admin", roles=roles)
+    create_all(MODELS, keeper)
+    router = ReplicaRouter(Database(uri, role="portal", roles=roles),
+                           clock=clock)
+    Author.objects.using(router).create(name="Solo")
+    clock.advance(10.0)
+    assert Author.objects.using(router).count() == 1
+    assert router.routed_statements["replica"] == 0
+    router.close()
+    keeper.close()
+
+
+# ----------------------------------------------------------------------
+# Grants and hook fan-out
+# ----------------------------------------------------------------------
+
+def test_grants_enforced_on_both_routes(routed, clock):
+    """The role's grant table guards the router exactly as it guards a
+    plain connection — on the primary write path and on the replica
+    read path alike."""
+    Author.objects.using(routed).create(name="Ada")
+    clock.advance(6.0)
+    with pytest.raises(PermissionDenied):
+        routed.execute("SELECT 1", operation="select",
+                       table="ws_not_granted")
+    with pytest.raises(PermissionDenied):
+        routed.execute("DELETE FROM x", operation="delete",
+                       table="ws_not_granted")
+
+
+def test_statement_observer_fans_out_to_every_route(routed, clock):
+    seen = []
+
+    def observer(operation, table):
+        def finish(error):
+            seen.append((operation, table, error))
+        return finish
+
+    routed.statement_observer = observer
+    assert routed.primary.statement_observer is observer
+    assert all(r.statement_observer is observer
+               for r in routed.replicas)
+    Author.objects.using(routed).create(name="Ada")
+    clock.advance(6.0)
+    Author.objects.using(routed).count()
+    operations = [op for op, _, _ in seen]
+    assert "insert" in operations and "select" in operations
+    assert all(error is None for _, _, error in seen)
+
+
+def test_fault_hook_fires_on_replica_reads(routed, clock):
+    Author.objects.using(routed).create(name="Ada")
+    clock.advance(6.0)
+
+    def boom(operation, table):
+        raise RuntimeError("injected outage")
+
+    routed.fault_hook = boom
+    with pytest.raises(RuntimeError, match="injected outage"):
+        Author.objects.using(routed).count()
+    # The failed read was routed to a replica before the hook fired.
+    assert routed.replicas[0].fault_hook is boom
+
+
+def test_deadline_hook_fires_on_both_routes(routed, clock):
+    from repro.webstack.orm.exceptions import ORMError
+
+    class Spent(ORMError):
+        pass
+
+    def spent(operation, table):
+        raise Spent("budget gone")
+
+    Author.objects.using(routed).create(name="Ada")
+    clock.advance(6.0)
+    routed.deadline_hook = spent
+    with pytest.raises(Spent):
+        Author.objects.using(routed).count()        # replica route
+    with pytest.raises(Spent):
+        Author.objects.using(routed).create(name="Eve")  # primary route
+
+
+def test_count_queries_accurate_across_routes(routed, clock):
+    with routed.count_queries() as counter:
+        Author.objects.using(routed).create(name="Ada")   # 1 insert
+        clock.advance(6.0)
+        Author.objects.using(routed).count()              # replica
+        Author.objects.using(routed).count()              # replica
+    assert counter.count == 3
+    assert counter.by_operation == {"insert": 1, "select": 2}
+    assert routed.routed_statements == {"primary": 1, "replica": 2}
+
+
+# ----------------------------------------------------------------------
+# executescript hook-chain regression (the seed bypassed everything)
+# ----------------------------------------------------------------------
+
+def test_executescript_runs_the_full_hook_chain():
+    db = Database(":memory:")
+    seen, finished = [], []
+
+    def observer(operation, table):
+        seen.append((operation, table))
+        return finished.append
+
+    db.statement_observer = observer
+    db.log_statements = True
+    before = db.queries_executed
+    db.executescript("CREATE TABLE t (x INTEGER);")
+    assert seen == [("script", "<script>")]
+    assert finished == [None]
+    assert db.queries_executed == before + 1
+    assert db.queries_by_operation.get("script") == 1
+    assert ("script", "<script>") in db.statement_log
+
+
+def test_executescript_respects_fault_and_deadline_hooks():
+    db = Database(":memory:")
+    errors = []
+
+    def observer(operation, table):
+        return errors.append
+
+    def boom(operation, table):
+        raise RuntimeError("db down")
+
+    db.statement_observer = observer
+    db.fault_hook = boom
+    with pytest.raises(RuntimeError, match="db down"):
+        db.executescript("CREATE TABLE t (x INTEGER);")
+    assert len(errors) == 1 and isinstance(errors[0], RuntimeError)
+    # The script never reached SQLite: the table must not exist.
+    db.fault_hook = None
+    assert "t" not in db.table_names()
+
+
+def test_executescript_still_denied_without_raw_sql_grant(routed):
+    with pytest.raises(PermissionDenied, match="raw SQL"):
+        routed.executescript("CREATE TABLE t (x INTEGER);")
+
+
+# ----------------------------------------------------------------------
+# Probes and the deployment wiring
+# ----------------------------------------------------------------------
+
+def test_ping_routes_names_the_unhealthy_side(routed):
+    healthy = routed.ping_routes()
+    assert healthy == {"primary": None, "replica": None}
+
+    def boom(operation, table):
+        raise RuntimeError("replica gone")
+
+    routed.replicas[0].fault_hook = boom
+    verdict = routed.ping_routes()
+    assert verdict["primary"] is None
+    assert isinstance(verdict["replica"], RuntimeError)
+
+    routed.replicas[0].fault_hook = None
+    routed.primary.fault_hook = boom
+    verdict = routed.ping_routes()
+    assert isinstance(verdict["primary"], RuntimeError)
+    assert verdict["replica"] is None
+
+
+def test_routed_deployment_shares_one_write_sequence(clock):
+    """Portal replicas age on daemon writes too: staleness is a
+    property of the store, not of one role's traffic."""
+    databases = DeploymentDatabases(make_roles(), routed=True,
+                                    replicas=1, clock=clock)
+    from repro.webstack.orm import create_all
+    create_all(MODELS, databases.admin)
+    assert isinstance(databases.portal, ReplicaRouter)
+    assert isinstance(databases.daemon, ReplicaRouter)
+    assert databases.portal.sequence is databases.daemon.sequence
+    Author.objects.using(databases.daemon).create(name="Ada")
+    observed = []
+    databases.portal.on_route = (
+        lambda operation, table, route, lag:
+        observed.append((route, lag)))
+    Author.objects.using(databases.portal).count()
+    # The portal never wrote, so its read goes straight to a replica —
+    # and the lag honestly counts the daemon's write.
+    assert observed == [("replica", 1)]
+    databases.close()
+
+
+def test_unrouted_deployment_keeps_seed_topology():
+    databases = DeploymentDatabases(make_roles())
+    assert isinstance(databases.portal, Database)
+    assert isinstance(databases.daemon, Database)
+    assert databases.write_gate is None
+    databases.close()
+
+
+def test_write_sequence_is_thread_safe_counter():
+    import threading
+    sequence = WriteSequence()
+
+    def bump_many():
+        for _ in range(500):
+            sequence.bump()
+
+    threads = [threading.Thread(target=bump_many) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sequence.value == 2000
+
+
+def test_statement_cache_stats_aggregate_over_routes(routed, clock):
+    Author.objects.using(routed).create(name="Ada")
+    clock.advance(6.0)
+    for _ in range(4):
+        Author.objects.using(routed).count()
+    stats = routed.statement_cache_stats()
+    # The identical COUNT SQL ran on both replicas: reuse is visible.
+    assert stats["hits"] >= 2
+    assert 0.0 < stats["hit_rate"] <= 1.0

@@ -1,0 +1,201 @@
+"""WAL-mode concurrency regressions, on real file-backed stores.
+
+These tests use actual threads and wall-clock waits, so they live in
+the ``db`` CI row rather than tier-1.  What they pin down:
+
+- a writer holding an open transaction does not block replica readers
+  (the WAL promise the router's throughput claim rests on),
+- ``busy_timeout`` is armed on every connection the topology opens,
+- the routed query counters stay accurate under concurrent traffic
+  from many threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.hpc.simclock import SimClock
+from repro.webstack.orm import (DeploymentDatabases, ReplicaRouter,
+                                create_all)
+
+from .conftest import MODELS, Author
+from .test_db_router import make_roles
+
+pytestmark = pytest.mark.db
+
+
+@pytest.fixture()
+def routed_file_db(tmp_path):
+    clock = SimClock()
+    databases = DeploymentDatabases(
+        make_roles(), uri=str(tmp_path / "wal.db"), routed=True,
+        replicas=2, clock=clock, busy_timeout_s=5.0)
+    create_all(MODELS, databases.admin)
+    yield databases, clock
+    databases.close()
+
+
+def test_file_backed_routed_store_runs_in_wal_mode(routed_file_db):
+    databases, _ = routed_file_db
+    databases.admin.ping()
+    assert databases.admin.journal_mode == "wal"
+    for router in (databases.portal, databases.daemon):
+        router.ping()
+        assert router.primary.journal_mode == "wal"
+        for replica in router.replicas:
+            assert replica.journal_mode == "wal"
+
+
+def test_busy_timeout_armed_on_every_connection(routed_file_db):
+    databases, _ = routed_file_db
+    connections = [databases.admin]
+    for router in (databases.portal, databases.daemon):
+        connections.append(router.primary)
+        connections.extend(router.replicas)
+    for db in connections:
+        timeout_ms = db.connection.execute(
+            "PRAGMA busy_timeout").fetchone()[0]
+        assert timeout_ms == 5000
+
+
+def test_writer_mid_transaction_does_not_block_readers(routed_file_db):
+    """The WAL promise: while the daemon holds an open write
+    transaction, portal replica reads complete immediately — seeing
+    the pre-transaction snapshot — instead of waiting for COMMIT."""
+    databases, clock = routed_file_db
+    Author.objects.using(databases.admin).create(name="before")
+
+    txn_open = threading.Event()
+    release_txn = threading.Event()
+    writer_done = threading.Event()
+
+    def long_writer():
+        with databases.daemon.atomic():
+            Author.objects.using(databases.daemon).create(
+                name="uncommitted")
+            txn_open.set()
+            release_txn.wait(timeout=30)
+        writer_done.set()
+
+    read_names = []
+    reader_error = []
+
+    def reader():
+        try:
+            # The portal thread never wrote: its reads go straight to
+            # a replica, no pin, no gate.
+            read_names.append(sorted(
+                a.name for a in Author.objects.using(databases.portal)))
+        except Exception as exc:  # noqa: BLE001 - recorded for assert
+            reader_error.append(exc)
+
+    writer = threading.Thread(target=long_writer)
+    writer.start()
+    assert txn_open.wait(timeout=10)
+    reader_thread = threading.Thread(target=reader)
+    reader_thread.start()
+    # The decisive assertion: the read finishes while the write
+    # transaction is still open.
+    reader_thread.join(timeout=5)
+    still_running = reader_thread.is_alive()
+    release_txn.set()
+    writer.join(timeout=30)
+    assert not still_running, \
+        "replica read blocked behind an open write transaction"
+    assert not reader_error, f"reader failed: {reader_error}"
+    assert read_names == [["before"]]   # snapshot: uncommitted invisible
+    assert writer_done.is_set()
+    # After COMMIT (and the pin window, for good measure) the write is
+    # visible through the replicas.
+    clock.advance(10.0)
+    assert Author.objects.using(databases.portal).count() == 2
+
+
+def test_concurrent_writers_serialize_through_the_gate(routed_file_db):
+    """Two roles writing through the shared gate never corrupt the
+    store or deadlock: every row lands."""
+    databases, _ = routed_file_db
+    n_each = 25
+    errors = []
+
+    def writer(router, prefix):
+        try:
+            for n in range(n_each):
+                Author.objects.using(router).create(
+                    name=f"{prefix}-{n}")
+        except Exception as exc:  # noqa: BLE001 - recorded for assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer,
+                         args=(databases.portal, "portal")),
+        threading.Thread(target=writer,
+                         args=(databases.daemon, "daemon")),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors
+    assert Author.objects.using(databases.admin).count() == 2 * n_each
+
+
+def test_query_counters_accurate_under_concurrent_routes(
+        routed_file_db):
+    """``count_queries`` totals survive statements splitting across
+    primary and replicas from many threads at once."""
+    databases, clock = routed_file_db
+    Author.objects.using(databases.admin).create(name="seed")
+    portal = databases.portal
+    n_threads, reads_per_thread = 4, 20
+    barrier = threading.Barrier(n_threads)
+
+    def read_loop():
+        barrier.wait(timeout=10)
+        for _ in range(reads_per_thread):
+            Author.objects.using(portal).count()
+
+    with portal.count_queries() as counter:
+        threads = [threading.Thread(target=read_loop)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        Author.objects.using(portal).create(name="written")
+    expected_reads = n_threads * reads_per_thread
+    assert counter.count == expected_reads + 1
+    assert counter.by_operation["select"] == expected_reads
+    assert counter.by_operation["insert"] == 1
+    routed = portal.routed_statements
+    assert routed["primary"] + routed["replica"] \
+        == expected_reads + 1
+    # No thread in the loop had written, so reads went to replicas.
+    assert routed["replica"] == expected_reads
+
+
+def test_wal_survives_reopen(tmp_path):
+    """A WAL store closed and reopened unrouted still has every row —
+    the checkpoint/commit discipline leaves a consistent file."""
+    uri = str(tmp_path / "durable.db")
+    clock = SimClock()
+    databases = DeploymentDatabases(make_roles(), uri=uri, routed=True,
+                                    replicas=1, clock=clock)
+    create_all(MODELS, databases.admin)
+    for n in range(10):
+        Author.objects.using(databases.daemon).create(name=f"a{n}")
+    databases.close()
+
+    plain = DeploymentDatabases(make_roles(), uri=uri)
+    assert Author.objects.using(plain.admin).count() == 10
+    plain.close()
+
+
+def test_router_is_what_deployment_builds_for_files(tmp_path):
+    databases = DeploymentDatabases(make_roles(),
+                                    uri=str(tmp_path / "t.db"),
+                                    routed=True)
+    assert isinstance(databases.portal, ReplicaRouter)
+    databases.portal.ping()
+    assert databases.portal.journal_mode == "wal"
+    databases.close()
